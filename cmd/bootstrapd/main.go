@@ -1,0 +1,57 @@
+// bootstrapd runs the standalone bootstrap server (the paper's
+// BootstrapServerMain): it maintains the list of online nodes for a system
+// instance, answers peer queries from joining nodes, and evicts nodes
+// whose keep-alives stop.
+//
+//	bootstrapd -addr 10.0.0.9:7100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/timer"
+)
+
+func main() {
+	var (
+		addrS      = flag.String("addr", "127.0.0.1:7100", "listen address (host:port)")
+		evictAfter = flag.Duration("evict-after", 5*time.Second, "evict nodes silent for this long")
+	)
+	flag.Parse()
+
+	addr, err := network.ParseAddress(*addrS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bootstrapd:", err)
+		os.Exit(1)
+	}
+
+	rt := core.New()
+	rt.MustBootstrap("BootstrapServerMain", core.SetupFunc(func(ctx *core.Ctx) {
+		tr := ctx.Create("net", network.NewTCP(addr))
+		tm := ctx.Create("timer", timer.NewReal())
+		srv := ctx.Create("server", bootstrap.NewServer(bootstrap.ServerConfig{
+			Self:       addr,
+			EvictAfter: *evictAfter,
+		}))
+		ctx.Connect(srv.Required(network.PortType), tr.Provided(network.PortType))
+		ctx.Connect(srv.Required(timer.PortType), tm.Provided(timer.PortType))
+	}))
+	fmt.Printf("bootstrapd: serving on %s (evict after %v)\n", addr, *evictAfter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-rt.Halted():
+		fmt.Println("bootstrapd: runtime halted:", rt.HaltErr())
+	}
+	rt.Shutdown()
+}

@@ -1,0 +1,78 @@
+// catsctl is a small operator CLI for a running CATS deployment: it talks
+// to a node's embedded web interface (catsnode -web) to get and put keys
+// and to inspect node status, and to the monitoring server's web interface
+// for the global view.
+//
+//	catsctl -node 127.0.0.1:8081 put city montreal
+//	catsctl -node 127.0.0.1:8082 get city
+//	catsctl -node 127.0.0.1:8081 status
+//	catsctl -node 127.0.0.1:8090 view        # monitor server global view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "127.0.0.1:8080", "web address of the node (or monitor server for 'view')")
+		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: catsctl [-node host:port] <get KEY | put KEY VALUE | status | view>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var reqURL string
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			fatal("get requires exactly one KEY")
+		}
+		reqURL = fmt.Sprintf("http://%s/get?key=%s", *node, url.QueryEscape(args[1]))
+	case "put":
+		if len(args) != 3 {
+			fatal("put requires KEY and VALUE")
+		}
+		reqURL = fmt.Sprintf("http://%s/put?key=%s&value=%s",
+			*node, url.QueryEscape(args[1]), url.QueryEscape(args[2]))
+	case "status":
+		reqURL = fmt.Sprintf("http://%s/status", *node)
+	case "view":
+		reqURL = fmt.Sprintf("http://%s/", *node)
+	default:
+		fatal(fmt.Sprintf("unknown command %q", args[0]))
+	}
+
+	resp, err := client.Get(reqURL)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println(string(body))
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "catsctl:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// catsnode runs one production CATS node: TCP transport, real timers, an
+// embedded web server for status and interactive get/put, and optional
+// bootstrap and monitoring clients — the paper's Figure 10 (right)
+// deployment architecture.
+//
+// Examples:
+//
+//	# found a fresh ring
+//	catsnode -addr 10.0.0.1:7000 -web 10.0.0.1:8080
+//
+//	# join through a seed
+//	catsnode -addr 10.0.0.2:7000 -seeds 10.0.0.1:7000 -web 10.0.0.2:8080
+//
+//	# with bootstrap and monitoring services
+//	catsnode -addr 10.0.0.3:7000 -bootstrap 10.0.0.9:7100 -monitor 10.0.0.9:7200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/cats"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		addrS      = flag.String("addr", "127.0.0.1:7000", "node address (host:port)")
+		key        = flag.Uint64("key", 0, "ring key (0: hash of address)")
+		seedsS     = flag.String("seeds", "", "comma-separated seed nodes (key@host:port or host:port)")
+		bootstrapS = flag.String("bootstrap", "", "bootstrap server address (overrides -seeds)")
+		monitorS   = flag.String("monitor", "", "monitor server address")
+		webS       = flag.String("web", "", "web UI listen address (empty: disabled)")
+		replicas   = flag.Int("replication", 3, "replication degree")
+		compress   = flag.Bool("compress", false, "zlib-compress network messages")
+	)
+	flag.Parse()
+
+	addr, err := network.ParseAddress(*addrS)
+	if err != nil {
+		fatal(err)
+	}
+	self := ident.NodeRef{Key: ident.Key(*key), Addr: addr}
+	if *key == 0 {
+		self.Key = ident.KeyOfString(addr.String())
+	}
+
+	cfg := cats.NodeConfig{Self: self, ReplicationDegree: *replicas}
+	if *bootstrapS != "" {
+		if cfg.BootstrapServer, err = network.ParseAddress(*bootstrapS); err != nil {
+			fatal(err)
+		}
+	} else if *seedsS != "" {
+		for _, s := range strings.Split(*seedsS, ",") {
+			ref, err := ident.ParseNodeRef(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Seeds = append(cfg.Seeds, ref)
+		}
+	}
+	if *monitorS != "" {
+		if cfg.MonitorServer, err = network.ParseAddress(*monitorS); err != nil {
+			fatal(err)
+		}
+	}
+
+	env := cats.TCPEnv{Compress: *compress}
+	rt := core.New()
+	peer := cats.NewPeer(env, cfg)
+	rt.MustBootstrap("CatsNodeMain", core.SetupFunc(func(ctx *core.Ctx) {
+		peerC := ctx.Create("peer", peer)
+		if *webS != "" {
+			bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS}))
+			ctx.Connect(peerC.Provided(web.PortType), bridge.Required(web.PortType))
+		}
+	}))
+
+	fmt.Printf("catsnode: %s up (replication=%d", self, *replicas)
+	if *webS != "" {
+		fmt.Printf(", web http://%s/status", *webS)
+	}
+	fmt.Println(")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("catsnode: shutting down")
+	case <-rt.Halted():
+		fmt.Println("catsnode: runtime halted:", rt.HaltErr())
+	}
+	rt.Shutdown()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "catsnode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// catssim runs a scenario-driven CATS experiment, in either of the paper's
+// two whole-system execution modes:
+//
+//   - -mode sim: deterministic simulation in virtual time (Figure 12 left)
+//     — thousands of nodes in one process, reproducible for a fixed seed;
+//   - -mode local: real-time execution over the in-process loopback
+//     network (Figure 12 right) — the local interactive stress-test mode.
+//
+// The identical system code (the CATS node composite and the simulator
+// host component) runs in both modes; only the injected transport, timer,
+// and scheduler differ.
+//
+//	catssim -mode sim -boot 1000 -churn 500 -lookups 5000 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cats"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/simulation"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "sim", "execution mode: sim | local")
+		seed    = flag.Int64("seed", 42, "random seed (schedule and simulation)")
+		boot    = flag.Int("boot", 100, "nodes joined by the boot process")
+		churn   = flag.Int("churn", 50, "churn events (half joins, half failures)")
+		lookups = flag.Int("lookups", 1000, "ring lookups issued")
+		ops     = flag.Int("ops", 200, "put/get operations issued (half each)")
+		tail    = flag.Duration("tail", 30*time.Second, "extra run time after the scenario ends")
+	)
+	flag.Parse()
+
+	sc := buildScenario(*boot, *churn, *lookups, *ops)
+	sched, err := sc.Generate(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catssim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("catssim: scenario has %d commands over %v (seed %d)\n",
+		len(sched.Events), sched.End.Round(time.Millisecond), *seed)
+
+	nodeCfg := cats.NodeConfig{
+		ReplicationDegree: 3,
+		FDInterval:        200 * time.Millisecond,
+		StabilizePeriod:   300 * time.Millisecond,
+		CyclonPeriod:      500 * time.Millisecond,
+		OpTimeout:         time.Second,
+		RouterEntryTTL:    10 * time.Second,
+		RouterSweepPeriod: 2 * time.Second,
+	}
+
+	switch *mode {
+	case "sim":
+		runSimulated(*seed, sched, nodeCfg, *tail)
+	case "local":
+		runLocal(sched, nodeCfg, *tail)
+	default:
+		fmt.Fprintf(os.Stderr, "catssim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+// buildScenario composes the paper's boot → churn ∥ lookups scenario with
+// an additional put/get process. Drawn 16-bit identifiers are scaled onto
+// the 64-bit ring.
+func buildScenario(boot, churn, lookups, ops int) *scenario.Scenario {
+	catsJoin := func(id uint64) core.Event { return cats.JoinNode{Key: ident.Key(id << 48)} }
+	catsFail := func(id uint64) core.Event { return cats.FailNode{Key: ident.Key(id << 48)} }
+	catsLookup := func(node, key uint64) core.Event {
+		return cats.OpLookup{NodeKey: ident.Key(node << 48), Target: ident.Key(key << 48)}
+	}
+	catsPut := func(node, key uint64) core.Event {
+		return cats.OpPut{NodeKey: ident.Key(node << 48), Key: fmt.Sprintf("key-%d", key), Value: []byte("value")}
+	}
+	catsGet := func(node, key uint64) core.Event {
+		return cats.OpGet{NodeKey: ident.Key(node << 48), Key: fmt.Sprintf("key-%d", key)}
+	}
+
+	bootP := scenario.NewProcess("boot").
+		EventInterArrivalTime(scenario.ExponentialDuration(500 * time.Millisecond))
+	scenario.Raise1(bootP, boot, catsJoin, scenario.UniformBits(16))
+
+	churnP := scenario.NewProcess("churn").
+		EventInterArrivalTime(scenario.ExponentialDuration(500 * time.Millisecond))
+	scenario.Raise1(churnP, churn/2, catsJoin, scenario.UniformBits(16))
+	scenario.Raise1(churnP, churn/2, catsFail, scenario.UniformBits(16))
+
+	lookupsP := scenario.NewProcess("lookups").
+		EventInterArrivalTime(scenario.NormalDuration(50*time.Millisecond, 10*time.Millisecond))
+	scenario.Raise2(lookupsP, lookups, catsLookup, scenario.UniformBits(16), scenario.UniformBits(14))
+
+	opsP := scenario.NewProcess("ops").
+		EventInterArrivalTime(scenario.NormalDuration(100*time.Millisecond, 20*time.Millisecond))
+	scenario.Raise2(opsP, ops/2, catsPut, scenario.UniformBits(16), scenario.UniformBits(10))
+	scenario.Raise2(opsP, ops/2, catsGet, scenario.UniformBits(16), scenario.UniformBits(10))
+
+	sc := scenario.New().
+		Start(bootP).
+		StartAfterTerminationOf(churnP, 2*time.Second, bootP).
+		StartAfterStartOf(lookupsP, 3*time.Second, churnP).
+		StartAfterStartOf(opsP, 3*time.Second, churnP)
+	sc.TerminateAfterTerminationOf(time.Second, lookupsP)
+	return sc
+}
+
+func runSimulated(seed int64, sched scenario.Schedule, nodeCfg cats.NodeConfig, tail time.Duration) {
+	sim := simulation.New(seed)
+	emu := simulation.NewNetworkEmulator(sim,
+		simulation.WithLatency(simulation.UniformLatency(time.Millisecond, 10*time.Millisecond)))
+	host := cats.NewSimulator(cats.SimEnv{Sim: sim, Emu: emu}, nodeCfg)
+	var exp *core.Port
+	sim.Runtime().MustBootstrap("CatsSimulationMain", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("simulator", host)
+		exp = c.Provided(cats.ExperimentPortType)
+	}))
+	sim.Run(0)
+	end := scenario.ExecuteSimulated(sim, sched, exp)
+	stats := sim.Run(end + tail)
+	report(host.Metrics(), host.AliveCount())
+	fmt.Printf("  %v\n", stats)
+}
+
+func runLocal(sched scenario.Schedule, nodeCfg cats.NodeConfig, tail time.Duration) {
+	registry := network.NewLoopbackRegistry()
+	host := cats.NewSimulator(cats.LoopbackEnv{Registry: registry}, nodeCfg)
+	rt := core.New()
+	defer rt.Shutdown()
+	var exp *core.Port
+	rt.MustBootstrap("CatsLocalExecutionMain", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("simulator", host)
+		exp = c.Provided(cats.ExperimentPortType)
+	}))
+	rt.WaitQuiescence(5 * time.Second)
+
+	start := time.Now()
+	done, stop := scenario.ExecuteRealTime(sched, exp)
+	defer stop()
+	<-done
+	time.Sleep(tail)
+	rt.WaitQuiescence(10 * time.Second)
+	fmt.Printf("catssim: local execution took %v wall time\n", time.Since(start).Round(time.Millisecond))
+	report(host.Metrics(), host.AliveCount())
+}
+
+func report(m cats.Metrics, alive int) {
+	fmt.Printf("  joins=%d fails=%d alive=%d skipped=%d\n", m.Joins, m.Fails, alive, m.Skipped)
+	fmt.Printf("  lookups=%d (empty=%d) puts=%d ok / %d failed, gets=%d ok / %d failed\n",
+		m.Lookups, m.LookupsEmpty, m.PutsOK, m.PutsFailed, m.GetsOK, m.GetsFailed)
+	if n, mean, min, max := m.LatencyStats(); n > 0 {
+		fmt.Printf("  op latency: n=%d mean=%v min=%v max=%v\n", n, mean, min, max)
+	}
+}

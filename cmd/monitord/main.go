@@ -1,0 +1,53 @@
+// monitord runs the standalone monitoring server (the paper's CATS
+// MonitorServerMain): it aggregates the periodic status reports sent by
+// every node's monitoring client and presents the global view of the
+// system on a web page.
+//
+//	monitord -addr 10.0.0.9:7200 -web 10.0.0.9:8090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/network"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		addrS = flag.String("addr", "127.0.0.1:7200", "report listen address (host:port)")
+		webS  = flag.String("web", "127.0.0.1:8090", "web UI listen address")
+	)
+	flag.Parse()
+
+	addr, err := network.ParseAddress(*addrS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitord:", err)
+		os.Exit(1)
+	}
+
+	rt := core.New()
+	rt.MustBootstrap("MonitorServerMain", core.SetupFunc(func(ctx *core.Ctx) {
+		tr := ctx.Create("net", network.NewTCP(addr))
+		srv := ctx.Create("server", monitor.NewServer(monitor.ServerConfig{Self: addr}))
+		ctx.Connect(srv.Required(network.PortType), tr.Provided(network.PortType))
+		bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS}))
+		ctx.Connect(srv.Provided(web.PortType), bridge.Required(web.PortType))
+	}))
+	fmt.Printf("monitord: reports on %s, global view at http://%s/\n", addr, *webS)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-rt.Halted():
+		fmt.Println("monitord: runtime halted:", rt.HaltErr())
+	}
+	rt.Shutdown()
+}

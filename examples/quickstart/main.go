@@ -1,0 +1,117 @@
+// Quickstart: the paper's §2 walkthrough in Go. Defines a Ping/Pong
+// protocol abstraction as a typed port, an EchoServer component providing
+// it, and a Client component requiring it that drives traffic off periodic
+// timeouts — demonstrating events, ports, handlers, subscriptions,
+// channels, hierarchical composition, and the Timer abstraction.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timer"
+)
+
+// --- protocol abstraction: events + port type ---------------------------------
+
+// Ping is the request event of the PingPong protocol.
+type Ping struct{ Seq int }
+
+// Pong is the indication event.
+type Pong struct{ Seq int }
+
+// PingPongPort is the protocol abstraction: Ping requests in, Pong
+// indications out.
+var PingPongPort = core.NewPortType("PingPong",
+	core.Request[Ping](),
+	core.Indication[Pong](),
+)
+
+// --- EchoServer: provides PingPong --------------------------------------------
+
+// EchoServer answers every Ping with a Pong carrying the same sequence
+// number. Its state (count) needs no locks: handlers of one component
+// execute mutually exclusively.
+type EchoServer struct {
+	count int
+}
+
+// Setup declares the provided port and subscribes the request handler.
+func (s *EchoServer) Setup(ctx *core.Ctx) {
+	port := ctx.Provides(PingPongPort)
+	core.Subscribe(ctx, port, func(p Ping) {
+		s.count++
+		ctx.Trigger(Pong{Seq: p.Seq}, port)
+	})
+}
+
+// --- Client: requires PingPong and Timer ---------------------------------------
+
+type tick struct{ timer.Timeout }
+
+// Client sends a Ping every 200ms and reports each Pong.
+type Client struct {
+	sent int
+	done chan struct{}
+	max  int
+}
+
+// Setup declares required ports and wires the periodic driver.
+func (c *Client) Setup(ctx *core.Ctx) {
+	pingPort := ctx.Requires(PingPongPort)
+	timerPort := ctx.Requires(timer.PortType)
+
+	core.Subscribe(ctx, pingPort, func(p Pong) {
+		fmt.Printf("client: pong %d\n", p.Seq)
+		if p.Seq == c.max {
+			close(c.done)
+		}
+	})
+	id := timer.NextID()
+	core.Subscribe(ctx, timerPort, func(tick) {
+		if c.sent >= c.max {
+			ctx.Trigger(timer.CancelPeriodic{ID: id}, timerPort)
+			return
+		}
+		c.sent++
+		fmt.Printf("client: ping %d\n", c.sent)
+		ctx.Trigger(Ping{Seq: c.sent}, pingPort)
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		ctx.Trigger(timer.SchedulePeriodic{
+			Delay:   50 * time.Millisecond,
+			Period:  200 * time.Millisecond,
+			Timeout: tick{timer.Timeout{ID: id}},
+		}, timerPort)
+	})
+}
+
+// --- Main: composition ----------------------------------------------------------
+
+func main() {
+	rt := core.New() // default: multi-core work-stealing scheduler
+	client := &Client{done: make(chan struct{}), max: 5}
+
+	// Main is the root of the containment hierarchy: it creates the
+	// components and connects their complementary ports with channels.
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		server := ctx.Create("server", &EchoServer{})
+		tmr := ctx.Create("timer", timer.NewReal())
+		cli := ctx.Create("client", client)
+		ctx.Connect(server.Provided(PingPongPort), cli.Required(PingPongPort))
+		ctx.Connect(tmr.Provided(timer.PortType), cli.Required(timer.PortType))
+	}))
+
+	select {
+	case <-client.done:
+		fmt.Println("quickstart: 5 round-trips completed")
+	case <-time.After(10 * time.Second):
+		fmt.Println("quickstart: timed out")
+		os.Exit(1)
+	}
+	rt.Shutdown()
+}

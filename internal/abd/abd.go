@@ -1,0 +1,428 @@
+package abd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// Client-facing PutGet events (the paper's PutGet port).
+
+// GetRequest asks for the value of a key, linearizably.
+type GetRequest struct {
+	ReqID uint64
+	Key   string
+}
+
+// GetResponse answers a GetRequest. Found is false for never-written keys.
+// Err is non-empty when the operation failed (timeout after retries).
+type GetResponse struct {
+	ReqID uint64
+	Key   string
+	Value []byte
+	Found bool
+	Err   string
+}
+
+// PutRequest writes a value under a key, linearizably.
+type PutRequest struct {
+	ReqID uint64
+	Key   string
+	Value []byte
+}
+
+// PutResponse answers a PutRequest.
+type PutResponse struct {
+	ReqID uint64
+	Key   string
+	Err   string
+}
+
+// PutGetPortType is the key-value service abstraction the CATS node
+// exposes to clients.
+var PutGetPortType = core.NewPortType("PutGet",
+	core.Request[GetRequest](),
+	core.Request[PutRequest](),
+	core.Indication[GetResponse](),
+	core.Indication[PutResponse](),
+)
+
+// Replica wire messages.
+
+type readMsg struct {
+	network.Header
+	OpID    uint64
+	Attempt int
+	Key     string
+}
+
+type readAckMsg struct {
+	network.Header
+	OpID    uint64
+	Attempt int
+	Version Version
+	Value   []byte
+	Found   bool
+}
+
+type writeMsg struct {
+	network.Header
+	OpID    uint64
+	Attempt int
+	Key     string
+	Version Version
+	Value   []byte
+}
+
+type writeAckMsg struct {
+	network.Header
+	OpID    uint64
+	Attempt int
+}
+
+func init() {
+	network.Register(readMsg{})
+	network.Register(readAckMsg{})
+	network.Register(writeMsg{})
+	network.Register(writeAckMsg{})
+}
+
+type opTimeout struct {
+	timer.Timeout
+	OpID uint64
+}
+
+// op phases.
+type phase int
+
+const (
+	phaseRoute phase = iota + 1
+	phaseRead
+	phaseWrite
+)
+
+type opKind int
+
+const (
+	opGet opKind = iota + 1
+	opPut
+)
+
+// op tracks one in-flight client operation's quorum state machine.
+type op struct {
+	id    uint64
+	kind  opKind
+	reqID uint64
+	key   string
+	value []byte // put payload
+
+	phase     phase
+	group     []ident.NodeRef
+	quorum    int
+	readAcks  int
+	writeAcks int
+	bestVer   Version
+	bestVal   []byte
+	bestFound bool
+	bestCount int // read acks carrying exactly bestVer
+	retries   int
+	timerID   timer.ID
+}
+
+// Config parameterizes the ABD component.
+type Config struct {
+	// Self is the local node reference (its key is the writer identity).
+	Self ident.NodeRef
+	// ReplicationDegree is the target replica group size (default 3).
+	ReplicationDegree int
+	// OpTimeout is the per-attempt timeout before retrying (default 1s).
+	OpTimeout time.Duration
+	// MaxRetries bounds attempts before failing the operation (default 5).
+	MaxRetries int
+}
+
+func (c *Config) applyDefaults() {
+	if c.ReplicationDegree <= 0 {
+		c.ReplicationDegree = 3
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+}
+
+// ABD is the Consistent ABD component: provides PutGet, requires Router,
+// Network, and Timer. It is both coordinator (client side) and replica
+// (server side) — every node stores register state for the keys it is
+// responsible for.
+type ABD struct {
+	cfg Config
+
+	ctx  *core.Ctx
+	pg   *core.Port
+	rout *core.Port
+	net  *core.Port
+	tmr  *core.Port
+
+	store *Store
+	ops   map[uint64]*op
+	seq   uint64
+	// lamport is the coordinator's write clock: it advances past every
+	// version observed in read phases, so two writes coordinated
+	// concurrently by this node never reuse a (Seq, Writer) pair — without
+	// it, both would base on the same read version and install identical
+	// versions for different values, leaving replicas permanently
+	// divergent (found by the randomized linearizability tests).
+	lamport uint64
+
+	statGets, statPuts, statRetries, statFailures uint64
+}
+
+// New creates an ABD component definition.
+func New(cfg Config) *ABD {
+	cfg.applyDefaults()
+	return &ABD{cfg: cfg, store: NewStore(), ops: make(map[uint64]*op)}
+}
+
+var _ core.Definition = (*ABD)(nil)
+
+// Setup declares ports and handlers.
+func (a *ABD) Setup(ctx *core.Ctx) {
+	a.ctx = ctx
+	a.pg = ctx.Provides(PutGetPortType)
+	a.rout = ctx.Requires(router.PortType)
+	a.net = ctx.Requires(network.PortType)
+	a.tmr = ctx.Requires(timer.PortType)
+
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "consistent-abd", Metrics: map[string]int64{
+			"keys":      int64(a.store.Len()),
+			"gets":      int64(a.statGets),
+			"puts":      int64(a.statPuts),
+			"retries":   int64(a.statRetries),
+			"failures":  int64(a.statFailures),
+			"in-flight": int64(len(a.ops)),
+		}}, st)
+	})
+
+	core.Subscribe(ctx, a.pg, a.handleGet)
+	core.Subscribe(ctx, a.pg, a.handlePut)
+	core.Subscribe(ctx, a.rout, a.handleFound)
+	core.Subscribe(ctx, a.net, a.handleRead)
+	core.Subscribe(ctx, a.net, a.handleReadAck)
+	core.Subscribe(ctx, a.net, a.handleWrite)
+	core.Subscribe(ctx, a.net, a.handleWriteAck)
+	core.Subscribe(ctx, a.tmr, a.handleTimeout)
+}
+
+// Store exposes the local register store (status, tests).
+func (a *ABD) Store() *Store { return a.store }
+
+// Stats returns operation counters: gets and puts completed, retries, and
+// failed operations.
+func (a *ABD) Stats() (gets, puts, retries, failures uint64) {
+	return a.statGets, a.statPuts, a.statRetries, a.statFailures
+}
+
+// InFlight returns the number of operations currently executing.
+func (a *ABD) InFlight() int { return len(a.ops) }
+
+// --- coordinator: client requests ---------------------------------------------
+
+func (a *ABD) handleGet(g GetRequest) {
+	a.startOp(&op{kind: opGet, reqID: g.ReqID, key: g.Key})
+}
+
+func (a *ABD) handlePut(p PutRequest) {
+	a.startOp(&op{kind: opPut, reqID: p.ReqID, key: p.Key, value: p.Value})
+}
+
+func (a *ABD) startOp(o *op) {
+	a.seq++
+	o.id = a.seq
+	a.ops[o.id] = o
+	a.beginAttempt(o)
+}
+
+// beginAttempt (re)runs an operation attempt from group resolution.
+func (a *ABD) beginAttempt(o *op) {
+	o.phase = phaseRoute
+	o.readAcks, o.writeAcks, o.bestCount = 0, 0, 0
+	o.bestVer, o.bestVal, o.bestFound = Version{}, nil, false
+	o.timerID = timer.NextID()
+	a.ctx.Trigger(timer.ScheduleTimeout{
+		Delay:   a.cfg.OpTimeout,
+		Timeout: opTimeout{Timeout: timer.Timeout{ID: o.timerID}, OpID: o.id},
+	}, a.tmr)
+	a.ctx.Trigger(router.FindSuccessor{
+		ReqID: o.id,
+		Key:   ident.KeyOfString(o.key),
+		Count: a.cfg.ReplicationDegree,
+	}, a.rout)
+}
+
+// handleFound starts phase 1 (read round) once the replica group is known.
+func (a *ABD) handleFound(f router.FoundSuccessor) {
+	o, ok := a.ops[f.ReqID]
+	if !ok || o.phase != phaseRoute {
+		return
+	}
+	if len(f.Group) == 0 {
+		return // wait for timeout → retry; membership not converged yet
+	}
+	o.group = f.Group
+	o.quorum = len(f.Group)/2 + 1
+	o.phase = phaseRead
+	for _, n := range o.group {
+		a.ctx.Trigger(readMsg{
+			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
+			OpID:    o.id,
+			Attempt: o.retries,
+			Key:     o.key,
+		}, a.net)
+	}
+}
+
+// handleReadAck collects the read quorum, then imposes the chosen
+// version+value in phase 2.
+func (a *ABD) handleReadAck(m readAckMsg) {
+	o, ok := a.ops[m.OpID]
+	if !ok || o.phase != phaseRead || m.Attempt != o.retries {
+		return // stale ack from a previous attempt: its group may differ
+	}
+	o.readAcks++
+	if o.bestVer.Less(m.Version) {
+		o.bestVer, o.bestVal, o.bestFound = m.Version, m.Value, m.Found
+		o.bestCount = 1
+	} else if m.Version == o.bestVer {
+		o.bestCount++
+	}
+	if o.readAcks < o.quorum {
+		return
+	}
+	// A read that found no written value anywhere in the quorum completes
+	// without an impose round: there is nothing to write back, and
+	// returning "not found" linearizes before any still-incomplete write.
+	if o.kind == opGet && o.bestVer.IsZero() {
+		o.bestFound = false
+		a.finish(o, "")
+		return
+	}
+	// Read optimization (one round trip): when the whole read quorum
+	// reports the same version, that (version, value) already resides on a
+	// quorum — any later read's quorum intersects it — so the impose round
+	// is unnecessary.
+	if o.kind == opGet && o.bestCount == o.readAcks {
+		a.finish(o, "")
+		return
+	}
+	// Phase 2: impose. Reads write back the freshest (version, value);
+	// writes install a new version dominating everything seen.
+	o.phase = phaseWrite
+	ver, val := o.bestVer, o.bestVal
+	if o.kind == opPut {
+		if o.bestVer.Seq > a.lamport {
+			a.lamport = o.bestVer.Seq
+		}
+		a.lamport++
+		ver = Version{Seq: a.lamport, Writer: uint64(a.cfg.Self.Key)}
+		val = o.value
+	}
+	for _, n := range o.group {
+		a.ctx.Trigger(writeMsg{
+			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
+			OpID:    o.id,
+			Attempt: o.retries,
+			Key:     o.key,
+			Version: ver,
+			Value:   val,
+		}, a.net)
+	}
+}
+
+// handleWriteAck collects the write quorum and completes the operation.
+func (a *ABD) handleWriteAck(m writeAckMsg) {
+	o, ok := a.ops[m.OpID]
+	if !ok || o.phase != phaseWrite || m.Attempt != o.retries {
+		return
+	}
+	o.writeAcks++
+	if o.writeAcks < o.quorum {
+		return
+	}
+	a.finish(o, "")
+}
+
+// finish completes an operation, responding to the client.
+func (a *ABD) finish(o *op, errMsg string) {
+	delete(a.ops, o.id)
+	a.ctx.Trigger(timer.CancelTimeout{ID: o.timerID}, a.tmr)
+	if errMsg != "" {
+		a.statFailures++
+	}
+	switch o.kind {
+	case opGet:
+		if errMsg == "" {
+			a.statGets++
+		}
+		a.ctx.Trigger(GetResponse{
+			ReqID: o.reqID,
+			Key:   o.key,
+			Value: o.bestVal,
+			Found: o.bestFound,
+			Err:   errMsg,
+		}, a.pg)
+	case opPut:
+		if errMsg == "" {
+			a.statPuts++
+		}
+		a.ctx.Trigger(PutResponse{ReqID: o.reqID, Key: o.key, Err: errMsg}, a.pg)
+	}
+}
+
+// handleTimeout retries the whole attempt (fresh group resolution) or
+// fails the operation after MaxRetries.
+func (a *ABD) handleTimeout(t opTimeout) {
+	o, ok := a.ops[t.OpID]
+	if !ok || o.timerID != t.TimeoutID() {
+		return
+	}
+	if o.retries >= a.cfg.MaxRetries {
+		a.ctx.Log().Warn("abd: operation failed after retries",
+			"op", o.id, "key", o.key, "phase", int(o.phase), "group", fmt.Sprintf("%v", o.group),
+			"readAcks", o.readAcks, "writeAcks", o.writeAcks, "quorum", o.quorum)
+		a.finish(o, "timeout: no quorum after retries")
+		return
+	}
+	o.retries++
+	a.statRetries++
+	a.beginAttempt(o)
+}
+
+// --- replica: register storage --------------------------------------------------
+
+func (a *ABD) handleRead(m readMsg) {
+	ver, val, found := a.store.Read(m.Key)
+	a.ctx.Trigger(readAckMsg{
+		Header:  network.Reply(m),
+		OpID:    m.OpID,
+		Attempt: m.Attempt,
+		Version: ver,
+		Value:   val,
+		Found:   found,
+	}, a.net)
+}
+
+func (a *ABD) handleWrite(m writeMsg) {
+	a.store.Apply(m.Key, m.Version, m.Value)
+	a.ctx.Trigger(writeAckMsg{Header: network.Reply(m), OpID: m.OpID, Attempt: m.Attempt}, a.net)
+}

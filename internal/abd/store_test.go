@@ -1,0 +1,93 @@
+package abd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVersionOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		less bool
+	}{
+		{Version{1, 1}, Version{2, 1}, true},
+		{Version{2, 1}, Version{1, 1}, false},
+		{Version{1, 1}, Version{1, 2}, true},
+		{Version{1, 2}, Version{1, 1}, false},
+		{Version{1, 1}, Version{1, 1}, false},
+		{Version{}, Version{1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if !(Version{}).IsZero() || (Version{1, 0}).IsZero() {
+		t.Fatalf("IsZero wrong")
+	}
+	if (Version{3, 4}).String() != "3.4" {
+		t.Fatalf("version string")
+	}
+}
+
+func TestStoreApplyAdvancesOnly(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Read("k"); ok {
+		t.Fatalf("empty store found key")
+	}
+	if !s.Apply("k", Version{1, 1}, []byte("a")) {
+		t.Fatalf("first write rejected")
+	}
+	if s.Apply("k", Version{1, 1}, []byte("b")) {
+		t.Fatalf("same version re-applied")
+	}
+	if s.Apply("k", Version{0, 0}, []byte("c")) {
+		t.Fatalf("zero version applied")
+	}
+	if !s.Apply("k", Version{2, 0}, []byte("d")) {
+		t.Fatalf("higher version rejected")
+	}
+	v, val, ok := s.Read("k")
+	if !ok || v != (Version{2, 0}) || string(val) != "d" {
+		t.Fatalf("read %v %q %v", v, val, ok)
+	}
+	if s.Len() != 1 || len(s.Keys()) != 1 {
+		t.Fatalf("store size accessors")
+	}
+}
+
+// Property: applying any permutation of a write set leaves the store at
+// the maximum version (replica convergence / idempotence).
+func TestPropertyStoreConvergesToMaxVersion(t *testing.T) {
+	f := func(seqs []uint8, order []uint8) bool {
+		if len(seqs) == 0 {
+			return true
+		}
+		writes := make([]Version, len(seqs))
+		var max Version
+		for i, q := range seqs {
+			writes[i] = Version{Seq: uint64(q%8) + 1, Writer: uint64(i % 3)}
+			if max.Less(writes[i]) {
+				max = writes[i]
+			}
+		}
+		s := NewStore()
+		// Apply in a scrambled order derived from `order`.
+		for i := range writes {
+			j := i
+			if len(order) > 0 {
+				j = int(order[i%len(order)]) % len(writes)
+			}
+			s.Apply("k", writes[j], []byte{byte(writes[j].Seq)})
+		}
+		// Then apply all (covers every write at least once).
+		for _, w := range writes {
+			s.Apply("k", w, []byte{byte(w.Seq)})
+		}
+		v, _, ok := s.Read("k")
+		return ok && v == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package cats
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/simulation"
+)
+
+// simCluster is a deterministic whole-system CATS deployment in one
+// simulation.
+type simCluster struct {
+	sim  *simulation.Simulation
+	emu  *simulation.NetworkEmulator
+	host *Simulator
+	exp  *core.Port // experiment port (outer)
+}
+
+// fastNodeConfig returns node timings suited to simulated small clusters.
+func fastNodeConfig() NodeConfig {
+	return NodeConfig{
+		ReplicationDegree: 3,
+		SuccessorListSize: 4,
+		FDInterval:        100 * time.Millisecond,
+		StabilizePeriod:   200 * time.Millisecond,
+		CyclonPeriod:      300 * time.Millisecond,
+		OpTimeout:         500 * time.Millisecond,
+	}
+}
+
+func newSimCluster(t *testing.T, seed int64, cfg NodeConfig) *simCluster {
+	t.Helper()
+	sim := simulation.New(seed)
+	emu := simulation.NewNetworkEmulator(sim,
+		simulation.WithLatency(simulation.UniformLatency(time.Millisecond, 5*time.Millisecond)))
+	host := NewSimulator(SimEnv{Sim: sim, Emu: emu}, cfg)
+	var exp *core.Port
+	sim.Runtime().MustBootstrap("CatsSimulationMain", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("simulator", host)
+		exp = c.Provided(ExperimentPortType)
+	}))
+	sim.Settle()
+	return &simCluster{sim: sim, emu: emu, host: host, exp: exp}
+}
+
+// join boots n nodes with distinct spaced keys and runs the simulation
+// until the ring converges.
+func (c *simCluster) join(t *testing.T, n int) []ident.Key {
+	t.Helper()
+	keys := make([]ident.Key, 0, n)
+	for i := 0; i < n; i++ {
+		k := ident.Key(uint64(i)*1000 + 17)
+		keys = append(keys, k)
+		if err := core.TriggerOn(c.exp, JoinNode{Key: k}); err != nil {
+			t.Fatal(err)
+		}
+		c.sim.Run(time.Second) // stagger joins
+	}
+	c.sim.Run(20 * time.Second) // converge
+	return keys
+}
+
+// requireConverged asserts every node's successor matches the global ring
+// order.
+func (c *simCluster) requireConverged(t *testing.T) {
+	t.Helper()
+	refs := c.host.AliveNodes()
+	if len(refs) < 2 {
+		return
+	}
+	for i, ref := range refs {
+		h := c.host.peers[ref.Key]
+		succs := h.peer.Node.Ring.Succs()
+		if len(succs) == 0 {
+			t.Fatalf("node %s has no successors", ref)
+		}
+		want := refs[(i+1)%len(refs)]
+		if succs[0] != want {
+			t.Fatalf("node %s successor = %s, want %s (ring not converged)", ref, succs[0], want)
+		}
+		if !h.peer.Node.Ring.Joined() {
+			t.Fatalf("node %s not joined", ref)
+		}
+	}
+}
+
+func TestClusterBootAndRingConvergence(t *testing.T) {
+	c := newSimCluster(t, 42, fastNodeConfig())
+	c.join(t, 8)
+	if c.host.AliveCount() != 8 {
+		t.Fatalf("alive %d, want 8", c.host.AliveCount())
+	}
+	c.requireConverged(t)
+	// Every router's membership table must hold all other nodes.
+	for _, ref := range c.host.AliveNodes() {
+		h := c.host.peers[ref.Key]
+		if got := h.peer.Node.Router.TableSize(); got != 7 {
+			t.Fatalf("node %s router table %d, want 7", ref, got)
+		}
+	}
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	c := newSimCluster(t, 7, fastNodeConfig())
+	keys := c.join(t, 5)
+	c.requireConverged(t)
+
+	// Put through one node, get through every node.
+	if err := core.TriggerOn(c.exp, OpPut{NodeKey: keys[0], Key: "color", Value: []byte("indigo")}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(5 * time.Second)
+	m := c.host.Metrics()
+	if m.PutsOK != 1 {
+		t.Fatalf("puts ok %d (failed %d), want 1", m.PutsOK, m.PutsFailed)
+	}
+	for _, k := range keys {
+		if err := core.TriggerOn(c.exp, OpGet{NodeKey: k, Key: "color"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.sim.Run(5 * time.Second)
+	m = c.host.Metrics()
+	if m.GetsOK != 5 {
+		t.Fatalf("gets ok %d (failed %d), want 5", m.GetsOK, m.GetsFailed)
+	}
+
+	// The value is replicated on the responsible group: at least a quorum
+	// of stores hold it.
+	replicas := 0
+	for _, ref := range c.host.AliveNodes() {
+		h := c.host.peers[ref.Key]
+		if _, _, ok := h.peer.Node.ABD.Store().Read("color"); ok {
+			replicas++
+		}
+	}
+	if replicas < 2 {
+		t.Fatalf("value on %d replicas, want >= 2", replicas)
+	}
+}
+
+func TestGetMissingKeyNotFound(t *testing.T) {
+	c := newSimCluster(t, 9, fastNodeConfig())
+	keys := c.join(t, 3)
+	if err := core.TriggerOn(c.exp, OpGet{NodeKey: keys[1], Key: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(5 * time.Second)
+	m := c.host.Metrics()
+	if m.GetsOK != 1 {
+		t.Fatalf("get of missing key should succeed with not-found: %+v", m)
+	}
+}
+
+func TestRingRepairsAfterCrash(t *testing.T) {
+	c := newSimCluster(t, 11, fastNodeConfig())
+	keys := c.join(t, 6)
+	c.requireConverged(t)
+
+	// Crash one node; the ring must reconverge without it.
+	if err := core.TriggerOn(c.exp, FailNode{Key: keys[2]}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(30 * time.Second)
+	if c.host.AliveCount() != 5 {
+		t.Fatalf("alive %d, want 5", c.host.AliveCount())
+	}
+	c.requireConverged(t)
+}
+
+func TestDataSurvivesCrashWithReplication(t *testing.T) {
+	c := newSimCluster(t, 13, fastNodeConfig())
+	keys := c.join(t, 6)
+	c.requireConverged(t)
+
+	if err := core.TriggerOn(c.exp, OpPut{NodeKey: keys[0], Key: "durable", Value: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(5 * time.Second)
+
+	// Crash the node responsible for the key's successor position.
+	h := c.host.resolve(ident.KeyOfString("durable"))
+	if h == nil {
+		t.Fatal("no responsible node")
+	}
+	if err := core.TriggerOn(c.exp, FailNode{Key: h.ref.Key}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(30 * time.Second)
+
+	// A read from any surviving node still returns the value (quorum of
+	// the original group survives).
+	survivor := c.host.AliveNodes()[0]
+	if err := core.TriggerOn(c.exp, OpGet{NodeKey: survivor.Key, Key: "durable"}); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run(10 * time.Second)
+	m := c.host.Metrics()
+	if m.GetsOK != 1 || m.GetsFailed != 0 {
+		t.Fatalf("get after crash: %+v", m)
+	}
+}
+
+func TestLookupResolvesGroups(t *testing.T) {
+	c := newSimCluster(t, 17, fastNodeConfig())
+	keys := c.join(t, 5)
+	c.requireConverged(t)
+	for i := 0; i < 10; i++ {
+		if err := core.TriggerOn(c.exp, OpLookup{NodeKey: keys[i%len(keys)], Target: ident.Key(i * 777)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.sim.Run(5 * time.Second)
+	m := c.host.Metrics()
+	if m.Lookups != 10 || m.LookupsEmpty != 0 {
+		t.Fatalf("lookups %d (empty %d), want 10 (0)", m.Lookups, m.LookupsEmpty)
+	}
+}
+
+func TestSequentialReadsObserveLatestWrite(t *testing.T) {
+	c := newSimCluster(t, 19, fastNodeConfig())
+	keys := c.join(t, 5)
+	c.requireConverged(t)
+
+	// A chain of writes through different coordinators; after each write
+	// completes, a read through yet another coordinator must see it.
+	for i := 0; i < 10; i++ {
+		writer := keys[i%len(keys)]
+		reader := keys[(i+2)%len(keys)]
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := core.TriggerOn(c.exp, OpPut{NodeKey: writer, Key: "chain", Value: val}); err != nil {
+			t.Fatal(err)
+		}
+		c.sim.Run(3 * time.Second)
+		if err := core.TriggerOn(c.exp, OpGet{NodeKey: reader, Key: "chain"}); err != nil {
+			t.Fatal(err)
+		}
+		c.sim.Run(3 * time.Second)
+	}
+	m := c.host.Metrics()
+	if m.PutsOK != 10 || m.GetsOK != 10 || m.PutsFailed+m.GetsFailed > 0 {
+		t.Fatalf("chain metrics: %+v", m)
+	}
+	// Verify the final version on the replicas is the last write.
+	h := c.host.resolve(ident.KeyOfString("chain"))
+	_, val, ok := h.peer.Node.ABD.Store().Read("chain")
+	if !ok || string(val) != "v9" {
+		t.Fatalf("final stored value %q ok=%v, want v9", val, ok)
+	}
+}
+
+func TestDeterministicClusterRuns(t *testing.T) {
+	run := func(seed int64) Metrics {
+		c := newSimCluster(t, seed, fastNodeConfig())
+		keys := c.join(t, 5)
+		for i := 0; i < 20; i++ {
+			_ = core.TriggerOn(c.exp, OpPut{NodeKey: keys[i%5], Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+		}
+		c.sim.Run(10 * time.Second)
+		for i := 0; i < 20; i++ {
+			_ = core.TriggerOn(c.exp, OpGet{NodeKey: keys[(i+1)%5], Key: fmt.Sprintf("k%d", i)})
+		}
+		c.sim.Run(10 * time.Second)
+		return c.host.Metrics()
+	}
+	m1 := run(123)
+	m2 := run(123)
+	if m1.PutsOK != m2.PutsOK || m1.GetsOK != m2.GetsOK || len(m1.OpLatencies) != len(m2.OpLatencies) {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", m1, m2)
+	}
+	for i := range m1.OpLatencies {
+		if m1.OpLatencies[i] != m2.OpLatencies[i] {
+			t.Fatalf("latency trace diverges at %d: %v vs %v", i, m1.OpLatencies[i], m2.OpLatencies[i])
+		}
+	}
+	if m1.PutsOK != 20 || m1.GetsOK != 20 {
+		t.Fatalf("ops failed: %+v", m1)
+	}
+}

@@ -1,0 +1,417 @@
+// Package cats assembles the paper's case study: CATS, a scalable,
+// self-organizing key-value store with linearizable consistency. A Node is
+// a composite component embedding the ping failure detector, Cyclon
+// overlay, CATS ring, one-hop router, Consistent ABD replication, an
+// optional bootstrap client, an optional monitoring client, and a web
+// application — wired exactly as in the paper's Figure 11. The same Node
+// runs unchanged in production (TCP transport, real timer), in local
+// interactive stress-test execution (loopback transport), and in
+// deterministic simulation (emulated network, virtual time).
+package cats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/abd"
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/cyclon"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/monitor"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/status"
+	"repro/internal/timer"
+	"repro/internal/web"
+)
+
+// reqCounter allocates process-unique PutGet/Status request IDs, so the
+// responses fanning out to every connected client are attributable.
+// Deterministic under the single-threaded simulation scheduler.
+var reqCounter atomic.Uint64
+
+// NextReqID allocates a fresh request ID.
+func NextReqID() uint64 { return reqCounter.Add(1) }
+
+// NodeConfig parameterizes a CATS node.
+type NodeConfig struct {
+	// Self is the node's ring key and address.
+	Self ident.NodeRef
+	// Seeds are initial ring contacts, used directly when no bootstrap
+	// server is configured. An empty list founds a fresh ring.
+	Seeds []ident.NodeRef
+	// BootstrapServer, when set, makes the node fetch its seeds from the
+	// bootstrap service and send keep-alives after joining.
+	BootstrapServer network.Address
+	// MonitorServer, when set, makes the node report component status
+	// snapshots to the monitoring service.
+	MonitorServer network.Address
+
+	// ReplicationDegree is the replica group size (default 3).
+	ReplicationDegree int
+	// SuccessorListSize is the ring resilience parameter (default 4).
+	SuccessorListSize int
+	// FDInterval is the failure-detector ping period (default 100ms).
+	FDInterval time.Duration
+	// StabilizePeriod is the ring stabilization period (default 500ms).
+	StabilizePeriod time.Duration
+	// CyclonPeriod is the peer-sampling shuffle period (default 1s).
+	CyclonPeriod time.Duration
+	// OpTimeout is the ABD per-attempt timeout (default 1s).
+	OpTimeout time.Duration
+	// MonitorPeriod is the status collection period (default 2s).
+	MonitorPeriod time.Duration
+	// RouterEntryTTL ages out router membership entries not refreshed in
+	// this window (default 30s).
+	RouterEntryTTL time.Duration
+	// RouterSweepPeriod is the router staleness sweep interval
+	// (default 5s).
+	RouterSweepPeriod time.Duration
+}
+
+func (c *NodeConfig) applyDefaults() {
+	if c.ReplicationDegree <= 0 {
+		c.ReplicationDegree = 3
+	}
+	if c.SuccessorListSize <= 0 {
+		c.SuccessorListSize = 4
+	}
+	if c.FDInterval <= 0 {
+		c.FDInterval = 100 * time.Millisecond
+	}
+	if c.StabilizePeriod <= 0 {
+		c.StabilizePeriod = 500 * time.Millisecond
+	}
+	if c.CyclonPeriod <= 0 {
+		c.CyclonPeriod = time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = time.Second
+	}
+	if c.MonitorPeriod <= 0 {
+		c.MonitorPeriod = 2 * time.Second
+	}
+}
+
+// Node is the CATS Node composite component. It requires Network and Timer
+// (satisfied by whichever transport/timer the execution mode provides) and
+// provides PutGet, Router, and Web.
+type Node struct {
+	cfg NodeConfig
+
+	ctx  *core.Ctx
+	netP *core.Port // required Network (inner)
+	tmrP *core.Port // required Timer (inner)
+	pgP  *core.Port // provided PutGet (inner)
+	rtP  *core.Port // provided Router (inner)
+	webP *core.Port // provided Web (inner)
+
+	// Children (definitions kept for tests/status accessors).
+	FD     *fd.Ping
+	Cyclon *cyclon.Overlay
+	Ring   *ring.Ring
+	Router *router.Router
+	ABD    *abd.ABD
+
+	ringOuter   *core.Port
+	cyclonOuter *core.Port
+	bootOuter   *core.Port
+	abdOuter    *core.Port
+	statPorts   []*core.Port
+
+	joined bool
+
+	// Web request correlation.
+	webStatus map[uint64]*statusRound
+	webOps    map[uint64]uint64 // putget reqID → web reqID
+}
+
+// statusRound collects one /status page's component snapshots.
+type statusRound struct {
+	webReqID uint64
+	expected int
+	got      []status.Response
+}
+
+// NewNode creates a CATS node component definition.
+func NewNode(cfg NodeConfig) *Node {
+	cfg.applyDefaults()
+	return &Node{
+		cfg:       cfg,
+		webStatus: make(map[uint64]*statusRound),
+		webOps:    make(map[uint64]uint64),
+	}
+}
+
+var _ core.Definition = (*Node)(nil)
+
+// Config returns the node's configuration.
+func (n *Node) Config() NodeConfig { return n.cfg }
+
+// Self returns the node's identity.
+func (n *Node) Self() ident.NodeRef { return n.cfg.Self }
+
+// Joined reports whether the node has joined the ring.
+func (n *Node) Joined() bool { return n.joined }
+
+// Setup assembles the node's internal architecture.
+func (n *Node) Setup(ctx *core.Ctx) {
+	n.ctx = ctx
+	n.netP = ctx.Requires(network.PortType)
+	n.tmrP = ctx.Requires(timer.PortType)
+	n.pgP = ctx.Provides(abd.PutGetPortType)
+	n.rtP = ctx.Provides(router.PortType)
+	n.webP = ctx.Provides(web.PortType)
+
+	self := n.cfg.Self
+
+	// Substrate children.
+	n.FD = fd.NewPing(fd.Config{Self: self.Addr, Interval: n.cfg.FDInterval})
+	fdC := ctx.Create("fd", n.FD)
+	n.Cyclon = cyclon.New(cyclon.Config{Self: self, Period: n.cfg.CyclonPeriod})
+	cyC := ctx.Create("cyclon", n.Cyclon)
+	n.Ring = ring.New(ring.Config{
+		Self:              self,
+		SuccessorListSize: n.cfg.SuccessorListSize,
+		StabilizePeriod:   n.cfg.StabilizePeriod,
+	})
+	ringC := ctx.Create("ring", n.Ring)
+	n.Router = router.New(router.Config{
+		Self:        self,
+		EntryTTL:    n.cfg.RouterEntryTTL,
+		SweepPeriod: n.cfg.RouterSweepPeriod,
+	})
+	routC := ctx.Create("router", n.Router)
+	n.ABD = abd.New(abd.Config{
+		Self:              self,
+		ReplicationDegree: n.cfg.ReplicationDegree,
+		OpTimeout:         n.cfg.OpTimeout,
+	})
+	abdC := ctx.Create("abd", n.ABD)
+
+	// Network/Timer pass-through: children's required ports delegate to
+	// the node's own required ports.
+	for _, c := range []*core.Component{fdC, cyC, ringC, routC, abdC} {
+		if p := c.Required(network.PortType); p != nil {
+			ctx.Connect(p, n.netP)
+		}
+		if p := c.Required(timer.PortType); p != nil {
+			ctx.Connect(p, n.tmrP)
+		}
+	}
+
+	// Protocol wiring.
+	ctx.Connect(fdC.Provided(fd.PortType), ringC.Required(fd.PortType))
+	ctx.Connect(fdC.Provided(fd.PortType), routC.Required(fd.PortType))
+	ctx.Connect(ringC.Provided(ring.PortType), routC.Required(ring.PortType))
+	ctx.Connect(cyC.Provided(cyclon.PortType), routC.Required(cyclon.PortType))
+	ctx.Connect(routC.Provided(router.PortType), abdC.Required(router.PortType))
+
+	// Service pass-through: the node's provided PutGet and Router delegate
+	// to ABD and the router.
+	ctx.Connect(n.pgP, abdC.Provided(abd.PutGetPortType))
+	ctx.Connect(n.rtP, routC.Provided(router.PortType))
+
+	// Status surfaces.
+	n.statPorts = []*core.Port{
+		fdC.Provided(status.PortType),
+		cyC.Provided(status.PortType),
+		ringC.Provided(status.PortType),
+		routC.Provided(status.PortType),
+		abdC.Provided(status.PortType),
+	}
+	for _, sp := range n.statPorts {
+		core.Subscribe(ctx, sp, n.handleStatusResponse)
+	}
+
+	// Join orchestration.
+	n.ringOuter = ringC.Provided(ring.PortType)
+	n.cyclonOuter = cyC.Provided(cyclon.PortType)
+	n.abdOuter = abdC.Provided(abd.PutGetPortType)
+	core.Subscribe(ctx, n.ringOuter, n.handleRingReady)
+
+	if !n.cfg.BootstrapServer.IsZero() {
+		bootC := ctx.Create("boot", bootstrap.NewClient(bootstrap.ClientConfig{
+			Self:    self.Addr,
+			SelfRef: self,
+			Server:  n.cfg.BootstrapServer,
+		}))
+		ctx.Connect(bootC.Required(network.PortType), n.netP)
+		ctx.Connect(bootC.Required(timer.PortType), n.tmrP)
+		n.bootOuter = bootC.Provided(bootstrap.PortType)
+		core.Subscribe(ctx, n.bootOuter, n.handleBootstrapResponse)
+		core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+			ctx.Trigger(bootstrap.BootstrapRequest{}, n.bootOuter)
+		})
+	} else {
+		core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+			n.joinWith(n.cfg.Seeds)
+		})
+	}
+
+	// Monitoring client, wired to every child's Status port.
+	if !n.cfg.MonitorServer.IsZero() {
+		monC := ctx.Create("monitor", monitor.NewClient(monitor.ClientConfig{
+			Self:     self.Addr,
+			Server:   n.cfg.MonitorServer,
+			NodeName: self.String(),
+			Period:   n.cfg.MonitorPeriod,
+		}))
+		ctx.Connect(monC.Required(network.PortType), n.netP)
+		ctx.Connect(monC.Required(timer.PortType), n.tmrP)
+		for _, sp := range n.statPorts {
+			ctx.Connect(monC.Required(status.PortType), sp)
+		}
+	}
+
+	// Web application (request handlers on the node's provided Web port).
+	core.Subscribe(ctx, n.webP, n.handleWebRequest)
+	core.Subscribe(ctx, n.abdOuter, n.handleGetResponse)
+	core.Subscribe(ctx, n.abdOuter, n.handlePutResponse)
+}
+
+// joinWith starts the ring join and seeds the overlay.
+func (n *Node) joinWith(seeds []ident.NodeRef) {
+	n.ctx.Trigger(ring.Join{Seeds: seeds}, n.ringOuter)
+	if len(seeds) > 0 {
+		n.ctx.Trigger(cyclon.JoinOverlay{Seeds: seeds}, n.cyclonOuter)
+	}
+}
+
+func (n *Node) handleBootstrapResponse(r bootstrap.BootstrapResponse) {
+	n.joinWith(r.Peers)
+}
+
+func (n *Node) handleRingReady(ring.Ready) {
+	n.joined = true
+	if n.bootOuter != nil {
+		n.ctx.Trigger(bootstrap.BootstrapDone{Self: n.cfg.Self}, n.bootOuter)
+	}
+}
+
+// --- web application -----------------------------------------------------------
+
+// Web request IDs live in a dedicated space so they never collide with
+// other clients of the same ABD component.
+const webReqBase = uint64(1) << 32
+
+func (n *Node) handleWebRequest(r web.Request) {
+	switch {
+	case r.Path == "/" || r.Path == "/status":
+		id := webReqBase + NextReqID()
+		n.webStatus[id] = &statusRound{webReqID: r.ReqID, expected: len(n.statPorts)}
+		for _, sp := range n.statPorts {
+			n.ctx.Trigger(status.Request{ReqID: id}, sp)
+		}
+	case strings.HasPrefix(r.Path, "/get"):
+		key := queryParam(r.Query, "key")
+		if key == "" {
+			n.respond(r.ReqID, 400, "missing ?key=")
+			return
+		}
+		id := webReqBase + NextReqID()
+		n.webOps[id] = r.ReqID
+		n.ctx.Trigger(abd.GetRequest{ReqID: id, Key: key}, n.abdOuter)
+	case strings.HasPrefix(r.Path, "/put"):
+		key := queryParam(r.Query, "key")
+		value := queryParam(r.Query, "value")
+		if key == "" {
+			n.respond(r.ReqID, 400, "missing ?key=")
+			return
+		}
+		id := webReqBase + NextReqID()
+		n.webOps[id] = r.ReqID
+		n.ctx.Trigger(abd.PutRequest{ReqID: id, Key: key, Value: []byte(value)}, n.abdOuter)
+	default:
+		n.respond(r.ReqID, 404, "unknown path; try /status, /get?key=k, /put?key=k&value=v")
+	}
+}
+
+func (n *Node) handleStatusResponse(s status.Response) {
+	round, ok := n.webStatus[s.ReqID]
+	if !ok {
+		return // a monitoring-client round, not ours
+	}
+	round.got = append(round.got, s)
+	if len(round.got) < round.expected {
+		return
+	}
+	delete(n.webStatus, s.ReqID)
+	n.respond(round.webReqID, 200, n.renderStatus(round.got))
+}
+
+func (n *Node) handleGetResponse(g abd.GetResponse) {
+	webID, ok := n.webOps[g.ReqID]
+	if !ok {
+		return
+	}
+	delete(n.webOps, g.ReqID)
+	switch {
+	case g.Err != "":
+		n.respond(webID, 500, "error: "+g.Err)
+	case !g.Found:
+		n.respond(webID, 404, "not found")
+	default:
+		n.respond(webID, 200, string(g.Value))
+	}
+}
+
+func (n *Node) handlePutResponse(p abd.PutResponse) {
+	webID, ok := n.webOps[p.ReqID]
+	if !ok {
+		return
+	}
+	delete(n.webOps, p.ReqID)
+	if p.Err != "" {
+		n.respond(webID, 500, "error: "+p.Err)
+		return
+	}
+	n.respond(webID, 200, "ok")
+}
+
+func (n *Node) respond(webReqID uint64, code int, body string) {
+	n.ctx.Trigger(web.Response{ReqID: webReqID, Status: code, Body: body}, n.webP)
+}
+
+// renderStatus renders the node status page.
+func (n *Node) renderStatus(snaps []status.Response) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>CATS node %s</title></head><body>", n.cfg.Self)
+	fmt.Fprintf(&b, "<h1>CATS node %s</h1>", n.cfg.Self)
+	fmt.Fprintf(&b, "<p>joined=%v replication=%d</p><ul>", n.joined, n.cfg.ReplicationDegree)
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Component < snaps[j].Component })
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "<li><b>%s</b>: ", s.Component)
+		keys := make([]string, 0, len(s.Metrics))
+		for k := range s.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%d", k, s.Metrics[k])
+		}
+		b.WriteString("</li>")
+	}
+	b.WriteString("</ul></body></html>")
+	return b.String()
+}
+
+// queryParam extracts a parameter from a raw query string without
+// importing net/url in the hot path (values are simple test keys).
+func queryParam(query, name string) string {
+	for _, kv := range strings.Split(query, "&") {
+		if v, ok := strings.CutPrefix(kv, name+"="); ok {
+			return v
+		}
+	}
+	return ""
+}

@@ -1,0 +1,434 @@
+package cats
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abd"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/router"
+)
+
+// Experiment commands (the paper's system-specific operations issued by
+// the experiment driver on the CATS Experiment port).
+
+// JoinNode creates and starts a new CATS node with the given ring key.
+type JoinNode struct {
+	Key ident.Key
+}
+
+// FailNode crashes the alive node responsible for Key (abrupt destroy — no
+// leave protocol, mirroring churn failures).
+type FailNode struct {
+	Key ident.Key
+}
+
+// OpLookup issues a ring lookup for Target at the alive node responsible
+// for NodeKey.
+type OpLookup struct {
+	NodeKey ident.Key
+	Target  ident.Key
+}
+
+// OpPut issues a put at the alive node responsible for NodeKey.
+type OpPut struct {
+	NodeKey ident.Key
+	Key     string
+	Value   []byte
+}
+
+// OpGet issues a get at the alive node responsible for NodeKey.
+type OpGet struct {
+	NodeKey ident.Key
+	Key     string
+}
+
+// StartLoad launches a closed-loop workload: Clients logical clients, each
+// issuing its next operation as soon as the previous one completes, until
+// TotalOps operations have been issued. ReadFraction selects gets vs puts;
+// values are ValueSize bytes over Keys distinct keys. Used by the
+// throughput benchmarks (paper §4.1's read-intensive workload).
+type StartLoad struct {
+	Clients      int
+	TotalOps     int
+	ValueSize    int
+	ReadFraction float64
+	Keys         int
+}
+
+// ExperimentPortType is the CATS Experiment abstraction driven by scenario
+// schedules.
+var ExperimentPortType = core.NewPortType("CATSExperiment",
+	core.Request[JoinNode](),
+	core.Request[FailNode](),
+	core.Request[OpLookup](),
+	core.Request[OpPut](),
+	core.Request[OpGet](),
+	core.Request[StartLoad](),
+)
+
+// simReqBase keeps simulator-issued request IDs disjoint from every other
+// client's ID space.
+const simReqBase = uint64(1) << 62
+
+// Metrics aggregates experiment outcomes for harness reporting.
+type Metrics struct {
+	Joins, Fails          uint64
+	GetsOK, GetsFailed    uint64
+	PutsOK, PutsFailed    uint64
+	Lookups, LookupsEmpty uint64
+	Skipped               uint64 // commands against no alive node
+	OpLatencies           []time.Duration
+
+	// Closed-loop load results (StartLoad).
+	LoadDone       uint64
+	LoadStart      time.Time
+	LoadEnd        time.Time
+	LoadLatencySum time.Duration
+}
+
+// LoadThroughput returns completed load operations per second of virtual
+// time.
+func (m *Metrics) LoadThroughput() float64 {
+	d := m.LoadEnd.Sub(m.LoadStart)
+	if d <= 0 || m.LoadDone == 0 {
+		return 0
+	}
+	return float64(m.LoadDone) / d.Seconds()
+}
+
+// LatencyStats summarizes the recorded operation latencies.
+func (m *Metrics) LatencyStats() (n int, mean, min, max time.Duration) {
+	if len(m.OpLatencies) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = m.OpLatencies[0], m.OpLatencies[0]
+	var sum time.Duration
+	for _, d := range m.OpLatencies {
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return len(m.OpLatencies), sum / time.Duration(len(m.OpLatencies)), min, max
+}
+
+// peerHandle tracks one deployed node.
+type peerHandle struct {
+	ref    ident.NodeRef
+	comp   *core.Component
+	peer   *Peer
+	putget *core.Port
+	route  *core.Port
+}
+
+// pendingOp correlates an issued operation with its response.
+type pendingOp struct {
+	kind  string
+	start time.Time
+	load  bool // part of a closed-loop StartLoad workload
+}
+
+// Simulator is the paper's "CATS Simulator" host component: it provides
+// the CATS Experiment port and dynamically creates, destroys, and drives
+// whole CATS nodes inside one process — exercising Kompics' dynamic
+// reconfiguration and hierarchical composition. The same Simulator runs
+// under the deterministic simulation environment and the real-time
+// loopback environment.
+type Simulator struct {
+	Env      Env
+	Defaults NodeConfig
+	// MaxSeeds bounds how many existing nodes a joiner learns (default 3).
+	MaxSeeds int
+
+	ctx     *core.Ctx
+	exp     *core.Port
+	peers   map[ident.Key]*peerHandle
+	pending map[uint64]*pendingOp
+	metrics Metrics
+
+	// Closed-loop load state.
+	load struct {
+		active       bool
+		left         int
+		valueSize    int
+		readFraction float64
+		keys         int
+	}
+}
+
+// NewSimulator creates a simulator host definition. Defaults provides the
+// per-node configuration template (Self and Seeds are filled in per node).
+func NewSimulator(env Env, defaults NodeConfig) *Simulator {
+	return &Simulator{
+		Env:      env,
+		Defaults: defaults,
+		MaxSeeds: 3,
+		peers:    make(map[ident.Key]*peerHandle),
+		pending:  make(map[uint64]*pendingOp),
+	}
+}
+
+var _ core.Definition = (*Simulator)(nil)
+
+// Setup declares the experiment port.
+func (s *Simulator) Setup(ctx *core.Ctx) {
+	s.ctx = ctx
+	s.exp = ctx.Provides(ExperimentPortType)
+	core.Subscribe(ctx, s.exp, s.handleJoin)
+	core.Subscribe(ctx, s.exp, s.handleFail)
+	core.Subscribe(ctx, s.exp, s.handleLookup)
+	core.Subscribe(ctx, s.exp, s.handlePut)
+	core.Subscribe(ctx, s.exp, s.handleGet)
+	core.Subscribe(ctx, s.exp, s.handleStartLoad)
+}
+
+// Metrics returns a copy of the experiment counters collected so far.
+func (s *Simulator) Metrics() Metrics {
+	m := s.metrics
+	m.OpLatencies = append([]time.Duration(nil), s.metrics.OpLatencies...)
+	return m
+}
+
+// AliveCount returns the number of currently deployed nodes.
+func (s *Simulator) AliveCount() int { return len(s.peers) }
+
+// AliveNodes returns the deployed node references, sorted by key.
+func (s *Simulator) AliveNodes() []ident.NodeRef {
+	out := make([]ident.NodeRef, 0, len(s.peers))
+	for _, h := range s.peers {
+		out = append(out, h.ref)
+	}
+	ident.SortByKey(out)
+	return out
+}
+
+// Peer returns the handle of the node responsible for key (tests).
+func (s *Simulator) Peer(key ident.Key) (*Peer, bool) {
+	h := s.resolve(key)
+	if h == nil {
+		return nil, false
+	}
+	return h.peer, true
+}
+
+// addrOf derives a unique in-process address for a node key.
+func addrOf(key ident.Key) network.Address {
+	return network.Address{Host: fmt.Sprintf("cats-%d", uint64(key)), Port: 1}
+}
+
+// resolve picks the alive node responsible for key: the one with the
+// smallest key >= key, wrapping (so scenario-drawn node IDs always hit an
+// alive node).
+func (s *Simulator) resolve(key ident.Key) *peerHandle {
+	if len(s.peers) == 0 {
+		return nil
+	}
+	refs := s.AliveNodes()
+	n := ident.SuccessorOf(refs, key)
+	return s.peers[n.Key]
+}
+
+func (s *Simulator) handleJoin(j JoinNode) {
+	if _, exists := s.peers[j.Key]; exists {
+		s.metrics.Skipped++
+		return
+	}
+	self := ident.NodeRef{Key: j.Key, Addr: addrOf(j.Key)}
+
+	// Pick up to MaxSeeds existing nodes as ring contacts.
+	alive := s.AliveNodes()
+	maxSeeds := s.MaxSeeds
+	if maxSeeds <= 0 {
+		maxSeeds = 3
+	}
+	var seeds []ident.NodeRef
+	if len(alive) > 0 {
+		perm := s.ctx.Rand().Perm(len(alive))
+		for _, i := range perm {
+			seeds = append(seeds, alive[i])
+			if len(seeds) >= maxSeeds {
+				break
+			}
+		}
+	}
+
+	cfg := s.Defaults
+	cfg.Self = self
+	cfg.Seeds = seeds
+	peer := NewPeer(s.Env, cfg)
+	comp := s.ctx.Create(fmt.Sprintf("peer-%d", uint64(j.Key)), peer)
+	h := &peerHandle{
+		ref:    self,
+		comp:   comp,
+		peer:   peer,
+		putget: comp.Provided(abd.PutGetPortType),
+		route:  comp.Provided(router.PortType),
+	}
+	core.Subscribe(s.ctx, h.putget, s.handleGetResponse)
+	core.Subscribe(s.ctx, h.putget, s.handlePutResponse)
+	core.Subscribe(s.ctx, h.route, s.handleFound)
+	s.peers[j.Key] = h
+	s.ctx.Start(comp)
+	s.metrics.Joins++
+}
+
+func (s *Simulator) handleFail(f FailNode) {
+	h := s.resolve(f.Key)
+	if h == nil {
+		s.metrics.Skipped++
+		return
+	}
+	delete(s.peers, h.ref.Key)
+	s.ctx.Destroy(h.comp) // crash: queues dropped, no leave protocol
+	s.metrics.Fails++
+}
+
+func (s *Simulator) handleLookup(l OpLookup) {
+	h := s.resolve(l.NodeKey)
+	if h == nil {
+		s.metrics.Skipped++
+		return
+	}
+	id := simReqBase + NextReqID()
+	s.pending[id] = &pendingOp{kind: "lookup", start: s.ctx.Now()}
+	s.ctx.Trigger(router.FindSuccessor{
+		ReqID: id,
+		Key:   l.Target,
+		Count: s.Defaults.ReplicationDegree,
+	}, h.route)
+}
+
+func (s *Simulator) handlePut(p OpPut) {
+	h := s.resolve(p.NodeKey)
+	if h == nil {
+		s.metrics.Skipped++
+		return
+	}
+	id := simReqBase + NextReqID()
+	s.pending[id] = &pendingOp{kind: "put", start: s.ctx.Now()}
+	s.ctx.Trigger(abd.PutRequest{ReqID: id, Key: p.Key, Value: p.Value}, h.putget)
+}
+
+func (s *Simulator) handleGet(g OpGet) {
+	h := s.resolve(g.NodeKey)
+	if h == nil {
+		s.metrics.Skipped++
+		return
+	}
+	id := simReqBase + NextReqID()
+	s.pending[id] = &pendingOp{kind: "get", start: s.ctx.Now()}
+	s.ctx.Trigger(abd.GetRequest{ReqID: id, Key: g.Key}, h.putget)
+}
+
+// handleStartLoad begins the closed-loop workload: Clients operations are
+// issued immediately; every completion launches the next until TotalOps.
+func (s *Simulator) handleStartLoad(l StartLoad) {
+	if len(s.peers) == 0 || l.Clients <= 0 || l.TotalOps <= 0 {
+		s.metrics.Skipped++
+		return
+	}
+	s.load.active = true
+	s.load.left = l.TotalOps
+	s.load.valueSize = l.ValueSize
+	if s.load.valueSize <= 0 {
+		s.load.valueSize = 1024
+	}
+	s.load.readFraction = l.ReadFraction
+	s.load.keys = l.Keys
+	if s.load.keys <= 0 {
+		s.load.keys = 256
+	}
+	s.metrics.LoadStart = s.ctx.Now()
+	s.metrics.LoadEnd = s.metrics.LoadStart
+	clients := l.Clients
+	if clients > l.TotalOps {
+		clients = l.TotalOps
+	}
+	for i := 0; i < clients; i++ {
+		s.issueLoadOp()
+	}
+}
+
+// issueLoadOp sends one closed-loop operation to a random alive node.
+func (s *Simulator) issueLoadOp() {
+	if s.load.left <= 0 {
+		return
+	}
+	s.load.left--
+	refs := s.AliveNodes()
+	h := s.peers[refs[s.ctx.Rand().Intn(len(refs))].Key]
+	key := fmt.Sprintf("load-%d", s.ctx.Rand().Intn(s.load.keys))
+	id := simReqBase + NextReqID()
+	if s.ctx.Rand().Float64() < s.load.readFraction {
+		s.pending[id] = &pendingOp{kind: "get", start: s.ctx.Now(), load: true}
+		s.ctx.Trigger(abd.GetRequest{ReqID: id, Key: key}, h.putget)
+	} else {
+		s.pending[id] = &pendingOp{kind: "put", start: s.ctx.Now(), load: true}
+		s.ctx.Trigger(abd.PutRequest{ReqID: id, Key: key, Value: make([]byte, s.load.valueSize)}, h.putget)
+	}
+}
+
+// loadOpDone records a completed closed-loop operation and chains the
+// next.
+func (s *Simulator) loadOpDone(op *pendingOp) {
+	s.metrics.LoadDone++
+	s.metrics.LoadEnd = s.ctx.Now()
+	s.metrics.LoadLatencySum += s.ctx.Now().Sub(op.start)
+	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+	s.issueLoadOp()
+}
+
+func (s *Simulator) handleFound(f router.FoundSuccessor) {
+	op, ok := s.pending[f.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.pending, f.ReqID)
+	s.metrics.Lookups++
+	if len(f.Group) == 0 {
+		s.metrics.LookupsEmpty++
+	}
+	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+}
+
+func (s *Simulator) handleGetResponse(g abd.GetResponse) {
+	op, ok := s.pending[g.ReqID]
+	if !ok || op.kind != "get" {
+		return
+	}
+	delete(s.pending, g.ReqID)
+	if g.Err != "" {
+		s.metrics.GetsFailed++
+	} else {
+		s.metrics.GetsOK++
+	}
+	if op.load {
+		s.loadOpDone(op)
+		return
+	}
+	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+}
+
+func (s *Simulator) handlePutResponse(p abd.PutResponse) {
+	op, ok := s.pending[p.ReqID]
+	if !ok || op.kind != "put" {
+		return
+	}
+	delete(s.pending, p.ReqID)
+	if p.Err != "" {
+		s.metrics.PutsFailed++
+	} else {
+		s.metrics.PutsOK++
+	}
+	if op.load {
+		s.loadOpDone(op)
+		return
+	}
+	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Channel is a first-class binding between two complementary port halves of
+// the same port type. Channels forward events in both directions in FIFO
+// order and support the four reconfiguration commands of the paper (§2.6):
+// Hold, Resume, Unplug, and Plug. Held channels queue events in both
+// directions without dropping any; Resume flushes the queue in FIFO order
+// and then resumes pass-through forwarding.
+type Channel struct {
+	typ *PortType
+
+	mu   sync.Mutex
+	ends [2]*Port // endpoint halves; an unplugged end is nil
+	held bool
+	// queue holds events that arrived while the channel was held or while
+	// the destination end was unplugged, in arrival order. dstEnd records
+	// which endpoint slot each event was heading to.
+	queue []queuedEvent
+}
+
+type queuedEvent struct {
+	event  Event
+	dstEnd int
+}
+
+// Connect creates a channel between two complementary port halves. The
+// halves must have the same port type and opposite polarity: one
+// provider-like half (the outer half of a provided port, or the inner half
+// of a required port) and one requirer-like half. This covers the three
+// legal composition shapes: sibling connections, provided pass-through
+// (parent's provided port to a child's provided port), and required
+// pass-through (a child's required port to the parent's required port).
+func Connect(a, b *Port) (*Channel, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("core: Connect: nil port")
+	}
+	if a.Type() != b.Type() {
+		return nil, fmt.Errorf("core: Connect: port type mismatch: %s vs %s", a, b)
+	}
+	if a.providerLike() == b.providerLike() {
+		return nil, fmt.Errorf("core: Connect: ports are not complementary: %s and %s", a, b)
+	}
+	if a.pair == b.pair {
+		return nil, fmt.Errorf("core: Connect: cannot connect the two halves of the same port %s", a)
+	}
+	ch := &Channel{typ: a.Type()}
+	ch.ends[0] = a
+	ch.ends[1] = b
+	a.pair.attachChannel(a.face, ch)
+	b.pair.attachChannel(b.face, ch)
+	return ch, nil
+}
+
+// MustConnect is Connect but panics on error. It is intended for static
+// architecture wiring in component Setup code, where a connection error is
+// a programming bug.
+func MustConnect(a, b *Port) *Channel {
+	ch, err := Connect(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return ch
+}
+
+// Type returns the port type the channel carries.
+func (ch *Channel) Type() *PortType { return ch.typ }
+
+// Ends returns the two endpoint halves; an unplugged end is nil.
+func (ch *Channel) Ends() (a, b *Port) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.ends[0], ch.ends[1]
+}
+
+// forward carries an event that just crossed into half `from` onward to the
+// opposite endpoint. If the channel is held, or the destination end is
+// currently unplugged, the event is queued instead of dropped.
+func (ch *Channel) forward(ev Event, from *Port) {
+	ch.mu.Lock()
+	dstEnd := ch.endIndexOfOther(from)
+	if dstEnd < 0 {
+		// The 'from' half is no longer an endpoint (racing unplug): the
+		// event was emitted while we were attached, so deliver toward the
+		// remaining end to honor the no-drop guarantee.
+		if ch.ends[0] != nil {
+			dstEnd = 0
+		} else {
+			dstEnd = 1
+		}
+	}
+	if ch.held || ch.ends[dstEnd] == nil {
+		ch.queue = append(ch.queue, queuedEvent{event: ev, dstEnd: dstEnd})
+		ch.mu.Unlock()
+		return
+	}
+	dst := ch.ends[dstEnd]
+	ch.mu.Unlock()
+	dst.present(ev)
+}
+
+// endIndexOfOther returns the slot index of the endpoint opposite to half p,
+// or -1 if p is not currently an endpoint.
+func (ch *Channel) endIndexOfOther(p *Port) int {
+	if ch.ends[0] != nil && ch.ends[0].pair == p.pair && ch.ends[0].face == p.face {
+		return 1
+	}
+	if ch.ends[1] != nil && ch.ends[1].pair == p.pair && ch.ends[1].face == p.face {
+		return 0
+	}
+	return -1
+}
+
+// Hold puts the channel on hold: it stops forwarding events and starts
+// queueing them in both directions.
+func (ch *Channel) Hold() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.held = true
+}
+
+// Held reports whether the channel is currently on hold.
+func (ch *Channel) Held() bool {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.held
+}
+
+// QueuedLen returns the number of events currently queued in the channel.
+func (ch *Channel) QueuedLen() int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return len(ch.queue)
+}
+
+// Resume takes the channel off hold: it first forwards all queued events,
+// in both directions, in their original FIFO order, and then keeps
+// forwarding events as usual. Events destined for a still-unplugged end
+// remain queued.
+func (ch *Channel) Resume() {
+	ch.mu.Lock()
+	ch.held = false
+	ch.drainLocked()
+}
+
+// drainLocked flushes deliverable queued events. It is called with ch.mu
+// held and releases it before returning. Delivery happens outside the lock
+// (present may re-enter forward on this same channel via port graphs), so
+// events arriving concurrently are appended behind the batch being flushed,
+// preserving FIFO per direction.
+func (ch *Channel) drainLocked() {
+	for {
+		if ch.held || len(ch.queue) == 0 {
+			ch.mu.Unlock()
+			return
+		}
+		// Find the first deliverable event (its destination end plugged).
+		idx := -1
+		for i, qe := range ch.queue {
+			if ch.ends[qe.dstEnd] != nil {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			ch.mu.Unlock()
+			return
+		}
+		qe := ch.queue[idx]
+		ch.queue = append(ch.queue[:idx:idx], ch.queue[idx+1:]...)
+		dst := ch.ends[qe.dstEnd]
+		ch.mu.Unlock()
+		dst.present(qe.event)
+		ch.mu.Lock()
+	}
+}
+
+// Unplug detaches the channel from endpoint half p. Events heading to the
+// unplugged end are queued until a new half is plugged in. It returns an
+// error if p is not a current endpoint.
+func (ch *Channel) Unplug(p *Port) error {
+	if p == nil {
+		return fmt.Errorf("core: Unplug: nil port")
+	}
+	ch.mu.Lock()
+	slot := -1
+	for i, e := range ch.ends {
+		if e != nil && e.pair == p.pair && e.face == p.face {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		ch.mu.Unlock()
+		return fmt.Errorf("core: Unplug: %s is not an endpoint of this channel", p)
+	}
+	ch.ends[slot] = nil
+	ch.mu.Unlock()
+	p.pair.detachChannel(p.face, ch)
+	return nil
+}
+
+// Plug attaches the channel's free end to half p, which must be
+// complementary to the remaining endpoint, then flushes any events queued
+// for that end (unless the channel is held).
+func (ch *Channel) Plug(p *Port) error {
+	if p == nil {
+		return fmt.Errorf("core: Plug: nil port")
+	}
+	ch.mu.Lock()
+	slot := -1
+	other := -1
+	for i, e := range ch.ends {
+		if e == nil {
+			slot = i
+		} else {
+			other = i
+		}
+	}
+	if slot < 0 {
+		ch.mu.Unlock()
+		return fmt.Errorf("core: Plug: channel has no free end")
+	}
+	if other >= 0 {
+		o := ch.ends[other]
+		if o.Type() != p.Type() {
+			ch.mu.Unlock()
+			return fmt.Errorf("core: Plug: port type mismatch: %s vs %s", o, p)
+		}
+		if o.providerLike() == p.providerLike() {
+			ch.mu.Unlock()
+			return fmt.Errorf("core: Plug: ports are not complementary: %s and %s", o, p)
+		}
+		if o.pair == p.pair {
+			ch.mu.Unlock()
+			return fmt.Errorf("core: Plug: cannot connect the two halves of the same port %s", p)
+		}
+	} else if p.Type() != ch.typ {
+		ch.mu.Unlock()
+		return fmt.Errorf("core: Plug: port type mismatch: channel carries %s, port is %s", ch.typ.Name(), p)
+	}
+	ch.ends[slot] = p
+	p.pair.attachChannel(p.face, ch)
+	ch.drainLocked()
+	return nil
+}
+
+// Disconnect detaches the channel from both endpoints, dropping any queued
+// events. Use Hold+Unplug+Plug+Resume to move a live channel without loss.
+func (ch *Channel) Disconnect() {
+	ch.mu.Lock()
+	var ends [2]*Port
+	copy(ends[:], ch.ends[:])
+	ch.ends[0], ch.ends[1] = nil, nil
+	ch.queue = nil
+	ch.mu.Unlock()
+	for _, e := range ends {
+		if e != nil {
+			e.pair.detachChannel(e.face, ch)
+		}
+	}
+}

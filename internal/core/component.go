@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Definition is implemented by user component definitions. Setup plays the
+// role of the Kompics component constructor: it declares the component's
+// provided and required ports, subscribes its event handlers, and may
+// create and connect subcomponents. Setup runs exactly once, before any
+// event is delivered to the component.
+type Definition interface {
+	Setup(ctx *Ctx)
+}
+
+// SetupFunc adapts a plain function to the Definition interface, for small
+// leaf components and tests.
+type SetupFunc func(ctx *Ctx)
+
+// Setup implements Definition.
+func (f SetupFunc) Setup(ctx *Ctx) { f(ctx) }
+
+var _ Definition = SetupFunc(nil)
+
+// Scheduler-visible component states (the paper's idle/ready/busy).
+const (
+	schedIdle int32 = iota
+	schedReady
+	schedBusy
+)
+
+// Lifecycle states. Components are created passive: they receive and queue
+// events but execute only control events until started.
+const (
+	lifePassive int32 = iota
+	lifeActive
+	lifeDestroyed
+)
+
+// workItem is one unit of scheduler work: a single event paired with the
+// matching subscriptions of one component, executed sequentially. via
+// records the port half the event crossed into, so reconfiguration can
+// migrate still-queued events to a replacement component.
+type workItem struct {
+	event   Event
+	subs    []*Subscription
+	control bool
+	via     *Port
+}
+
+// Component is an event-driven reactive state machine: the runtime
+// representation of one instantiated component definition. Handlers of one
+// component never execute concurrently with each other; components execute
+// concurrently with other components under the production scheduler.
+type Component struct {
+	name   string
+	def    Definition
+	rt     *Runtime
+	parent *Component
+
+	mu       sync.Mutex
+	children []*Component
+	provided map[*PortType]*portPair
+	required map[*PortType]*portPair
+	control  *portPair
+
+	qmu   sync.Mutex
+	ctrlQ ring
+	mainQ ring
+
+	sched atomic.Int32
+	life  atomic.Int32
+
+	ctx *Ctx
+}
+
+// newComponent instantiates a definition under a parent (nil for the root),
+// runs its Setup, and leaves it passive.
+func newComponent(rt *Runtime, parent *Component, name string, def Definition) *Component {
+	c := &Component{
+		name:     name,
+		def:      def,
+		rt:       rt,
+		parent:   parent,
+		provided: make(map[*PortType]*portPair),
+		required: make(map[*PortType]*portPair),
+	}
+	c.control = newPortPair(ControlPortType, c, true)
+	c.ctx = &Ctx{c: c}
+	rt.componentCreated(c)
+	def.Setup(c.ctx)
+	return c
+}
+
+// Name returns the component's name within its parent.
+func (c *Component) Name() string { return c.name }
+
+// Path returns the slash-separated path from the root component.
+func (c *Component) Path() string {
+	if c.parent == nil {
+		return "/" + c.name
+	}
+	return c.parent.Path() + "/" + c.name
+}
+
+// Parent returns the enclosing composite component, or nil for the root.
+func (c *Component) Parent() *Component { return c.parent }
+
+// Definition returns the user definition this component was instantiated
+// from (useful for tests and for state transfer during hot-swap).
+func (c *Component) Definition() Definition { return c.def }
+
+// Runtime returns the runtime the component executes under.
+func (c *Component) Runtime() *Runtime { return c.rt }
+
+// IsActive reports whether the component has been started and not stopped.
+func (c *Component) IsActive() bool { return c.life.Load() == lifeActive }
+
+// IsDestroyed reports whether the component has been destroyed.
+func (c *Component) IsDestroyed() bool { return c.life.Load() == lifeDestroyed }
+
+// Provided returns the outer half of the component's provided port of the
+// given type, for use by the enclosing scope (connecting channels or
+// subscribing observer handlers). It returns nil if the component provides
+// no such port.
+func (c *Component) Provided(pt *PortType) *Port {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pp, ok := c.provided[pt]; ok {
+		return pp.half(outer)
+	}
+	return nil
+}
+
+// Required returns the outer half of the component's required port of the
+// given type, or nil if the component requires no such port.
+func (c *Component) Required(pt *PortType) *Port {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pp, ok := c.required[pt]; ok {
+		return pp.half(outer)
+	}
+	return nil
+}
+
+// Control returns the outer half of the component's control port, on which
+// the enclosing scope triggers Start/Stop/Init/Kill and observes Fault
+// events.
+func (c *Component) Control() *Port { return c.control.half(outer) }
+
+// Children returns a snapshot of the component's current subcomponents.
+func (c *Component) Children() []*Component {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Component, len(c.children))
+	copy(out, c.children)
+	return out
+}
+
+// enqueue appends a work item to the appropriate queue and makes the
+// component ready if it was idle.
+func (c *Component) enqueue(it workItem) {
+	if c.life.Load() == lifeDestroyed {
+		return // events to destroyed components are dropped
+	}
+	c.qmu.Lock()
+	if it.control {
+		c.ctrlQ.push(it)
+	} else {
+		c.mainQ.push(it)
+	}
+	c.qmu.Unlock()
+	c.wake()
+}
+
+// wake schedules the component if it is idle and has runnable work.
+func (c *Component) wake() {
+	if !c.hasRunnable() {
+		return
+	}
+	if c.sched.CompareAndSwap(schedIdle, schedReady) {
+		c.rt.componentReady(c)
+		c.rt.scheduler.Schedule(c)
+	}
+}
+
+// pop removes the next runnable work item: control events first; main
+// events only when the component is active.
+func (c *Component) pop() (workItem, bool) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if it, ok := c.ctrlQ.pop(); ok {
+		return it, true
+	}
+	if c.life.Load() == lifeActive {
+		if it, ok := c.mainQ.pop(); ok {
+			return it, true
+		}
+	}
+	return workItem{}, false
+}
+
+// hasRunnable reports whether a runnable work item is queued.
+func (c *Component) hasRunnable() bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.ctrlQ.len() > 0 {
+		return true
+	}
+	return c.life.Load() == lifeActive && c.mainQ.len() > 0
+}
+
+// QueuedEvents returns the number of events currently waiting in the
+// component's queues (control + main). Intended for monitoring.
+func (c *Component) QueuedEvents() int {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return c.ctrlQ.len() + c.mainQ.len()
+}
+
+// stealMainQueue atomically removes and returns all queued main work
+// items, in FIFO order. Used by Swap to migrate undelivered events from a
+// component being replaced.
+func (c *Component) stealMainQueue() []workItem {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	var items []workItem
+	for {
+		it, ok := c.mainQ.pop()
+		if !ok {
+			return items
+		}
+		items = append(items, it)
+	}
+}
+
+// ExecuteOne runs at most one work item of the component. It is the
+// scheduler SPI: exactly one scheduler goroutine may call it per readiness
+// notification (the component was handed to the scheduler in the ready
+// state). It returns true if an item was executed.
+//
+// After executing, the component returns to idle and reschedules itself if
+// more runnable work is queued, so that schedulers interleave components
+// fairly, executing one event in one component at a time.
+func (c *Component) ExecuteOne() bool {
+	c.sched.Store(schedBusy)
+	it, ok := c.pop()
+	if ok {
+		c.runItem(it)
+	}
+	c.sched.Store(schedIdle)
+	// Re-wake BEFORE releasing this execution's active count: if more work
+	// is queued, the ready count never transiently reaches zero, so
+	// WaitQuiescence cannot observe a false quiescence mid-drain.
+	c.wake()
+	c.rt.componentIdle(c)
+	return ok
+}
+
+// runItem executes one event: lifecycle interception first, then every
+// matched handler sequentially, each under fault isolation.
+func (c *Component) runItem(it workItem) {
+	switch it.event.(type) {
+	case Start:
+		c.onStart()
+	case Stop:
+		c.onStop()
+	case Kill:
+		c.onStop()
+		defer c.destroy()
+	}
+	for _, s := range it.subs {
+		if !s.active { // unsubscribed since delivery; owner-serial, safe read
+			continue
+		}
+		c.invoke(s, it.event)
+	}
+}
+
+// invoke runs one handler under fault isolation: a panic is caught, wrapped
+// in a Fault event, and escalated through the component hierarchy.
+func (c *Component) invoke(s *Subscription, ev Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.rt.handleFault(c, r, ev, s)
+		}
+	}()
+	s.handler(ev)
+}
+
+// onStart activates the component and recursively starts its current
+// subcomponents.
+func (c *Component) onStart() {
+	if !c.life.CompareAndSwap(lifePassive, lifeActive) {
+		return
+	}
+	for _, child := range c.Children() {
+		child.Control().present(Start{})
+	}
+}
+
+// onStop passivates the component and recursively stops its current
+// subcomponents.
+func (c *Component) onStop() {
+	if !c.life.CompareAndSwap(lifeActive, lifePassive) {
+		return
+	}
+	for _, child := range c.Children() {
+		child.Control().present(Stop{})
+	}
+}
+
+// destroy tears down the component and its whole subtree: children are
+// destroyed recursively, all channels attached to any of its ports are
+// detached, queued events are dropped, and the component is removed from
+// its parent.
+func (c *Component) destroy() {
+	if c.life.Swap(lifeDestroyed) == lifeDestroyed {
+		return
+	}
+	for _, child := range c.Children() {
+		child.destroy()
+	}
+
+	c.mu.Lock()
+	pairs := make([]*portPair, 0, len(c.provided)+len(c.required)+1)
+	for _, pp := range c.provided {
+		pairs = append(pairs, pp)
+	}
+	for _, pp := range c.required {
+		pairs = append(pairs, pp)
+	}
+	pairs = append(pairs, c.control)
+	c.children = nil
+	c.mu.Unlock()
+
+	for _, pp := range pairs {
+		pp.mu.Lock()
+		chans := append(append([]*Channel(nil), pp.chans[0]...), pp.chans[1]...)
+		pp.mu.Unlock()
+		for _, ch := range chans {
+			for _, f := range [2]face{inner, outer} {
+				_ = ch.Unplug(pp.half(f))
+			}
+		}
+	}
+
+	c.qmu.Lock()
+	c.ctrlQ.reset()
+	c.mainQ.reset()
+	c.qmu.Unlock()
+
+	if c.parent != nil {
+		c.parent.removeChild(c)
+	}
+	c.rt.componentDestroyed(c)
+}
+
+func (c *Component) removeChild(child *Component) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cur := range c.children {
+		if cur == child {
+			c.children = append(c.children[:i:i], c.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// String renders the component path for diagnostics.
+func (c *Component) String() string { return c.Path() }
+
+// errPortScope builds the error for out-of-scope port access.
+func (c *Component) errPortScope(op string, p *Port) error {
+	return fmt.Errorf("core: %s: port %s is not in scope of component %s "+
+		"(a component may use its own ports and the ports of its immediate subcomponents)",
+		op, p, c.Path())
+}
+
+// inScope reports whether half p is usable from inside component c: its own
+// inner halves, or outer halves of its immediate subcomponents.
+func (c *Component) inScope(p *Port) bool {
+	if p.pair.owner == c && p.face == inner {
+		return true
+	}
+	if p.pair.owner != nil && p.pair.owner.parent == c && p.face == outer {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+package core
+
+// Lifecycle and control events. Every component implicitly provides a
+// control port of type ControlPortType. The enclosing scope triggers
+// Start/Stop/Kill and Init-style configuration events on it, and observes
+// Fault events escalated from the component.
+
+// Start activates a passive component. When a composite component is
+// activated its subcomponents are recursively activated. Handling Start is
+// optional for the component; activation itself is performed by the
+// runtime.
+type Start struct{}
+
+// Stop passivates an active component. A passive component receives and
+// queues events but executes only control events. When a composite
+// component is passivated its subcomponents are recursively passivated.
+type Stop struct{}
+
+// Kill stops a component and then destroys it, tearing down its subtree.
+type Kill struct{}
+
+// ControlPortType is the port type of the implicit control port every
+// component provides. Requests (negative): Start, Stop, Kill and arbitrary
+// Init-style configuration events (the direction check is waived for the
+// control port, mirroring Kompics' Init subtyping). Indications (positive):
+// Fault.
+var ControlPortType = NewPortType("Control",
+	Request[Start](),
+	Request[Stop](),
+	Request[Kill](),
+	Indication[Fault](),
+)

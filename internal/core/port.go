@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// face identifies which half of a port pair a *Port handle refers to.
+type face int
+
+const (
+	// inner is the half facing the owning component's own code and scope
+	// (its subcomponents). Provides/Requires return inner halves.
+	inner face = iota + 1
+	// outer is the half facing the parent's scope. Component.Provided and
+	// Component.Required return outer halves.
+	outer
+)
+
+func (f face) String() string {
+	if f == inner {
+		return "inner"
+	}
+	return "outer"
+}
+
+func (f face) twin() face {
+	if f == inner {
+		return outer
+	}
+	return inner
+}
+
+// Port is one half of a port instance: a gate through which a component
+// communicates with its environment by sending and receiving events.
+//
+// Each port instance is a pair of halves. The inner half faces the owning
+// component (the component triggers and subscribes there); the outer half
+// faces the enclosing scope (the parent connects channels there and may
+// subscribe its own handlers, e.g. a Fault handler on a child's control
+// port). An event presented at one half crosses to the twin half, where it
+// is handled by matching subscriptions and forwarded by attached channels.
+type Port struct {
+	pair *portPair
+	face face
+}
+
+// portPair is the shared state of the two halves of one port instance.
+type portPair struct {
+	typ      *PortType
+	owner    *Component
+	provided bool
+
+	mu         sync.RWMutex
+	subs       [2][]*Subscription // indexed by face-1
+	chans      [2][]*Channel      // indexed by face-1
+	generation uint64             // bumped on any mutation, for diagnostics
+}
+
+func newPortPair(typ *PortType, owner *Component, provided bool) *portPair {
+	return &portPair{typ: typ, owner: owner, provided: provided}
+}
+
+// half returns the Port handle for one face of the pair.
+func (pp *portPair) half(f face) *Port { return &Port{pair: pp, face: f} }
+
+// Type returns the port's type.
+func (p *Port) Type() *PortType { return p.pair.typ }
+
+// Owner returns the component that declared this port.
+func (p *Port) Owner() *Component { return p.pair.owner }
+
+// IsProvided reports whether the underlying port is a provided port of its
+// owner (as opposed to a required port).
+func (p *Port) IsProvided() bool { return p.pair.provided }
+
+// twin returns the opposite half of the same port instance.
+func (p *Port) twin() *Port { return p.pair.half(p.face.twin()) }
+
+// String renders the half for diagnostics, e.g. "Network(provided,inner)@MyNetwork".
+func (p *Port) String() string {
+	kind := "required"
+	if p.pair.provided {
+		kind = "provided"
+	}
+	return fmt.Sprintf("%s(%s,%s)@%s", p.pair.typ.Name(), kind, p.face, p.pair.owner.Name())
+}
+
+// crossDirection returns the Direction of events moving from this half to
+// its twin. For a provided port, outer→inner movement is Negative (requests
+// travel into the provider) and inner→outer is Positive; for a required
+// port it is the mirror image.
+func (p *Port) crossDirection() Direction {
+	if p.pair.provided {
+		if p.face == outer {
+			return Negative
+		}
+		return Positive
+	}
+	if p.face == outer {
+		return Positive
+	}
+	return Negative
+}
+
+// incomingDirection returns the Direction of events that cross INTO this
+// half (and hence may match subscriptions attached here).
+func (p *Port) incomingDirection() Direction { return p.twin().crossDirection() }
+
+// providerLike reports whether this half emits Positive events outward into
+// its scope. Two halves may be connected by a channel iff they have the
+// same port type and opposite polarity (one provider-like, one
+// requirer-like). The provider-like halves are the outer half of a provided
+// port and the inner half of a required port.
+func (p *Port) providerLike() bool {
+	return p.pair.provided == (p.face == outer)
+}
+
+// Subscription binds an event handler owned by some component to one port
+// half. It fires for every event of a matching type that crosses into that
+// half.
+type Subscription struct {
+	owner   *Component // component whose handler this is
+	port    *Port      // half the subscription is attached to
+	eventT  EventType
+	name    string // handler name for diagnostics
+	handler func(Event)
+	active  bool // guarded by port.pair.mu
+}
+
+// EventType returns the event type the subscription accepts.
+func (s *Subscription) EventType() EventType { return s.eventT }
+
+// Port returns the half the subscription is attached to.
+func (s *Subscription) Port() *Port { return s.port }
+
+// String renders the subscription for diagnostics.
+func (s *Subscription) String() string {
+	return fmt.Sprintf("%s(%s)@%s", s.name, s.eventT, s.port)
+}
+
+// subscribe attaches a prepared subscription to its half, validating the
+// event type against the port type's direction sets.
+func (pp *portPair) subscribe(s *Subscription) error {
+	in := s.port.incomingDirection()
+	if !pp.typ.Allows(s.eventT, in) {
+		return fmt.Errorf("core: cannot subscribe handler for %s at %s: port type %s does not allow %s in direction %s",
+			s.eventT, s.port, pp.typ.Name(), s.eventT, in)
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	s.active = true
+	pp.subs[s.port.face-1] = append(pp.subs[s.port.face-1], s)
+	pp.generation++
+	return nil
+}
+
+// unsubscribe detaches a subscription from its half. It is a no-op if the
+// subscription was already removed.
+func (pp *portPair) unsubscribe(s *Subscription) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	list := pp.subs[s.port.face-1]
+	for i, cur := range list {
+		if cur == s {
+			pp.subs[s.port.face-1] = append(list[:i:i], list[i+1:]...)
+			s.active = false
+			pp.generation++
+			return
+		}
+	}
+}
+
+// attachChannel registers a channel endpoint on one half.
+func (pp *portPair) attachChannel(f face, ch *Channel) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.chans[f-1] = append(pp.chans[f-1], ch)
+	pp.generation++
+}
+
+// detachChannel removes a channel endpoint from one half.
+func (pp *portPair) detachChannel(f face, ch *Channel) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	list := pp.chans[f-1]
+	for i, cur := range list {
+		if cur == ch {
+			pp.chans[f-1] = append(list[:i:i], list[i+1:]...)
+			pp.generation++
+			return
+		}
+	}
+}
+
+// present delivers an event at half p: the event crosses to the twin half,
+// where matching subscriptions are scheduled onto their owners' queues and
+// attached channels forward the event onward. The caller must already have
+// validated the event's direction (Trigger does; channels preserve it).
+//
+// Delivery is synchronous enqueueing: by the time present returns, the
+// event sits in every destination component's queue, preserving FIFO order
+// per source component along every path.
+func (p *Port) present(ev Event) {
+	dst := p.twin()
+	pp := p.pair
+
+	pp.mu.RLock()
+	subs := pp.subs[dst.face-1]
+	// Group matching handlers by owning component so that all handlers of
+	// one component for one event execute back-to-back with no interleaved
+	// foreign event (the paper's Figure 7 semantics).
+	var (
+		matched   []*Subscription
+		nowners   int
+		soleOwner *Component
+	)
+	dynT := DynamicTypeOf(ev)
+	for _, s := range subs {
+		if s.eventT.Accepts(dynT) {
+			if len(matched) == 0 {
+				soleOwner = s.owner
+				nowners = 1
+			} else if s.owner != soleOwner {
+				nowners = 2
+			}
+			matched = append(matched, s)
+		}
+	}
+	chans := pp.chans[dst.face-1]
+	var fwd []*Channel
+	if len(chans) > 0 {
+		fwd = make([]*Channel, len(chans))
+		copy(fwd, chans)
+	}
+	pp.mu.RUnlock()
+
+	// Lifecycle events crossing into the inner half of a component's
+	// control port must reach the owner's control queue even with no user
+	// subscription, so the runtime can intercept Start/Stop/Init/Kill.
+	ownerControl := pp.owner != nil && pp == pp.owner.control && dst.face == inner
+
+	switch {
+	case nowners == 0:
+		if ownerControl {
+			pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
+		}
+	case nowners == 1:
+		if ownerControl && soleOwner != pp.owner {
+			// Foreign observer matched but owner did not: owner still gets
+			// the bare lifecycle item, observer gets a normal item.
+			pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
+			soleOwner.enqueue(workItem{event: ev, subs: matched, via: dst})
+		} else {
+			soleOwner.enqueue(workItem{event: ev, subs: matched, control: ownerControl, via: dst})
+		}
+	default:
+		// Rare: subscriptions at this half belong to several components
+		// (e.g. parent and grandparent observers). Deliver per owner.
+		byOwner := make(map[*Component][]*Subscription, 2)
+		order := make([]*Component, 0, 2)
+		for _, s := range matched {
+			if _, ok := byOwner[s.owner]; !ok {
+				order = append(order, s.owner)
+			}
+			byOwner[s.owner] = append(byOwner[s.owner], s)
+		}
+		if ownerControl {
+			if _, ok := byOwner[pp.owner]; !ok {
+				pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
+			}
+		}
+		for _, owner := range order {
+			owner.enqueue(workItem{event: ev, subs: byOwner[owner], control: ownerControl && owner == pp.owner, via: dst})
+		}
+	}
+
+	for _, ch := range fwd {
+		ch.forward(ev, dst)
+	}
+}
+
+// hasSubscriptionFor reports whether any active subscription attached to
+// face f accepts events of the given dynamic type. Used by fault escalation
+// to decide whether a parent handles a child's Fault.
+func (pp *portPair) hasSubscriptionFor(f face, dyn EventType) bool {
+	pp.mu.RLock()
+	defer pp.mu.RUnlock()
+	for _, s := range pp.subs[f-1] {
+		if s.eventT.Accepts(dyn) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// collector records pongs in arrival order.
+type collector struct {
+	ctx  *Ctx
+	port *Port
+	mu   sync.Mutex
+	got  []int
+}
+
+func (c *collector) Setup(ctx *Ctx) {
+	c.ctx = ctx
+	c.port = ctx.Requires(pingPongPort)
+	Subscribe(ctx, c.port, func(p pong) {
+		c.mu.Lock()
+		c.got = append(c.got, p.N)
+		c.mu.Unlock()
+	})
+}
+
+func (c *collector) snapshot() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+func TestChannelHoldQueuesBothDirections(t *testing.T) {
+	rt := newTestRuntime(t)
+	srv := &echoServer{}
+	col := &collector{}
+	var ch *Channel
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		s := ctx.Create("server", srv)
+		c := ctx.Create("col", col)
+		ch = ctx.Connect(s.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	ch.Hold()
+	if !ch.Held() {
+		t.Fatalf("channel must report held")
+	}
+	col.ctx.Trigger(ping{N: 1}, col.port)
+	srv.ctx.Trigger(pong{N: 2}, srv.port)
+	waitQuiet(t, rt)
+	if srv.seen.Load() != 0 {
+		t.Fatalf("held channel forwarded a request")
+	}
+	if len(col.snapshot()) != 0 {
+		t.Fatalf("held channel forwarded an indication")
+	}
+	if ch.QueuedLen() != 2 {
+		t.Fatalf("channel queued %d events, want 2", ch.QueuedLen())
+	}
+
+	ch.Resume()
+	waitQuiet(t, rt)
+	if srv.seen.Load() != 1 {
+		t.Fatalf("after resume, server saw %d pings, want 1", srv.seen.Load())
+	}
+	// The held pong{2} plus the echo pong{1} both arrive.
+	got := col.snapshot()
+	if len(got) != 2 {
+		t.Fatalf("after resume, collector got %v, want 2 pongs", got)
+	}
+}
+
+func TestChannelResumePreservesFIFO(t *testing.T) {
+	rt := newTestRuntime(t)
+	srv := &echoServer{}
+	col := &collector{}
+	var ch *Channel
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		s := ctx.Create("server", srv)
+		c := ctx.Create("col", col)
+		ch = ctx.Connect(s.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	ch.Hold()
+	const n = 50
+	for i := 0; i < n; i++ {
+		srv.ctx.Trigger(pong{N: i}, srv.port)
+	}
+	waitQuiet(t, rt)
+	ch.Resume()
+	waitQuiet(t, rt)
+	got := col.snapshot()
+	if len(got) != n {
+		t.Fatalf("collector got %d pongs, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestUnplugPlugMovesChannel(t *testing.T) {
+	rt := newTestRuntime(t)
+	srv1 := &echoServer{}
+	srv2 := &echoServer{}
+	col := &collector{}
+	var ch *Channel
+	var s1, s2 *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		s1 = ctx.Create("s1", srv1)
+		s2 = ctx.Create("s2", srv2)
+		c := ctx.Create("col", col)
+		ch = ctx.Connect(s1.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	col.ctx.Trigger(ping{N: 1}, col.port)
+	waitQuiet(t, rt)
+	if srv1.seen.Load() != 1 {
+		t.Fatalf("s1 saw %d pings, want 1", srv1.seen.Load())
+	}
+
+	// Move the provider end from s1 to s2 while holding.
+	ch.Hold()
+	if err := ch.Unplug(s1.Provided(pingPongPort)); err != nil {
+		t.Fatal(err)
+	}
+	col.ctx.Trigger(ping{N: 2}, col.port) // queued in channel
+	waitQuiet(t, rt)
+	if err := ch.Plug(s2.Provided(pingPongPort)); err != nil {
+		t.Fatal(err)
+	}
+	ch.Resume()
+	waitQuiet(t, rt)
+	if srv1.seen.Load() != 1 {
+		t.Fatalf("s1 saw %d pings after unplug, want still 1", srv1.seen.Load())
+	}
+	if srv2.seen.Load() != 1 {
+		t.Fatalf("s2 saw %d pings after plug+resume, want 1 (no drop)", srv2.seen.Load())
+	}
+	if len(col.snapshot()) != 2 {
+		t.Fatalf("collector got %d pongs, want 2", len(col.snapshot()))
+	}
+}
+
+func TestUnplugErrors(t *testing.T) {
+	rt := newTestRuntime(t)
+	srv := &echoServer{}
+	col := &collector{}
+	var ch *Channel
+	var s *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		s = ctx.Create("s", srv)
+		c := ctx.Create("col", col)
+		ch = ctx.Connect(s.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+	if err := ch.Unplug(nil); err == nil {
+		t.Fatalf("unplug nil must fail")
+	}
+	if err := ch.Unplug(s.Control()); err == nil {
+		t.Fatalf("unplug non-endpoint must fail")
+	}
+	if err := ch.Plug(s.Provided(pingPongPort)); err == nil {
+		t.Fatalf("plug with no free end must fail")
+	}
+	if err := ch.Unplug(s.Provided(pingPongPort)); err != nil {
+		t.Fatal(err)
+	}
+	// Plug a non-complementary half (another requirer-like half).
+	if err := ch.Plug(col.port); err == nil {
+		t.Fatalf("plug non-complementary half must fail")
+	}
+}
+
+func TestDisconnectDetachesBothEnds(t *testing.T) {
+	rt := newTestRuntime(t)
+	srv := &echoServer{}
+	col := &collector{}
+	var ch *Channel
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		s := ctx.Create("s", srv)
+		c := ctx.Create("col", col)
+		ch = ctx.Connect(s.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+	ch.Disconnect()
+	a, b := ch.Ends()
+	if a != nil || b != nil {
+		t.Fatalf("ends not cleared after disconnect")
+	}
+	col.ctx.Trigger(ping{N: 1}, col.port)
+	waitQuiet(t, rt)
+	if srv.seen.Load() != 0 {
+		t.Fatalf("disconnected channel still forwards")
+	}
+}
+
+// --- hot swap ---------------------------------------------------------------
+
+// counterServer counts pings and replies; supports state dump/load so a
+// replacement continues the count.
+type counterServer struct {
+	ctx   *Ctx
+	port  *Port
+	count int // guarded by handler serialization
+	label string
+	mu    sync.Mutex
+}
+
+func (s *counterServer) Setup(ctx *Ctx) {
+	s.ctx = ctx
+	s.port = ctx.Provides(pingPongPort)
+	Subscribe(ctx, s.port, func(p ping) {
+		s.mu.Lock()
+		s.count++
+		n := s.count
+		s.mu.Unlock()
+		ctx.Trigger(pong{N: n}, s.port)
+	})
+}
+
+func (s *counterServer) DumpState() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func (s *counterServer) LoadState(state any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count = state.(int)
+}
+
+var (
+	_ StateDumper = (*counterServer)(nil)
+	_ StateLoader = (*counterServer)(nil)
+)
+
+func TestSwapTransfersStateAndTraffic(t *testing.T) {
+	rt := newTestRuntime(t)
+	old := &counterServer{label: "old"}
+	col := &collector{}
+	var oldComp *Component
+	var rootCtx *Ctx
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		rootCtx = ctx
+		oldComp = ctx.Create("v1", old)
+		c := ctx.Create("col", col)
+		ctx.Connect(oldComp.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	for i := 0; i < 3; i++ {
+		col.ctx.Trigger(ping{}, col.port)
+	}
+	waitQuiet(t, rt)
+	if got := col.snapshot(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("pre-swap pongs %v, want [1 2 3]", got)
+	}
+
+	repl := &counterServer{label: "new"}
+	newComp, err := rootCtx.Swap(oldComp, "v2", repl)
+	if err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	waitQuiet(t, rt)
+	if !oldComp.IsDestroyed() {
+		t.Fatalf("old component must be destroyed after swap")
+	}
+	if !newComp.IsActive() {
+		t.Fatalf("replacement must be active after swap")
+	}
+
+	col.ctx.Trigger(ping{}, col.port)
+	waitQuiet(t, rt)
+	got := col.snapshot()
+	if len(got) != 4 || got[3] != 4 {
+		t.Fatalf("post-swap pongs %v, want counter to continue at 4", got)
+	}
+}
+
+func TestSwapDoesNotDropConcurrentTraffic(t *testing.T) {
+	rt := newTestRuntime(t)
+	old := &counterServer{}
+	col := &collector{}
+	var oldComp *Component
+	var rootCtx *Ctx
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		rootCtx = ctx
+		oldComp = ctx.Create("v1", old)
+		c := ctx.Create("col", col)
+		ctx.Connect(oldComp.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	const total = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			col.ctx.Trigger(ping{}, col.port)
+			if i == total/2 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(200 * time.Microsecond)
+	if _, err := rootCtx.Swap(oldComp, "v2", &counterServer{}); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	<-done
+	waitQuiet(t, rt)
+	got := col.snapshot()
+	if len(got) != total {
+		t.Fatalf("got %d pongs, want %d (no drops across swap)", len(got), total)
+	}
+	// The counter is strictly increasing across the swap (state transfer).
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("counter not contiguous at %d: %d -> %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestSwapRejectsIncompatibleReplacement(t *testing.T) {
+	rt := newTestRuntime(t)
+	old := &counterServer{}
+	col := &collector{}
+	var oldComp *Component
+	var rootCtx *Ctx
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		rootCtx = ctx
+		oldComp = ctx.Create("v1", old)
+		c := ctx.Create("col", col)
+		ctx.Connect(oldComp.Provided(pingPongPort), c.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	// Replacement lacks the pingPongPort: swap must fail and restore.
+	if _, err := rootCtx.Swap(oldComp, "bad", SetupFunc(func(*Ctx) {})); err == nil {
+		t.Fatalf("swap with incompatible replacement must fail")
+	}
+	waitQuiet(t, rt)
+	// Original keeps working.
+	col.ctx.Trigger(ping{}, col.port)
+	waitQuiet(t, rt)
+	if len(col.snapshot()) != 1 {
+		t.Fatalf("original wiring broken after failed swap")
+	}
+}
+
+func TestSwapOfNonChildFails(t *testing.T) {
+	rt := newTestRuntime(t)
+	var rootCtx *Ctx
+	var grandchild *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		rootCtx = ctx
+		ctx.Create("mid", SetupFunc(func(cx *Ctx) {
+			grandchild = cx.Create("g", SetupFunc(func(*Ctx) {}))
+		}))
+	}))
+	waitQuiet(t, rt)
+	if _, err := rootCtx.Swap(grandchild, "x", SetupFunc(func(*Ctx) {})); err == nil {
+		t.Fatalf("swap of non-child must fail")
+	}
+	if _, err := rootCtx.Swap(nil, "x", SetupFunc(func(*Ctx) {})); err == nil {
+		t.Fatalf("swap of nil must fail")
+	}
+}
+
+// --- property-based tests ----------------------------------------------------
+
+// Property: for any sequence of pong payloads sent while the channel cycles
+// through hold/resume phases, the collector receives exactly the sent
+// sequence, in order.
+func TestPropertyChannelFIFOUnderHoldResume(t *testing.T) {
+	f := func(payload []uint8, holdMask uint32) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		rt := New(WithScheduler(NewWorkStealingScheduler(2)), WithFaultPolicy(LogAndContinue))
+		defer rt.Shutdown()
+		srv := &echoServer{}
+		col := &collector{}
+		var ch *Channel
+		rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+			s := ctx.Create("server", srv)
+			c := ctx.Create("col", col)
+			ch = ctx.Connect(s.Provided(pingPongPort), c.Required(pingPongPort))
+		}))
+		if !rt.WaitQuiescence(5 * time.Second) {
+			return false
+		}
+		for i, v := range payload {
+			if holdMask&(1<<(uint(i)%32)) != 0 {
+				ch.Hold()
+			} else {
+				ch.Resume()
+			}
+			srv.ctx.Trigger(pong{N: int(v)}, srv.port)
+		}
+		ch.Resume()
+		if !rt.WaitQuiescence(5 * time.Second) {
+			return false
+		}
+		got := col.snapshot()
+		if len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != int(payload[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event-type acceptance is reflexive and respects interface
+// assignability for the known corpus of event shapes.
+func TestPropertyEventTypeLaws(t *testing.T) {
+	events := []Event{ping{1}, pong{2}, baseMsg{"s"}, dataMsg{baseMsg{"d"}, 3}, Start{}, Stop{}}
+	for _, ev := range events {
+		dyn := DynamicTypeOf(ev)
+		if !dyn.Accepts(dyn) {
+			t.Errorf("acceptance not reflexive for %T", ev)
+		}
+	}
+	iface := TypeOf[testMsg]()
+	for _, ev := range events {
+		_, isMsg := ev.(testMsg)
+		if got := iface.AcceptsValue(ev); got != isMsg {
+			t.Errorf("interface acceptance for %T = %v, want %v", ev, got, isMsg)
+		}
+	}
+}
+
+// Property: the ring queue behaves as a FIFO for arbitrary push/pop
+// sequences (compared against a slice model).
+func TestPropertyRingQueueModel(t *testing.T) {
+	f := func(ops []bool, vals []uint8) bool {
+		var r ring
+		var model []int
+		vi := 0
+		nextVal := func() int {
+			if len(vals) == 0 {
+				return vi
+			}
+			v := int(vals[vi%len(vals)])
+			vi++
+			return v
+		}
+		for _, isPush := range ops {
+			if isPush {
+				v := nextVal()
+				r.push(workItem{event: pong{N: v}})
+				model = append(model, v)
+			} else {
+				it, ok := r.pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok {
+					return false
+				}
+				if it.event.(pong).N != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if r.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

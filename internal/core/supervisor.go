@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Supervision, built from the model's own primitives (Fault events on
+// child control ports + hot-swap reconfiguration): an Erlang-style
+// restart policy for faulty children, the recovery pattern §2.5 of the
+// paper sketches ("the component can then replace the faulty subcomponent
+// with a new instance through dynamic reconfiguration").
+
+// RestartPolicy bounds automatic restarts: at most MaxRestarts within
+// Window; beyond that the fault escalates to the supervisor's parent.
+type RestartPolicy struct {
+	// MaxRestarts within Window before escalating (default 3).
+	MaxRestarts int
+	// Window is the sliding window for the restart budget (default 10s).
+	Window time.Duration
+}
+
+func (p *RestartPolicy) applyDefaults() {
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 3
+	}
+	if p.Window <= 0 {
+		p.Window = 10 * time.Second
+	}
+}
+
+// ChildSpec declares one supervised child: a name and a factory producing
+// fresh definitions (the factory is invoked for the initial start and for
+// every restart).
+type ChildSpec struct {
+	Name    string
+	Factory func() Definition
+}
+
+// Supervisor is a composite component that creates its children from
+// specs, subscribes Fault handlers on their control ports, and replaces a
+// faulty child with a fresh instance via hot-swap — transferring state
+// when the definitions implement StateDumper/StateLoader and preserving
+// all channel wiring. When a child exhausts its restart budget, the fault
+// is re-escalated up the hierarchy.
+//
+// The supervisor's own ports are whatever its children expose: callers
+// wire channels directly to child ports obtained via Child().
+type Supervisor struct {
+	Policy RestartPolicy
+	Specs  []ChildSpec
+
+	ctx      *Ctx
+	children map[string]*Component
+	restarts map[string][]time.Time
+	onSwap   func(name string, gen int) // test hook
+
+	generations map[string]int
+}
+
+// NewSupervisor creates a supervisor for the given child specs.
+func NewSupervisor(policy RestartPolicy, specs ...ChildSpec) *Supervisor {
+	policy.applyDefaults()
+	return &Supervisor{
+		Policy:      policy,
+		Specs:       specs,
+		children:    make(map[string]*Component),
+		restarts:    make(map[string][]time.Time),
+		generations: make(map[string]int),
+	}
+}
+
+var _ Definition = (*Supervisor)(nil)
+
+// Setup creates every child and installs the fault handlers.
+func (s *Supervisor) Setup(ctx *Ctx) {
+	s.ctx = ctx
+	for _, spec := range s.Specs {
+		spec := spec
+		if spec.Factory == nil {
+			panic(fmt.Sprintf("core: supervisor child %q has no factory", spec.Name))
+		}
+		child := ctx.Create(spec.Name, spec.Factory())
+		s.children[spec.Name] = child
+		s.watch(spec, child)
+	}
+}
+
+// watch subscribes the restart handler on a child's control port.
+func (s *Supervisor) watch(spec ChildSpec, child *Component) {
+	Subscribe(s.ctx, child.Control(), func(f Fault) {
+		s.handleChildFault(spec, f)
+	})
+}
+
+// Child returns the current incarnation of a supervised child.
+func (s *Supervisor) Child(name string) *Component {
+	return s.children[name]
+}
+
+// Generation returns how many times a child has been restarted.
+func (s *Supervisor) Generation(name string) int {
+	return s.generations[name]
+}
+
+// handleChildFault restarts the faulty child or escalates when the budget
+// is exhausted.
+func (s *Supervisor) handleChildFault(spec ChildSpec, f Fault) {
+	now := s.ctx.Now()
+	cutoff := now.Add(-s.Policy.Window)
+	recent := s.restarts[spec.Name][:0]
+	for _, t := range s.restarts[spec.Name] {
+		if t.After(cutoff) {
+			recent = append(recent, t)
+		}
+	}
+	if len(recent) >= s.Policy.MaxRestarts {
+		s.restarts[spec.Name] = recent
+		// Budget exhausted: push the fault onward, attributed to this
+		// supervisor, so an ancestor (or the runtime policy) handles it.
+		f.Component = s.ctx.Self()
+		s.ctx.Runtime().escalate(Fault{
+			Component: s.ctx.Self().parent,
+			Source:    f.Source,
+			Err: fmt.Errorf("core: supervisor %s: child %q exceeded restart budget (%d in %v): %w",
+				s.ctx.Self().Path(), spec.Name, s.Policy.MaxRestarts, s.Policy.Window, f.Err),
+			Event:   f.Event,
+			Handler: f.Handler,
+			Stack:   f.Stack,
+		})
+		return
+	}
+	recent = append(recent, now)
+	s.restarts[spec.Name] = recent
+
+	old := s.children[spec.Name]
+	gen := s.generations[spec.Name] + 1
+	name := fmt.Sprintf("%s#%d", spec.Name, gen)
+	repl, err := s.ctx.Swap(old, name, spec.Factory())
+	if err != nil {
+		s.ctx.Log().Error("supervisor: restart failed", "child", spec.Name, "err", err)
+		return
+	}
+	s.generations[spec.Name] = gen
+	s.children[spec.Name] = repl
+	s.watch(spec, repl)
+	if s.onSwap != nil {
+		s.onSwap(spec.Name, gen)
+	}
+	s.ctx.Log().Info("supervisor: restarted child",
+		"child", spec.Name, "generation", gen, "cause", f.Err)
+}

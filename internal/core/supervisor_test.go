@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// crashable answers pings but panics on a poison value; carries a counter
+// across restarts via state transfer.
+type crashable struct {
+	mu      sync.Mutex
+	handled int
+	label   string
+}
+
+var errPoison = errors.New("poison")
+
+func (c *crashable) Setup(ctx *Ctx) {
+	p := ctx.Provides(pingPongPort)
+	Subscribe(ctx, p, func(m ping) {
+		if m.N < 0 {
+			panic(errPoison)
+		}
+		c.mu.Lock()
+		c.handled++
+		n := c.handled
+		c.mu.Unlock()
+		ctx.Trigger(pong{N: n}, p)
+	})
+}
+
+func (c *crashable) DumpState() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handled
+}
+
+func (c *crashable) LoadState(state any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handled = state.(int)
+}
+
+// supWorld wires a supervisor with one crashable child to a collector.
+type supWorld struct {
+	rt   *Runtime
+	sup  *Supervisor
+	col  *collector
+	gens chan int
+}
+
+func newSupWorld(t *testing.T, policy RestartPolicy, faultPolicy FaultPolicy) *supWorld {
+	t.Helper()
+	w := &supWorld{gens: make(chan int, 16)}
+	w.sup = NewSupervisor(policy, ChildSpec{
+		Name:    "worker",
+		Factory: func() Definition { return &crashable{} },
+	})
+	w.sup.onSwap = func(name string, gen int) { w.gens <- gen }
+	w.col = &collector{}
+	w.rt = New(
+		WithScheduler(NewWorkStealingScheduler(2)),
+		WithFaultPolicy(faultPolicy),
+	)
+	t.Cleanup(w.rt.Shutdown)
+	w.rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		supC := ctx.Create("sup", w.sup)
+		colC := ctx.Create("col", w.col)
+		ctx.Connect(supC.Children()[0].Provided(pingPongPort), colC.Required(pingPongPort))
+	}))
+	waitQuiet(t, w.rt)
+	return w
+}
+
+func (w *supWorld) waitGeneration(t *testing.T, gen int) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case g := <-w.gens:
+			if g >= gen {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("generation %d never reached", gen)
+		}
+	}
+}
+
+func TestSupervisorRestartsFaultyChild(t *testing.T) {
+	w := newSupWorld(t, RestartPolicy{MaxRestarts: 5, Window: time.Minute}, LogAndContinue)
+
+	// Healthy traffic, then poison, then more traffic: the restarted child
+	// must continue serving on the same wiring with transferred state.
+	w.col.ctx.Trigger(ping{N: 1}, w.col.port)
+	w.col.ctx.Trigger(ping{N: 2}, w.col.port)
+	waitQuiet(t, w.rt)
+	w.col.ctx.Trigger(ping{N: -1}, w.col.port) // poison → fault → restart
+	w.waitGeneration(t, 1)
+	waitQuiet(t, w.rt)
+	w.col.ctx.Trigger(ping{N: 3}, w.col.port)
+	waitQuiet(t, w.rt)
+
+	got := w.col.snapshot()
+	if len(got) != 3 {
+		t.Fatalf("replies %v, want 3 (poison dropped, service restored)", got)
+	}
+	// State transferred: the counter continues at 3, not 1.
+	if got[2] != 3 {
+		t.Fatalf("restarted child lost state: replies %v", got)
+	}
+	if w.sup.Generation("worker") != 1 {
+		t.Fatalf("generation %d, want 1", w.sup.Generation("worker"))
+	}
+	if w.sup.Child("worker") == nil || w.sup.Child("worker").IsDestroyed() {
+		t.Fatalf("child handle not updated")
+	}
+}
+
+func TestSupervisorRestartBudgetEscalates(t *testing.T) {
+	var escalated atomic.Int64
+	w := newSupWorld(t,
+		RestartPolicy{MaxRestarts: 2, Window: time.Minute},
+		func(rt *Runtime, f Fault) { escalated.Add(1) },
+	)
+
+	for i := 0; i < 2; i++ {
+		w.col.ctx.Trigger(ping{N: -1}, w.col.port)
+		w.waitGeneration(t, i+1)
+		waitQuiet(t, w.rt)
+	}
+	if escalated.Load() != 0 {
+		t.Fatalf("escalated before budget exhausted")
+	}
+	// Third fault within the window: budget exhausted → escalate to the
+	// runtime policy (no ancestor handles Fault).
+	w.col.ctx.Trigger(ping{N: -1}, w.col.port)
+	deadline := time.Now().Add(10 * time.Second)
+	for escalated.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if escalated.Load() != 1 {
+		t.Fatalf("budget-exhausted fault not escalated")
+	}
+	if w.sup.Generation("worker") != 2 {
+		t.Fatalf("generation %d, want 2 (no restart after budget)", w.sup.Generation("worker"))
+	}
+}
+
+func TestSupervisorMultipleChildren(t *testing.T) {
+	sup := NewSupervisor(RestartPolicy{},
+		ChildSpec{Name: "a", Factory: func() Definition { return &crashable{} }},
+		ChildSpec{Name: "b", Factory: func() Definition { return &crashable{} }},
+	)
+	rt := newTestRuntime(t)
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		ctx.Create("sup", sup)
+	}))
+	waitQuiet(t, rt)
+	if sup.Child("a") == nil || sup.Child("b") == nil {
+		t.Fatalf("children not created")
+	}
+	if sup.Child("a") == sup.Child("b") {
+		t.Fatalf("children aliased")
+	}
+	if sup.Generation("a") != 0 {
+		t.Fatalf("fresh child has nonzero generation")
+	}
+}
+
+func TestSupervisorNilFactoryPanics(t *testing.T) {
+	rt := newTestRuntime(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("nil factory must panic at setup")
+		}
+	}()
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		ctx.Create("sup", NewSupervisor(RestartPolicy{}, ChildSpec{Name: "x"}))
+	}))
+}

@@ -1,0 +1,233 @@
+// Package fd implements the paper's PingFailureDetector: an
+// eventually-perfect failure detector over the Network and Timer
+// abstractions. Clients ask it to monitor nodes; it pings them
+// periodically and raises Suspect when a node misses consecutive pings,
+// and Restore when a suspected node answers again.
+package fd
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// Monitor requests monitoring of a node.
+type Monitor struct {
+	Node network.Address
+}
+
+// StopMonitor cancels monitoring of a node.
+type StopMonitor struct {
+	Node network.Address
+}
+
+// Suspect indicates the detector suspects a monitored node has failed.
+type Suspect struct {
+	Node network.Address
+}
+
+// Restore indicates a previously suspected node has responded again.
+type Restore struct {
+	Node network.Address
+}
+
+// PortType is the FailureDetector service abstraction.
+var PortType = core.NewPortType("FailureDetector",
+	core.Request[Monitor](),
+	core.Request[StopMonitor](),
+	core.Indication[Suspect](),
+	core.Indication[Restore](),
+)
+
+// Wire messages.
+
+type pingMsg struct {
+	network.Header
+	Seq uint64
+}
+
+type pongMsg struct {
+	network.Header
+	Seq uint64
+}
+
+func init() {
+	network.Register(pingMsg{})
+	network.Register(pongMsg{})
+}
+
+// intervalTimeout drives the detector's ping rounds.
+type intervalTimeout struct {
+	timer.Timeout
+}
+
+// monitorState tracks one monitored node.
+type monitorState struct {
+	lastSeq     uint64
+	outstanding bool
+	misses      int
+	suspected   bool
+}
+
+// Config parameterizes the detector.
+type Config struct {
+	// Self is the local node's address (source of pings).
+	Self network.Address
+	// Interval is the ping round period (default 100ms).
+	Interval time.Duration
+	// SuspectAfterMisses is how many consecutive unanswered rounds trigger
+	// Suspect (default 2).
+	SuspectAfterMisses int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.SuspectAfterMisses <= 0 {
+		c.SuspectAfterMisses = 2
+	}
+}
+
+// Ping is the PingFailureDetector component: provides FailureDetector,
+// requires Network and Timer. All state is handler-serial; no locks.
+type Ping struct {
+	cfg Config
+
+	ctx  *core.Ctx
+	fd   *core.Port
+	net  *core.Port
+	tmr  *core.Port
+	tid  timer.ID
+	seq  uint64
+	mon  map[network.Address]*monitorState
+	stat struct {
+		pingsSent, pongsSent, suspects, restores uint64
+	}
+}
+
+// NewPing creates a failure-detector component definition.
+func NewPing(cfg Config) *Ping {
+	cfg.applyDefaults()
+	return &Ping{cfg: cfg, mon: make(map[network.Address]*monitorState)}
+}
+
+var _ core.Definition = (*Ping)(nil)
+
+// Setup declares ports and handlers.
+func (p *Ping) Setup(ctx *core.Ctx) {
+	p.ctx = ctx
+	p.fd = ctx.Provides(PortType)
+	p.net = ctx.Requires(network.PortType)
+	p.tmr = ctx.Requires(timer.PortType)
+
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "ping-fd", Metrics: map[string]int64{
+			"monitored": int64(len(p.mon)),
+			"pings":     int64(p.stat.pingsSent),
+			"pongs":     int64(p.stat.pongsSent),
+			"suspects":  int64(p.stat.suspects),
+			"restores":  int64(p.stat.restores),
+		}}, st)
+	})
+
+	core.Subscribe(ctx, p.fd, p.handleMonitor)
+	core.Subscribe(ctx, p.fd, p.handleStopMonitor)
+	core.Subscribe(ctx, p.net, p.handlePing)
+	core.Subscribe(ctx, p.net, p.handlePong)
+	core.Subscribe(ctx, p.tmr, p.handleInterval)
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		p.tid = timer.NextID()
+		ctx.Trigger(timer.SchedulePeriodic{
+			Delay:   p.cfg.Interval,
+			Period:  p.cfg.Interval,
+			Timeout: intervalTimeout{Timeout: timer.Timeout{ID: p.tid}},
+		}, p.tmr)
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) {
+		ctx.Trigger(timer.CancelPeriodic{ID: p.tid}, p.tmr)
+	})
+}
+
+func (p *Ping) handleMonitor(m Monitor) {
+	if m.Node == p.cfg.Self {
+		return // never monitor self
+	}
+	if _, ok := p.mon[m.Node]; ok {
+		return
+	}
+	st := &monitorState{}
+	p.mon[m.Node] = st
+	p.sendPing(m.Node, st)
+}
+
+func (p *Ping) handleStopMonitor(m StopMonitor) {
+	delete(p.mon, m.Node)
+}
+
+// handleInterval runs one ping round: count misses, raise suspicions, and
+// send the next round of pings. Nodes are visited in address order so the
+// message sequence is deterministic under the simulation scheduler.
+func (p *Ping) handleInterval(intervalTimeout) {
+	nodes := make([]network.Address, 0, len(p.mon))
+	for node := range p.mon {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].String() < nodes[j].String() })
+	for _, node := range nodes {
+		st := p.mon[node]
+		if st.outstanding {
+			st.misses++
+			if !st.suspected && st.misses >= p.cfg.SuspectAfterMisses {
+				st.suspected = true
+				p.stat.suspects++
+				p.ctx.Trigger(Suspect{Node: node}, p.fd)
+			}
+		}
+		p.sendPing(node, st)
+	}
+}
+
+func (p *Ping) sendPing(node network.Address, st *monitorState) {
+	p.seq++
+	st.lastSeq = p.seq
+	st.outstanding = true
+	p.stat.pingsSent++
+	p.ctx.Trigger(pingMsg{Header: network.NewHeader(p.cfg.Self, node), Seq: p.seq}, p.net)
+}
+
+// handlePing answers any node's ping, monitored or not.
+func (p *Ping) handlePing(m pingMsg) {
+	p.stat.pongsSent++
+	p.ctx.Trigger(pongMsg{Header: network.Reply(m), Seq: m.Seq}, p.net)
+}
+
+// handlePong clears the outstanding round and restores suspected nodes.
+func (p *Ping) handlePong(m pongMsg) {
+	st, ok := p.mon[m.Source()]
+	if !ok || m.Seq != st.lastSeq {
+		return // stale or unmonitored
+	}
+	st.outstanding = false
+	st.misses = 0
+	if st.suspected {
+		st.suspected = false
+		p.stat.restores++
+		p.ctx.Trigger(Restore{Node: m.Source()}, p.fd)
+	}
+}
+
+// Monitored returns the number of nodes currently monitored (tests,
+// status reporting).
+func (p *Ping) Monitored() int { return len(p.mon) }
+
+// Stats returns detector counters: pings sent, pongs sent, suspects and
+// restores raised.
+func (p *Ping) Stats() (pings, pongs, suspects, restores uint64) {
+	return p.stat.pingsSent, p.stat.pongsSent, p.stat.suspects, p.stat.restores
+}

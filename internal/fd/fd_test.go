@@ -1,0 +1,162 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/simulation"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// fdNode bundles a Ping detector with an emulated transport and a
+// simulated timer, recording Suspect/Restore indications.
+type fdNode struct {
+	self network.Address
+	sim  *simulation.Simulation
+	emu  *simulation.NetworkEmulator
+
+	ctx       *core.Ctx
+	FD        *Ping
+	fdOuter   *core.Port
+	statOuter *core.Port
+	suspects  []network.Address
+	restores  []network.Address
+	statuses  []status.Response
+}
+
+func (n *fdNode) Setup(ctx *core.Ctx) {
+	n.ctx = ctx
+	tr := ctx.Create("net", n.emu.Transport(n.self))
+	tm := ctx.Create("timer", simulation.NewTimer(n.sim))
+	n.FD = NewPing(Config{Self: n.self, Interval: 100 * time.Millisecond})
+	fdC := ctx.Create("fd", n.FD)
+	ctx.Connect(fdC.Required(network.PortType), tr.Provided(network.PortType))
+	ctx.Connect(fdC.Required(timer.PortType), tm.Provided(timer.PortType))
+	n.fdOuter = fdC.Provided(PortType)
+	core.Subscribe(ctx, n.fdOuter, func(s Suspect) { n.suspects = append(n.suspects, s.Node) })
+	core.Subscribe(ctx, n.fdOuter, func(r Restore) { n.restores = append(n.restores, r.Node) })
+	n.statOuter = fdC.Provided(status.PortType)
+	core.Subscribe(ctx, n.statOuter, func(r status.Response) { n.statuses = append(n.statuses, r) })
+}
+
+func addr(i int) network.Address { return network.Address{Host: "fd", Port: uint16(i)} }
+
+func newFDPair(t *testing.T) (*simulation.Simulation, *simulation.NetworkEmulator, *fdNode, *fdNode) {
+	t.Helper()
+	sim := simulation.New(5)
+	emu := simulation.NewNetworkEmulator(sim,
+		simulation.WithLatency(simulation.ConstantLatency(2*time.Millisecond)))
+	a := &fdNode{self: addr(1), sim: sim, emu: emu}
+	b := &fdNode{self: addr(2), sim: sim, emu: emu}
+	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("a", a)
+		ctx.Create("b", b)
+	}))
+	sim.Settle()
+	return sim, emu, a, b
+}
+
+func TestNoSuspicionWhileAlive(t *testing.T) {
+	sim, _, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(5 * time.Second)
+	if len(a.suspects) != 0 {
+		t.Fatalf("false suspicion: %v", a.suspects)
+	}
+	pings, _, _, _ := a.FD.Stats()
+	if pings == 0 {
+		t.Fatalf("no pings sent")
+	}
+	// B does not monitor A, but it must have answered A's pings.
+	_, pongsB, _, _ := b.FD.Stats()
+	if pongsB == 0 {
+		t.Fatalf("B never answered A's pings")
+	}
+}
+
+func TestSuspectOnPartition(t *testing.T) {
+	sim, emu, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(2 * time.Second)
+	emu.Partition(1, b.self)
+	sim.Run(5 * time.Second)
+	if len(a.suspects) != 1 || a.suspects[0] != b.self {
+		t.Fatalf("suspects = %v, want [B]", a.suspects)
+	}
+	// Suspicion is raised once, not repeatedly.
+	sim.Run(5 * time.Second)
+	if len(a.suspects) != 1 {
+		t.Fatalf("repeated suspicion: %v", a.suspects)
+	}
+}
+
+func TestRestoreAfterHeal(t *testing.T) {
+	sim, emu, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(2 * time.Second)
+	emu.Partition(1, b.self)
+	sim.Run(5 * time.Second)
+	emu.Heal()
+	sim.Run(5 * time.Second)
+	if len(a.restores) != 1 || a.restores[0] != b.self {
+		t.Fatalf("restores = %v, want [B]", a.restores)
+	}
+	if len(a.suspects) != 1 {
+		t.Fatalf("suspects = %v, want exactly one", a.suspects)
+	}
+}
+
+func TestStopMonitorSilences(t *testing.T) {
+	sim, emu, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(time.Second)
+	a.ctx.Trigger(StopMonitor{Node: b.self}, a.fdOuter)
+	emu.Partition(1, b.self)
+	sim.Run(10 * time.Second)
+	if len(a.suspects) != 0 {
+		t.Fatalf("suspicion after StopMonitor: %v", a.suspects)
+	}
+	if a.FD.Monitored() != 0 {
+		t.Fatalf("still monitoring %d nodes", a.FD.Monitored())
+	}
+}
+
+func TestMonitorSelfIgnored(t *testing.T) {
+	sim, _, a, _ := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: a.self}, a.fdOuter)
+	sim.Run(time.Second)
+	if a.FD.Monitored() != 0 {
+		t.Fatalf("self-monitoring accepted")
+	}
+}
+
+func TestMonitorIdempotent(t *testing.T) {
+	sim, _, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(time.Second)
+	if a.FD.Monitored() != 1 {
+		t.Fatalf("monitored %d, want 1", a.FD.Monitored())
+	}
+}
+
+func TestStatusPortReports(t *testing.T) {
+	sim, _, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(time.Second)
+	a.ctx.Trigger(status.Request{ReqID: 9}, a.statOuter)
+	sim.Run(time.Second)
+	if len(a.statuses) != 1 {
+		t.Fatalf("status responses: %+v", a.statuses)
+	}
+	got := a.statuses[0]
+	if got.Component != "ping-fd" || got.ReqID != 9 {
+		t.Fatalf("status response: %+v", got)
+	}
+	if got.Metrics["monitored"] != 1 || got.Metrics["pings"] == 0 {
+		t.Fatalf("status metrics: %+v", got.Metrics)
+	}
+}

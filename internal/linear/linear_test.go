@@ -1,0 +1,161 @@
+package linear
+
+import "testing"
+
+// w and r build ops tersely.
+func w(val string, start, end int64) Op {
+	return Op{Kind: Write, Value: val, Start: start, End: end}
+}
+
+func r(val string, found bool, start, end int64) Op {
+	return Op{Kind: Read, Value: val, Found: found, Start: start, End: end}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+	if !Check([]Op{w("a", 0, 1)}) {
+		t.Fatal("single write")
+	}
+	if !Check([]Op{r("", false, 0, 1)}) {
+		t.Fatal("initial read must see not-found")
+	}
+	if Check([]Op{r("a", true, 0, 1)}) {
+		t.Fatal("read of never-written value must fail")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	ok := Check([]Op{
+		w("a", 0, 1),
+		r("a", true, 2, 3),
+		w("b", 4, 5),
+		r("b", true, 6, 7),
+	})
+	if !ok {
+		t.Fatal("sequential consistent history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	ok := Check([]Op{
+		w("a", 0, 1),
+		w("b", 2, 3),
+		r("a", true, 4, 5), // stale: b completed before this read started
+	})
+	if ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestNotFoundAfterCompletedWriteRejected(t *testing.T) {
+	ok := Check([]Op{
+		w("a", 0, 1),
+		r("", false, 2, 3),
+	})
+	if ok {
+		t.Fatal("not-found after completed write accepted")
+	}
+}
+
+func TestConcurrentWriteEitherOrderAllowed(t *testing.T) {
+	// Two concurrent writes; a later read may see either.
+	base := []Op{
+		w("a", 0, 10),
+		w("b", 0, 10),
+	}
+	for _, val := range []string{"a", "b"} {
+		h := append(append([]Op(nil), base...), r(val, true, 11, 12))
+		if !Check(h) {
+			t.Fatalf("read of %q after concurrent writes rejected", val)
+		}
+	}
+}
+
+func TestConcurrentReadDuringWrite(t *testing.T) {
+	// A read concurrent with a write may see old or new value.
+	for _, c := range []struct {
+		val   string
+		found bool
+	}{{"", false}, {"a", true}} {
+		h := []Op{
+			w("a", 0, 10),
+			r(c.val, c.found, 5, 6),
+		}
+		if !Check(h) {
+			t.Fatalf("concurrent read (%q,%v) rejected", c.val, c.found)
+		}
+	}
+}
+
+func TestReadsCannotGoBackwards(t *testing.T) {
+	// Read1 sees the new value; read2 AFTER read1 sees the old one: not
+	// linearizable even though the write is concurrent with both.
+	ok := Check([]Op{
+		w("old", 0, 1),
+		w("new", 2, 20),
+		r("new", true, 3, 4),
+		r("old", true, 5, 6),
+	})
+	if ok {
+		t.Fatal("backwards reads accepted")
+	}
+}
+
+func TestReadBetweenConcurrentWritesAnchorsOrder(t *testing.T) {
+	// Write a and write b concurrent; read sees b then a later read sees a:
+	// impossible (a would have to linearize after b, but then the first
+	// read of b... both reads sequential): not linearizable.
+	ok := Check([]Op{
+		w("a", 0, 100),
+		w("b", 0, 100),
+		r("b", true, 10, 11),
+		r("a", true, 12, 13),
+		r("b", true, 14, 15),
+	})
+	if ok {
+		t.Fatal("flip-flopping reads accepted")
+	}
+}
+
+func TestChainOfOverlappingOps(t *testing.T) {
+	// Pipeline of overlapping writes with reads that are each consistent
+	// with some linearization.
+	ok := Check([]Op{
+		w("1", 0, 4),
+		w("2", 2, 6),
+		w("3", 5, 9),
+		r("2", true, 7, 8),
+		r("3", true, 10, 11),
+	})
+	if !ok {
+		t.Fatal("valid overlapping history rejected")
+	}
+}
+
+func TestCheckPerKey(t *testing.T) {
+	ok, key := CheckPerKey(map[string][]Op{
+		"x": {w("a", 0, 1), r("a", true, 2, 3)},
+		"y": {w("b", 0, 1), r("b", true, 2, 3)},
+	})
+	if !ok {
+		t.Fatalf("valid multi-key history rejected at %q", key)
+	}
+	ok, key = CheckPerKey(map[string][]Op{
+		"x": {w("a", 0, 1), r("a", true, 2, 3)},
+		"y": {w("b", 0, 1), r("", false, 2, 3)},
+	})
+	if ok || key != "y" {
+		t.Fatalf("invalid key not identified: ok=%v key=%q", ok, key)
+	}
+}
+
+func TestTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized history must panic")
+		}
+	}()
+	Check(make([]Op, 64))
+}

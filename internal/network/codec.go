@@ -1,0 +1,173 @@
+package network
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Register makes a concrete message type known to the codec. Every concrete
+// type sent through a serializing transport must be registered once (in the
+// package init of the protocol that defines it), mirroring the paper's
+// pluggable serialization registry (Kryo).
+func Register(msg Message) {
+	gob.Register(msg)
+}
+
+// envelope wraps the Message interface value so gob can encode the dynamic
+// type alongside the payload.
+type envelope struct {
+	M Message
+}
+
+// Codec serializes messages to self-contained byte payloads, optionally
+// zlib-compressed (the paper's transports apply Zlib compression).
+// The zero value is a plain gob codec without compression.
+type Codec struct {
+	// Compress enables zlib compression of each payload.
+	Compress bool
+}
+
+// compressFlag prefixes every payload so a receiver handles both compressed
+// and uncompressed peers.
+const (
+	flagPlain byte = 0x00
+	flagZlib  byte = 0x01
+)
+
+// zlib writers and readers hold large window buffers; pool them so
+// per-message compression does not pay their allocation every time.
+var zlibWriterPool = sync.Pool{
+	New: func() any {
+		w, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is always a valid level
+		}
+		return w
+	},
+}
+
+var zlibReaderPool = sync.Pool{}
+
+// Encode serializes a message into a self-contained payload.
+func (c Codec) Encode(m Message) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(envelope{M: m}); err != nil {
+		return nil, fmt.Errorf("network: encode %T: %w", m, err)
+	}
+	if !c.Compress {
+		out := make([]byte, 0, body.Len()+1)
+		out = append(out, flagPlain)
+		return append(out, body.Bytes()...), nil
+	}
+	var out bytes.Buffer
+	out.Grow(body.Len()/2 + 16)
+	out.WriteByte(flagZlib)
+	zw := zlibWriterPool.Get().(*zlib.Writer)
+	zw.Reset(&out)
+	_, werr := zw.Write(body.Bytes())
+	cerr := zw.Close()
+	zlibWriterPool.Put(zw)
+	if werr != nil {
+		return nil, fmt.Errorf("network: compress %T: %w", m, werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("network: compress %T: %w", m, cerr)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode deserializes a payload produced by Encode (of any compression
+// setting).
+func (c Codec) Decode(payload []byte) (Message, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("network: decode: empty payload")
+	}
+	body := payload[1:]
+	var r io.Reader = bytes.NewReader(body)
+	switch payload[0] {
+	case flagPlain:
+	case flagZlib:
+		if pooled := zlibReaderPool.Get(); pooled != nil {
+			zr := pooled.(io.ReadCloser)
+			if err := zr.(zlib.Resetter).Reset(r, nil); err != nil {
+				return nil, fmt.Errorf("network: decompress: %w", err)
+			}
+			defer func() {
+				_ = zr.Close()
+				zlibReaderPool.Put(zr)
+			}()
+			r = zr
+		} else {
+			zr, err := zlib.NewReader(r)
+			if err != nil {
+				return nil, fmt.Errorf("network: decompress: %w", err)
+			}
+			defer func() {
+				_ = zr.Close()
+				zlibReaderPool.Put(zr)
+			}()
+			r = zr
+		}
+	default:
+		return nil, fmt.Errorf("network: decode: unknown compression flag 0x%02x", payload[0])
+	}
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("network: decode: %w", err)
+	}
+	if env.M == nil {
+		return nil, fmt.Errorf("network: decode: nil message")
+	}
+	return env.M, nil
+}
+
+// RoundTrip encodes and immediately decodes a message, returning the
+// deserialized copy. The Loopback transport uses it to exercise the full
+// serialization path in-process.
+func (c Codec) RoundTrip(m Message) (Message, error) {
+	b, err := c.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(b)
+}
+
+// StreamCodec serializes messages over a persistent gob stream, amortizing
+// type descriptors across messages the way a per-connection stream codec
+// (the paper's Kryo setup) does. Safe for concurrent use.
+type StreamCodec struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewStreamCodec creates a connected encoder/decoder pair.
+func NewStreamCodec() *StreamCodec {
+	s := &StreamCodec{}
+	s.enc = gob.NewEncoder(&s.buf)
+	s.dec = gob.NewDecoder(&s.buf)
+	return s
+}
+
+// RoundTrip serializes and immediately deserializes one message through
+// the stream.
+func (s *StreamCodec) RoundTrip(m Message) (Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(envelope{M: m}); err != nil {
+		return nil, fmt.Errorf("network: stream encode %T: %w", m, err)
+	}
+	var env envelope
+	if err := s.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("network: stream decode: %w", err)
+	}
+	if env.M == nil {
+		return nil, fmt.Errorf("network: stream decode: nil message")
+	}
+	return env.M, nil
+}

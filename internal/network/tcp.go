@@ -1,0 +1,319 @@
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// maxFrame bounds a single message frame (16 MiB), protecting receivers
+// from malformed or hostile length prefixes.
+const maxFrame = 16 << 20
+
+// sendQueueLen bounds the per-peer outbound queue. Handlers must never
+// block, so an overflowing queue drops the newest message (the Network
+// abstraction is fair-lossy; protocols above it retransmit).
+const sendQueueLen = 4096
+
+// dialTimeout bounds connection establishment to a peer.
+const dialTimeout = 3 * time.Second
+
+// TCP is the production Network provider: a from-scratch equivalent of the
+// paper's pluggable NIO frameworks (Grizzly/Netty/MINA) built on net. It
+// performs automatic connection management (dial on demand, reuse,
+// teardown on error), message serialization via the gob codec, and
+// optional zlib compression.
+//
+// Wire format: 4-byte big-endian length prefix, then the codec payload.
+// Outbound connections are used for sending only; peers dial back for
+// their own sends, so each direction has a dedicated connection.
+type TCP struct {
+	self  Address
+	codec Codec
+	log   *slog.Logger
+
+	ctx  *core.Ctx
+	port *core.Port
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[Address]*peerConn
+	inbound map[net.Conn]struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	sent, received, droppedFull, sendErrors atomic.Uint64
+}
+
+// peerConn is one outbound connection with its writer goroutine.
+type peerConn struct {
+	addr  Address
+	ch    chan []byte
+	close chan struct{}
+	once  sync.Once
+}
+
+func (p *peerConn) shutdown() { p.once.Do(func() { close(p.close) }) }
+
+// TCPOption configures a TCP transport.
+type TCPOption func(*TCP)
+
+// WithCompression enables zlib compression of message payloads.
+func WithCompression() TCPOption {
+	return func(t *TCP) { t.codec.Compress = true }
+}
+
+// NewTCP creates a TCP transport component bound to self.
+func NewTCP(self Address, opts ...TCPOption) *TCP {
+	t := &TCP{
+		self:    self,
+		conns:   make(map[Address]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+var _ core.Definition = (*TCP)(nil)
+
+// Setup declares the provided Network port; the listener starts on Start.
+func (t *TCP) Setup(ctx *core.Ctx) {
+	t.ctx = ctx
+	t.log = ctx.Log()
+	t.port = ctx.Provides(PortType)
+	core.Subscribe(ctx, t.port, t.handleSend)
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		if err := t.listen(); err != nil {
+			panic(fmt.Errorf("network: tcp listen on %s: %w", t.self, err))
+		}
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) { t.shutdown() })
+}
+
+// Self returns the local address.
+func (t *TCP) Self() Address { return t.self }
+
+// Stats returns transport counters: messages sent, received, dropped on
+// full queues, and send errors.
+func (t *TCP) Stats() (sent, received, droppedFull, sendErrors uint64) {
+	return t.sent.Load(), t.received.Load(), t.droppedFull.Load(), t.sendErrors.Load()
+}
+
+// listen binds the listener and starts the accept loop.
+func (t *TCP) listen() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || t.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", t.self.String())
+	if err != nil {
+		return err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// shutdown closes the listener and all connections and waits for the
+// transport goroutines.
+func (t *TCP) shutdown() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	ln := t.ln
+	t.ln = nil
+	conns := make([]*peerConn, 0, len(t.conns))
+	for _, pc := range t.conns {
+		conns = append(conns, pc)
+	}
+	t.conns = make(map[Address]*peerConn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.inbound = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, pc := range conns {
+		pc.shutdown()
+	}
+	// Close accepted connections too: readers block in ReadFull and would
+	// otherwise keep wg.Wait from returning.
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+}
+
+// handleSend routes an outbound message onto the peer's connection queue,
+// dialing on demand. Messages to self are delivered directly.
+func (t *TCP) handleSend(m Message) {
+	if m.Destination() == t.self {
+		t.received.Add(1)
+		core.TriggerOn(t.port, m) //nolint:errcheck // port type validated at Setup
+		return
+	}
+	payload, err := t.codec.Encode(m)
+	if err != nil {
+		t.sendErrors.Add(1)
+		t.log.Warn("tcp: encode failed", "type", fmt.Sprintf("%T", m), "err", err)
+		return
+	}
+	pc := t.peer(m.Destination())
+	if pc == nil {
+		return // transport stopped
+	}
+	select {
+	case pc.ch <- payload:
+		t.sent.Add(1)
+	default:
+		t.droppedFull.Add(1)
+	}
+}
+
+// peer returns (creating if needed) the outbound connection state for dst.
+func (t *TCP) peer(dst Address) *peerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return nil
+	}
+	if pc, ok := t.conns[dst]; ok {
+		return pc
+	}
+	pc := &peerConn{
+		addr:  dst,
+		ch:    make(chan []byte, sendQueueLen),
+		close: make(chan struct{}),
+	}
+	t.conns[dst] = pc
+	t.wg.Add(1)
+	go t.writeLoop(pc)
+	return pc
+}
+
+// dropPeer removes a broken connection so the next send redials.
+func (t *TCP) dropPeer(pc *peerConn) {
+	t.mu.Lock()
+	if t.conns[pc.addr] == pc {
+		delete(t.conns, pc.addr)
+	}
+	t.mu.Unlock()
+	pc.shutdown()
+}
+
+// writeLoop dials the peer and writes framed payloads from the queue.
+func (t *TCP) writeLoop(pc *peerConn) {
+	defer t.wg.Done()
+	conn, err := net.DialTimeout("tcp", pc.addr.String(), dialTimeout)
+	if err != nil {
+		t.sendErrors.Add(1)
+		t.log.Debug("tcp: dial failed", "peer", pc.addr.String(), "err", err)
+		t.dropPeer(pc)
+		return
+	}
+	defer conn.Close()
+	var lenBuf [4]byte
+	for {
+		select {
+		case payload := <-pc.ch:
+			if len(payload) > maxFrame {
+				t.sendErrors.Add(1)
+				continue
+			}
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+			if _, err := conn.Write(lenBuf[:]); err != nil {
+				t.sendErrors.Add(1)
+				t.dropPeer(pc)
+				return
+			}
+			if _, err := conn.Write(payload); err != nil {
+				t.sendErrors.Add(1)
+				t.dropPeer(pc)
+				return
+			}
+		case <-pc.close:
+			return
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per peer.
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		t.mu.Lock()
+		stopped := t.stopped
+		if !stopped {
+			t.wg.Add(1)
+			t.inbound[conn] = struct{}{}
+		}
+		t.mu.Unlock()
+		if stopped {
+			_ = conn.Close()
+			return
+		}
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection and delivers them on
+// the Network port.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.log.Debug("tcp: read header", "err", err)
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			t.log.Warn("tcp: bad frame length", "len", n)
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		m, err := t.codec.Decode(payload)
+		if err != nil {
+			t.log.Warn("tcp: decode failed", "err", err)
+			continue
+		}
+		t.received.Add(1)
+		if err := core.TriggerOn(t.port, m); err != nil {
+			t.log.Warn("tcp: deliver failed", "err", err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package network
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// dialRaw connects a raw socket to a transport's listener.
+func dialRaw(t *testing.T, addr Address) net.Conn {
+	t.Helper()
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err = net.DialTimeout("tcp", addr.String(), time.Second)
+		if err == nil {
+			return conn
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("dial %s: %v", addr, err)
+	return nil
+}
+
+func TestTCPRejectsOversizedFrame(t *testing.T) {
+	_, n1, _ := newTCPPair(t)
+	conn := dialRaw(t, n1.self)
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The transport must close the connection rather than allocate.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatalf("connection stayed open after oversized frame")
+	}
+	if n1.got.Load() != 0 {
+		t.Fatalf("oversized frame delivered something")
+	}
+}
+
+func TestTCPRejectsZeroFrame(t *testing.T) {
+	_, n1, _ := newTCPPair(t)
+	conn := dialRaw(t, n1.self)
+	defer conn.Close()
+	var hdr [4]byte // length 0
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatalf("connection stayed open after zero-length frame")
+	}
+}
+
+func TestTCPSurvivesGarbagePayload(t *testing.T) {
+	_, n1, n2 := newTCPPair(t)
+	conn := dialRaw(t, n1.self)
+	defer conn.Close()
+	payload := []byte{flagPlain, 0xde, 0xad, 0xbe, 0xef}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage is dropped, but the transport keeps serving real peers.
+	n2.ctx.Trigger(hello{Header: NewHeader(n2.self, n1.self), Greeting: "still alive"}, n2.port)
+	waitCount(t, &n1.got, 1, 5*time.Second)
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	rt, n1, n2 := newTCPPair(t)
+	_ = rt
+	n1.ctx.Trigger(hello{Header: NewHeader(n1.self, n2.self), Greeting: "a"}, n1.port)
+	waitCount(t, &n2.got, 1, 5*time.Second)
+
+	// Kill n2's listener; sends fail; bring it back via a fresh transport
+	// on the same address and verify n1 redials.
+	n2.tcp.shutdown()
+	time.Sleep(50 * time.Millisecond)
+	n1.ctx.Trigger(hello{Header: NewHeader(n1.self, n2.self), Greeting: "lost"}, n1.port)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, _, errs := n1.tcp.Stats(); errs > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Restart: a new transport component bound to the same address.
+	n3 := &tcpNode{self: n2.self}
+	rt2 := core.New(core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue))
+	defer rt2.Shutdown()
+	rt2.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("n3", n3)
+	}))
+	if !rt2.WaitQuiescence(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	t.Cleanup(n3.tcp.shutdown)
+
+	// The failed peer connection was dropped; the next send must redial.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && n3.got.Load() == 0 {
+		n1.ctx.Trigger(hello{Header: NewHeader(n1.self, n2.self), Greeting: "back"}, n1.port)
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n3.got.Load() == 0 {
+		t.Fatalf("transport did not reconnect to restarted peer")
+	}
+}

@@ -1,0 +1,435 @@
+// Package ring implements the CATS Ring component of the paper's case
+// study: consistent-hashing ring topology maintenance. Nodes join via a
+// seed, then converge through periodic stabilization (successor-list
+// repair and notify, in the style of Chord), with the failure detector
+// pruning dead neighbors. The ring publishes NeighborsChanged indications
+// that the one-hop router and replication layer consume.
+package ring
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// Join requests joining the ring through any of the seed nodes (empty
+// seeds: found a fresh ring).
+type Join struct {
+	Seeds []ident.NodeRef
+}
+
+// NeighborsChanged announces the node's current predecessor and successor
+// list after any topology change.
+type NeighborsChanged struct {
+	Pred  ident.NodeRef
+	Succs []ident.NodeRef
+}
+
+// Ready indicates the node has established a successor and participates in
+// the ring.
+type Ready struct {
+	Self ident.NodeRef
+}
+
+// PortType is the ring topology abstraction.
+var PortType = core.NewPortType("Ring",
+	core.Request[Join](),
+	core.Indication[NeighborsChanged](),
+	core.Indication[Ready](),
+)
+
+// Wire messages.
+
+type joinReqMsg struct {
+	network.Header
+	Node ident.NodeRef
+}
+
+type joinRespMsg struct {
+	network.Header
+	Members []ident.NodeRef
+}
+
+type stabilizeReqMsg struct {
+	network.Header
+}
+
+type stabilizeRespMsg struct {
+	network.Header
+	Pred  ident.NodeRef
+	Succs []ident.NodeRef
+}
+
+type notifyMsg struct {
+	network.Header
+	Node ident.NodeRef
+}
+
+func init() {
+	network.Register(joinReqMsg{})
+	network.Register(joinRespMsg{})
+	network.Register(stabilizeReqMsg{})
+	network.Register(stabilizeRespMsg{})
+	network.Register(notifyMsg{})
+}
+
+type stabilizeTimeout struct{ timer.Timeout }
+type joinRetryTimeout struct{ timer.Timeout }
+
+// Config parameterizes a ring component.
+type Config struct {
+	// Self is the local node reference.
+	Self ident.NodeRef
+	// SuccessorListSize is the resilience parameter (default 4).
+	SuccessorListSize int
+	// StabilizePeriod is the stabilization interval (default 500ms).
+	StabilizePeriod time.Duration
+	// JoinRetryPeriod is the join retry interval (default 1s).
+	JoinRetryPeriod time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.SuccessorListSize <= 0 {
+		c.SuccessorListSize = 4
+	}
+	if c.StabilizePeriod <= 0 {
+		c.StabilizePeriod = 500 * time.Millisecond
+	}
+	if c.JoinRetryPeriod <= 0 {
+		c.JoinRetryPeriod = time.Second
+	}
+}
+
+// Ring is the CATS Ring component: provides Ring, requires Network, Timer,
+// and FailureDetector.
+type Ring struct {
+	cfg Config
+
+	ctx  *core.Ctx
+	ring *core.Port
+	net  *core.Port
+	tmr  *core.Port
+	fdp  *core.Port
+
+	pred      ident.NodeRef
+	succs     []ident.NodeRef // ordered clockwise from self; never contains self
+	joined    bool
+	joining   bool
+	seeds     []ident.NodeRef
+	monitored map[network.Address]ident.NodeRef
+	stid      timer.ID
+	jtid      timer.ID
+}
+
+// New creates a ring component definition.
+func New(cfg Config) *Ring {
+	cfg.applyDefaults()
+	return &Ring{cfg: cfg, monitored: make(map[network.Address]ident.NodeRef)}
+}
+
+var _ core.Definition = (*Ring)(nil)
+
+// Setup declares ports and handlers.
+func (r *Ring) Setup(ctx *core.Ctx) {
+	r.ctx = ctx
+	r.ring = ctx.Provides(PortType)
+	r.net = ctx.Requires(network.PortType)
+	r.tmr = ctx.Requires(timer.PortType)
+	r.fdp = ctx.Requires(fd.PortType)
+
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		joined := int64(0)
+		if r.joined {
+			joined = 1
+		}
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "ring", Metrics: map[string]int64{
+			"joined":     joined,
+			"successors": int64(len(r.succs)),
+			"monitored":  int64(len(r.monitored)),
+		}}, st)
+	})
+
+	core.Subscribe(ctx, r.ring, r.handleJoin)
+	core.Subscribe(ctx, r.net, r.handleJoinReq)
+	core.Subscribe(ctx, r.net, r.handleJoinResp)
+	core.Subscribe(ctx, r.net, r.handleStabilizeReq)
+	core.Subscribe(ctx, r.net, r.handleStabilizeResp)
+	core.Subscribe(ctx, r.net, r.handleNotify)
+	core.Subscribe(ctx, r.fdp, r.handleSuspect)
+	core.Subscribe(ctx, r.tmr, r.handleStabilizeTick)
+	core.Subscribe(ctx, r.tmr, r.handleJoinRetry)
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		r.stid = timer.NextID()
+		ctx.Trigger(timer.SchedulePeriodic{
+			Delay:   r.cfg.StabilizePeriod,
+			Period:  r.cfg.StabilizePeriod,
+			Timeout: stabilizeTimeout{timer.Timeout{ID: r.stid}},
+		}, r.tmr)
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) {
+		ctx.Trigger(timer.CancelPeriodic{ID: r.stid}, r.tmr)
+		if r.joining {
+			ctx.Trigger(timer.CancelPeriodic{ID: r.jtid}, r.tmr)
+			r.joining = false
+		}
+	})
+}
+
+// Self returns the local node reference.
+func (r *Ring) Self() ident.NodeRef { return r.cfg.Self }
+
+// Pred returns the current predecessor (zero when unknown).
+func (r *Ring) Pred() ident.NodeRef { return r.pred }
+
+// Succs returns a copy of the current successor list.
+func (r *Ring) Succs() []ident.NodeRef {
+	out := make([]ident.NodeRef, len(r.succs))
+	copy(out, r.succs)
+	return out
+}
+
+// Joined reports whether the node participates in a ring.
+func (r *Ring) Joined() bool { return r.joined }
+
+// --- join protocol -----------------------------------------------------------
+
+func (r *Ring) handleJoin(j Join) {
+	if r.joined || r.joining {
+		return
+	}
+	seeds := make([]ident.NodeRef, 0, len(j.Seeds))
+	for _, s := range j.Seeds {
+		if s.Addr != r.cfg.Self.Addr {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) == 0 {
+		// Found a fresh ring: the node is its own predecessor/successor.
+		r.pred = r.cfg.Self
+		r.becomeJoined()
+		return
+	}
+	r.seeds = seeds
+	r.joining = true
+	r.sendJoinReq()
+	r.jtid = timer.NextID()
+	r.ctx.Trigger(timer.SchedulePeriodic{
+		Delay:   r.cfg.JoinRetryPeriod,
+		Period:  r.cfg.JoinRetryPeriod,
+		Timeout: joinRetryTimeout{timer.Timeout{ID: r.jtid}},
+	}, r.tmr)
+}
+
+func (r *Ring) sendJoinReq() {
+	seed := r.seeds[r.ctx.Rand().Intn(len(r.seeds))]
+	r.ctx.Trigger(joinReqMsg{
+		Header: network.NewHeader(r.cfg.Self.Addr, seed.Addr),
+		Node:   r.cfg.Self,
+	}, r.net)
+}
+
+func (r *Ring) handleJoinRetry(joinRetryTimeout) {
+	if r.joining {
+		r.sendJoinReq()
+	}
+}
+
+// handleJoinReq answers with all members this node knows: itself, its
+// predecessor, and its successor list. The joiner picks its successor
+// candidate from that set and stabilization repairs the rest.
+func (r *Ring) handleJoinReq(m joinReqMsg) {
+	if !r.joined {
+		return // cannot help yet; the joiner will retry
+	}
+	members := append([]ident.NodeRef{r.cfg.Self}, r.succs...)
+	if !r.pred.IsZero() {
+		members = append(members, r.pred)
+	}
+	ident.SortByKey(members)
+	members = ident.Dedup(members)
+	r.ctx.Trigger(joinRespMsg{Header: network.Reply(m), Members: members}, r.net)
+}
+
+func (r *Ring) handleJoinResp(m joinRespMsg) {
+	if !r.joining {
+		return
+	}
+	members := make([]ident.NodeRef, 0, len(m.Members))
+	for _, n := range m.Members {
+		if n.Addr != r.cfg.Self.Addr {
+			members = append(members, n)
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	r.joining = false
+	r.ctx.Trigger(timer.CancelPeriodic{ID: r.jtid}, r.tmr)
+	ident.SortByKey(members)
+	succ := ident.SuccessorOf(members, r.cfg.Self.Key+1)
+	r.adoptSuccessors(append([]ident.NodeRef{succ}, members...))
+	r.becomeJoined()
+	r.notifySuccessor()
+}
+
+func (r *Ring) becomeJoined() {
+	r.joined = true
+	r.ctx.Trigger(Ready{Self: r.cfg.Self}, r.ring)
+	r.publishNeighbors()
+}
+
+// --- stabilization -------------------------------------------------------------
+
+func (r *Ring) handleStabilizeTick(stabilizeTimeout) {
+	if !r.joined || len(r.succs) == 0 {
+		return
+	}
+	succ := r.succs[0]
+	r.ctx.Trigger(stabilizeReqMsg{
+		Header: network.NewHeader(r.cfg.Self.Addr, succ.Addr),
+	}, r.net)
+}
+
+func (r *Ring) handleStabilizeReq(m stabilizeReqMsg) {
+	r.ctx.Trigger(stabilizeRespMsg{
+		Header: network.Reply(m),
+		Pred:   r.pred,
+		Succs:  append([]ident.NodeRef{r.cfg.Self}, r.succs...),
+	}, r.net)
+}
+
+func (r *Ring) handleStabilizeResp(m stabilizeRespMsg) {
+	if !r.joined {
+		return
+	}
+	candidates := append([]ident.NodeRef(nil), m.Succs...)
+	// Rectify: if the successor's predecessor sits between us and the
+	// successor, it becomes our new successor candidate.
+	if !m.Pred.IsZero() && len(r.succs) > 0 &&
+		m.Pred.Key.InOpenInterval(r.cfg.Self.Key, r.succs[0].Key) &&
+		m.Pred.Addr != r.cfg.Self.Addr {
+		candidates = append([]ident.NodeRef{m.Pred}, candidates...)
+	}
+	r.adoptSuccessors(append(candidates, r.succs...))
+	r.notifySuccessor()
+}
+
+func (r *Ring) notifySuccessor() {
+	if len(r.succs) == 0 {
+		return
+	}
+	r.ctx.Trigger(notifyMsg{
+		Header: network.NewHeader(r.cfg.Self.Addr, r.succs[0].Addr),
+		Node:   r.cfg.Self,
+	}, r.net)
+}
+
+// handleNotify adopts a better predecessor.
+func (r *Ring) handleNotify(m notifyMsg) {
+	n := m.Node
+	if n.Addr == r.cfg.Self.Addr {
+		return
+	}
+	if r.pred.IsZero() || r.pred.Addr == r.cfg.Self.Addr ||
+		n.Key.InOpenInterval(r.pred.Key, r.cfg.Self.Key) {
+		if r.pred != n {
+			r.pred = n
+			r.monitor(n)
+			r.publishNeighbors()
+		}
+	}
+	// A fresh ring founder adopts its first notifier as successor too.
+	if len(r.succs) == 0 {
+		r.adoptSuccessors([]ident.NodeRef{n})
+	}
+}
+
+// adoptSuccessors rebuilds the successor list from candidate members:
+// clockwise from self, deduplicated, truncated to the configured size.
+func (r *Ring) adoptSuccessors(candidates []ident.NodeRef) {
+	members := make([]ident.NodeRef, 0, len(candidates))
+	for _, n := range candidates {
+		if n.Addr != r.cfg.Self.Addr && !n.IsZero() {
+			members = append(members, n)
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	ident.SortByKey(members)
+	members = ident.Dedup(members)
+	newSuccs := ident.SuccessorsOf(members, r.cfg.Self.Key+1, r.cfg.SuccessorListSize)
+	if !nodesEqual(newSuccs, r.succs) {
+		r.succs = newSuccs
+		for _, s := range r.succs {
+			r.monitor(s)
+		}
+		r.publishNeighbors()
+	}
+}
+
+// --- failure handling ------------------------------------------------------------
+
+func (r *Ring) handleSuspect(s fd.Suspect) {
+	node, ok := r.monitored[s.Node]
+	if !ok {
+		return
+	}
+	delete(r.monitored, s.Node)
+	r.ctx.Trigger(fd.StopMonitor{Node: s.Node}, r.fdp)
+
+	changed := false
+	if r.pred.Addr == node.Addr {
+		r.pred = ident.NodeRef{}
+		changed = true
+	}
+	pruned := r.succs[:0]
+	for _, n := range r.succs {
+		if n.Addr != node.Addr {
+			pruned = append(pruned, n)
+		} else {
+			changed = true
+		}
+	}
+	r.succs = pruned
+	if changed {
+		r.publishNeighbors()
+	}
+}
+
+// monitor asks the failure detector to watch a neighbor (idempotent).
+func (r *Ring) monitor(n ident.NodeRef) {
+	if n.Addr == r.cfg.Self.Addr || n.IsZero() {
+		return
+	}
+	if _, ok := r.monitored[n.Addr]; ok {
+		return
+	}
+	r.monitored[n.Addr] = n
+	r.ctx.Trigger(fd.Monitor{Node: n.Addr}, r.fdp)
+}
+
+func (r *Ring) publishNeighbors() {
+	r.ctx.Trigger(NeighborsChanged{
+		Pred:  r.pred,
+		Succs: r.Succs(),
+	}, r.ring)
+}
+
+func nodesEqual(a, b []ident.NodeRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+// Package router implements the paper's One-Hop Router: every node
+// accumulates a full(ish) membership table of the ring — fed by its own
+// ring neighborhood and by the Cyclon peer-sampling stream — and resolves
+// the replica group responsible for a key locally, in one hop, with no
+// routing round-trips. Entries not refreshed within a TTL are aged out, so
+// the table tracks churn.
+package router
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cyclon"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/ring"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// FindSuccessor asks for the Count nodes responsible for Key (the
+// successor of Key and its Count-1 clockwise followers).
+type FindSuccessor struct {
+	ReqID uint64
+	Key   ident.Key
+	Count int
+}
+
+// FoundSuccessor answers FindSuccessor. An empty Group means the router
+// has no membership information yet; callers retry.
+type FoundSuccessor struct {
+	ReqID uint64
+	Key   ident.Key
+	Group []ident.NodeRef
+}
+
+// PortType is the Router service abstraction.
+var PortType = core.NewPortType("Router",
+	core.Request[FindSuccessor](),
+	core.Indication[FoundSuccessor](),
+)
+
+type sweepTimeout struct{ timer.Timeout }
+
+// Config parameterizes a one-hop router.
+type Config struct {
+	// Self is the local node reference.
+	Self ident.NodeRef
+	// EntryTTL ages out table entries not refreshed in this window
+	// (default 30s).
+	EntryTTL time.Duration
+	// SweepPeriod is the staleness sweep interval (default 5s).
+	SweepPeriod time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.EntryTTL <= 0 {
+		c.EntryTTL = 30 * time.Second
+	}
+	if c.SweepPeriod <= 0 {
+		c.SweepPeriod = 5 * time.Second
+	}
+}
+
+// Router is the One-Hop Router component: provides Router, requires Ring,
+// PeerSampling, FailureDetector, and Timer.
+type Router struct {
+	cfg Config
+
+	ctx  *core.Ctx
+	rout *core.Port
+	rng  *core.Port
+	smp  *core.Port
+	fdp  *core.Port
+	tmr  *core.Port
+
+	table map[ident.Key]tableEntry
+	tid   timer.ID
+
+	resolved, unresolved uint64
+}
+
+type tableEntry struct {
+	node ident.NodeRef
+	seen time.Time
+}
+
+// New creates a one-hop router component definition.
+func New(cfg Config) *Router {
+	cfg.applyDefaults()
+	return &Router{cfg: cfg, table: make(map[ident.Key]tableEntry)}
+}
+
+var _ core.Definition = (*Router)(nil)
+
+// Setup declares ports and handlers.
+func (r *Router) Setup(ctx *core.Ctx) {
+	r.ctx = ctx
+	r.rout = ctx.Provides(PortType)
+	r.rng = ctx.Requires(ring.PortType)
+	r.smp = ctx.Requires(cyclon.PortType)
+	r.fdp = ctx.Requires(fd.PortType)
+	r.tmr = ctx.Requires(timer.PortType)
+
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "one-hop-router", Metrics: map[string]int64{
+			"table":      int64(len(r.table)),
+			"resolved":   int64(r.resolved),
+			"unresolved": int64(r.unresolved),
+		}}, st)
+	})
+
+	core.Subscribe(ctx, r.rout, r.handleFind)
+	core.Subscribe(ctx, r.rng, r.handleNeighbors)
+	core.Subscribe(ctx, r.smp, r.handleSample)
+	core.Subscribe(ctx, r.fdp, r.handleSuspect)
+	core.Subscribe(ctx, r.tmr, r.handleSweep)
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		r.tid = timer.NextID()
+		ctx.Trigger(timer.SchedulePeriodic{
+			Delay:   r.cfg.SweepPeriod,
+			Period:  r.cfg.SweepPeriod,
+			Timeout: sweepTimeout{timer.Timeout{ID: r.tid}},
+		}, r.tmr)
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) {
+		ctx.Trigger(timer.CancelPeriodic{ID: r.tid}, r.tmr)
+	})
+}
+
+// handleFind resolves the responsible group from the local table plus
+// self — the one-hop path, no network round-trip.
+func (r *Router) handleFind(f FindSuccessor) {
+	count := f.Count
+	if count <= 0 {
+		count = 1
+	}
+	members := r.members()
+	group := ident.SuccessorsOf(members, f.Key, count)
+	if len(group) == 0 {
+		r.unresolved++
+	} else {
+		r.resolved++
+	}
+	r.ctx.Trigger(FoundSuccessor{ReqID: f.ReqID, Key: f.Key, Group: group}, r.rout)
+}
+
+// members returns the sorted, deduplicated membership view incl. self.
+func (r *Router) members() []ident.NodeRef {
+	members := make([]ident.NodeRef, 0, len(r.table)+1)
+	members = append(members, r.cfg.Self)
+	for _, e := range r.table {
+		members = append(members, e.node)
+	}
+	ident.SortByKey(members)
+	return ident.Dedup(members)
+}
+
+// handleNeighbors refreshes the table from the node's own ring
+// neighborhood (authoritative and fresh).
+func (r *Router) handleNeighbors(n ring.NeighborsChanged) {
+	if !n.Pred.IsZero() {
+		r.learn(n.Pred)
+	}
+	for _, s := range n.Succs {
+		r.learn(s)
+	}
+}
+
+// handleSample refreshes the table from the peer-sampling stream.
+func (r *Router) handleSample(s cyclon.PeersSample) {
+	for _, p := range s.Peers {
+		r.learn(p)
+	}
+}
+
+func (r *Router) learn(n ident.NodeRef) {
+	if n.IsZero() || n.Addr == r.cfg.Self.Addr {
+		return
+	}
+	r.table[n.Key] = tableEntry{node: n, seen: r.ctx.Now()}
+}
+
+// handleSuspect evicts a suspected node immediately, so replica groups
+// stop including nodes the failure detector believes dead (the TTL sweep
+// is only the backstop for nodes nobody monitors).
+func (r *Router) handleSuspect(s fd.Suspect) {
+	for k, e := range r.table {
+		if e.node.Addr == s.Node {
+			delete(r.table, k)
+		}
+	}
+}
+
+// handleSweep ages out entries not refreshed within the TTL.
+func (r *Router) handleSweep(sweepTimeout) {
+	cutoff := r.ctx.Now().Add(-r.cfg.EntryTTL)
+	for k, e := range r.table {
+		if e.seen.Before(cutoff) {
+			delete(r.table, k)
+		}
+	}
+}
+
+// TableSize returns the membership table occupancy (tests, status).
+func (r *Router) TableSize() int { return len(r.table) }
+
+// Stats returns resolution counters.
+func (r *Router) Stats() (resolved, unresolved uint64) {
+	return r.resolved, r.unresolved
+}
+
+// Members returns the current membership view including self (tests,
+// status).
+func (r *Router) Members() []ident.NodeRef { return r.members() }

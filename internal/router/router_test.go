@@ -1,0 +1,198 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cyclon"
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/simulation"
+	"repro/internal/timer"
+)
+
+func nodeRef(i int) ident.NodeRef {
+	return ident.NodeRef{Key: ident.Key(i * 100), Addr: network.Address{Host: "rt", Port: uint16(i)}}
+}
+
+// harness hosts one Router fed by scripted ring/sampling indications.
+type harness struct {
+	sim *simulation.Simulation
+	ctx *core.Ctx
+
+	Router    *Router
+	routOuter *core.Port
+	ringInner *core.Port // feeder's provided Ring port (inner view)
+	smpInner  *core.Port
+	found     []FoundSuccessor
+}
+
+// feeder provides Ring and PeerSampling ports the test scripts through.
+type feeder struct {
+	h *harness
+}
+
+func (f *feeder) Setup(ctx *core.Ctx) {
+	f.h.ringInner = ctx.Provides(ring.PortType)
+	f.h.smpInner = ctx.Provides(cyclon.PortType)
+}
+
+// host wires the router under test to the feeder and a simulated timer.
+type host struct {
+	h    *harness
+	self ident.NodeRef
+}
+
+func (ho *host) Setup(ctx *core.Ctx) {
+	ho.h.ctx = ctx
+	fd := &feeder{h: ho.h}
+	fdC := ctx.Create("feeder", fd)
+	tm := ctx.Create("timer", simulation.NewTimer(ho.h.sim))
+	ho.h.Router = New(Config{Self: ho.self, EntryTTL: 5 * time.Second, SweepPeriod: time.Second})
+	rtC := ctx.Create("router", ho.h.Router)
+	ctx.Connect(rtC.Required(ring.PortType), fdC.Provided(ring.PortType))
+	ctx.Connect(rtC.Required(cyclon.PortType), fdC.Provided(cyclon.PortType))
+	ctx.Connect(rtC.Required(timer.PortType), tm.Provided(timer.PortType))
+	ho.h.routOuter = rtC.Provided(PortType)
+	core.Subscribe(ctx, ho.h.routOuter, func(f FoundSuccessor) {
+		ho.h.found = append(ho.h.found, f)
+	})
+}
+
+func newHarness(t *testing.T, self ident.NodeRef) *harness {
+	t.Helper()
+	h := &harness{sim: simulation.New(31)}
+	h.sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("host", &host{h: h, self: self})
+	}))
+	h.sim.Settle()
+	return h
+}
+
+// feedNeighbors injects a ring NeighborsChanged indication.
+func (h *harness) feedNeighbors(pred ident.NodeRef, succs ...ident.NodeRef) {
+	_ = core.TriggerOn(h.ringInner, ring.NeighborsChanged{Pred: pred, Succs: succs})
+	h.sim.Settle()
+}
+
+// feedSample injects a peer-sampling indication.
+func (h *harness) feedSample(peers ...ident.NodeRef) {
+	_ = core.TriggerOn(h.smpInner, cyclon.PeersSample{Peers: peers})
+	h.sim.Settle()
+}
+
+func (h *harness) find(id uint64, key ident.Key, count int) {
+	_ = core.TriggerOn(h.routOuter, FindSuccessor{ReqID: id, Key: key, Count: count})
+	h.sim.Settle()
+}
+
+func TestResolveSelfOnlyRing(t *testing.T) {
+	self := nodeRef(1)
+	h := newHarness(t, self)
+	h.find(1, 42, 3)
+	if len(h.found) != 1 {
+		t.Fatalf("no answer")
+	}
+	g := h.found[0].Group
+	if len(g) != 1 || g[0] != self {
+		t.Fatalf("group %v, want [self]", g)
+	}
+}
+
+func TestResolveUsesRingAndSamples(t *testing.T) {
+	self := nodeRef(2) // key 200
+	h := newHarness(t, self)
+	h.feedNeighbors(nodeRef(1), nodeRef(3), nodeRef(4))
+	h.feedSample(nodeRef(5), nodeRef(6))
+	if h.Router.TableSize() != 5 {
+		t.Fatalf("table %d, want 5", h.Router.TableSize())
+	}
+	// Successor of 250 is node 3 (key 300), then 4, 5.
+	h.find(1, 250, 3)
+	g := h.found[0].Group
+	if len(g) != 3 || g[0] != nodeRef(3) || g[1] != nodeRef(4) || g[2] != nodeRef(5) {
+		t.Fatalf("group %v", g)
+	}
+	// Wrap-around: successor of 650 is node 1 (smallest key).
+	h.find(2, 650, 2)
+	g = h.found[1].Group
+	if g[0] != nodeRef(1) || g[1] != nodeRef(2) {
+		t.Fatalf("wrapped group %v", g)
+	}
+}
+
+func TestResolveExactKey(t *testing.T) {
+	h := newHarness(t, nodeRef(2))
+	h.feedSample(nodeRef(1), nodeRef(3))
+	h.find(1, ident.Key(300), 1) // exactly node 3's key
+	if g := h.found[0].Group; len(g) != 1 || g[0] != nodeRef(3) {
+		t.Fatalf("group %v, want [node3]", g)
+	}
+}
+
+func TestCountClamp(t *testing.T) {
+	h := newHarness(t, nodeRef(1))
+	h.feedSample(nodeRef(2))
+	h.find(1, 0, 10)
+	if g := h.found[0].Group; len(g) != 2 {
+		t.Fatalf("group %v, want both nodes", g)
+	}
+	h.find(2, 0, 0) // zero count → 1
+	if g := h.found[1].Group; len(g) != 1 {
+		t.Fatalf("group %v, want 1", g)
+	}
+}
+
+func TestEntriesExpireWithoutRefresh(t *testing.T) {
+	h := newHarness(t, nodeRef(1))
+	h.feedSample(nodeRef(2), nodeRef(3))
+	if h.Router.TableSize() != 2 {
+		t.Fatalf("table %d", h.Router.TableSize())
+	}
+	// EntryTTL is 5s; run 8s with no refresh.
+	h.sim.Run(8 * time.Second)
+	if h.Router.TableSize() != 0 {
+		t.Fatalf("stale entries survived: %d", h.Router.TableSize())
+	}
+	// Self is always resolvable.
+	h.find(1, 42, 2)
+	if g := h.found[0].Group; len(g) != 1 || g[0] != nodeRef(1) {
+		t.Fatalf("group %v", g)
+	}
+}
+
+func TestRefreshKeepsEntriesAlive(t *testing.T) {
+	h := newHarness(t, nodeRef(1))
+	for i := 0; i < 10; i++ {
+		h.feedSample(nodeRef(2))
+		h.sim.Run(time.Second)
+	}
+	if h.Router.TableSize() != 1 {
+		t.Fatalf("refreshed entry expired")
+	}
+}
+
+func TestSelfAndZeroRefsNotLearned(t *testing.T) {
+	self := nodeRef(1)
+	h := newHarness(t, self)
+	h.feedSample(self, ident.NodeRef{})
+	h.feedNeighbors(ident.NodeRef{}, self)
+	if h.Router.TableSize() != 0 {
+		t.Fatalf("learned self/zero: %d", h.Router.TableSize())
+	}
+	members := h.Router.Members()
+	if len(members) != 1 || members[0] != self {
+		t.Fatalf("members %v", members)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	h := newHarness(t, nodeRef(1))
+	h.find(1, 5, 1)
+	resolved, unresolved := h.Router.Stats()
+	if resolved != 1 || unresolved != 0 {
+		t.Fatalf("stats %d/%d", resolved, unresolved)
+	}
+}

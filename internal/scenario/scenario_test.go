@@ -1,0 +1,409 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simulation"
+)
+
+// Command events, as a system under test would define them.
+
+type joinCmd struct{ ID uint64 }
+type failCmd struct{ ID uint64 }
+type lookupCmd struct{ Node, Key uint64 }
+type noopCmd struct{}
+
+func join(id uint64) core.Event     { return joinCmd{ID: id} }
+func fail(id uint64) core.Event     { return failCmd{ID: id} }
+func lookup(n, k uint64) core.Event { return lookupCmd{Node: n, Key: k} }
+
+var experimentPort = core.NewPortType("Experiment",
+	core.Request[joinCmd](),
+	core.Request[failCmd](),
+	core.Request[lookupCmd](),
+	core.Request[noopCmd](),
+)
+
+// paperScenario builds the exact composition from §4.4: boot, then churn 2s
+// after boot terminates, lookups 3s after churn starts, terminate 1s after
+// lookups terminate. Counts are scaled down for test speed.
+func paperScenario() (*Scenario, *Process, *Process, *Process) {
+	boot := NewProcess("boot").
+		EventInterArrivalTime(ExponentialDuration(2 * time.Second))
+	Raise1(boot, 100, join, UniformBits(16))
+
+	churn := NewProcess("churn").
+		EventInterArrivalTime(ExponentialDuration(500 * time.Millisecond))
+	Raise1(churn, 50, join, UniformBits(16))
+	Raise1(churn, 50, fail, UniformBits(16))
+
+	lookups := NewProcess("lookups").
+		EventInterArrivalTime(NormalDuration(50*time.Millisecond, 10*time.Millisecond))
+	Raise2(lookups, 500, lookup, UniformBits(16), UniformBits(14))
+
+	sc := New().
+		Start(boot).
+		StartAfterTerminationOf(churn, 2*time.Second, boot).
+		StartAfterStartOf(lookups, 3*time.Second, churn)
+	sc.TerminateAfterTerminationOf(time.Second, lookups)
+	return sc, boot, churn, lookups
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sc, _, _, _ := paperScenario()
+	s1, err := sc.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sc.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Events) != len(s2.Events) || s1.End != s2.End {
+		t.Fatalf("same seed, different schedules")
+	}
+	for i := range s1.Events {
+		if s1.Events[i] != s2.Events[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+	s3, err := sc.Generate(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Events) == len(s3.Events) {
+		same := true
+		for i := range s1.Events {
+			if s1.Events[i] != s3.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestScheduleOrderedAndComposed(t *testing.T) {
+	sc, _, _, _ := paperScenario()
+	sched, err := sc.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) == 0 {
+		t.Fatalf("empty schedule")
+	}
+	var prev time.Duration
+	var bootEnd, churnStart time.Duration
+	counts := map[string]int{}
+	for _, ev := range sched.Events {
+		if ev.At < prev {
+			t.Fatalf("schedule not time-ordered")
+		}
+		prev = ev.At
+		counts[ev.Process]++
+		switch ev.Process {
+		case "boot":
+			if ev.At > bootEnd {
+				bootEnd = ev.At
+			}
+		case "churn":
+			if churnStart == 0 || ev.At < churnStart {
+				churnStart = ev.At
+			}
+		}
+	}
+	if counts["boot"] != 100 {
+		t.Fatalf("boot raised %d events, want 100", counts["boot"])
+	}
+	if counts["churn"] == 0 || counts["lookups"] == 0 {
+		t.Fatalf("churn/lookups missing: %v", counts)
+	}
+	// Sequential composition: churn starts at least 2s after boot's last
+	// event.
+	if churnStart < bootEnd+2*time.Second {
+		t.Fatalf("churn started %v, boot ended %v: sequential composition violated", churnStart, bootEnd)
+	}
+	// Termination cut: no event beyond End.
+	if sched.Events[len(sched.Events)-1].At > sched.End {
+		t.Fatalf("event after scenario end")
+	}
+}
+
+func TestChurnInterleavesJoinsAndFailures(t *testing.T) {
+	churn := NewProcess("churn").EventInterArrivalTime(ConstantDuration(time.Millisecond))
+	Raise1(churn, 50, join, UniformBits(8))
+	Raise1(churn, 50, fail, UniformBits(8))
+	sc := New().Start(churn)
+	sched, err := sc.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 100 {
+		t.Fatalf("churn generated %d events, want 100", len(sched.Events))
+	}
+	// Not all joins first: the two raises must interleave.
+	firstFail, lastJoin := -1, -1
+	joins, fails := 0, 0
+	for i, ev := range sched.Events {
+		switch ev.Event.(type) {
+		case joinCmd:
+			joins++
+			lastJoin = i
+		case failCmd:
+			fails++
+			if firstFail < 0 {
+				firstFail = i
+			}
+		}
+	}
+	if joins != 50 || fails != 50 {
+		t.Fatalf("joins=%d fails=%d", joins, fails)
+	}
+	if firstFail > lastJoin {
+		t.Fatalf("no interleaving: all joins before all failures")
+	}
+}
+
+func TestAnchorErrors(t *testing.T) {
+	a := NewProcess("a")
+	b := NewProcess("b")
+	// b anchored to a, but a never started.
+	sc := New().StartAfterStartOf(b, time.Second, a)
+	if _, err := sc.Generate(1); err == nil {
+		t.Fatalf("undefined anchor must error")
+	}
+	sc2 := New().StartAfterTerminationOf(b, time.Second, a)
+	if _, err := sc2.Generate(1); err == nil {
+		t.Fatalf("undefined termination anchor must error")
+	}
+	sc3 := New().Start(a).Start(a)
+	if _, err := sc3.Generate(1); err == nil {
+		t.Fatalf("double start must error")
+	}
+	c := NewProcess("c")
+	sc4 := New().Start(a)
+	sc4.TerminateAfterTerminationOf(time.Second, c)
+	if _, err := sc4.Generate(1); err == nil {
+		t.Fatalf("unknown termination anchor must error")
+	}
+}
+
+func TestRaise0AndStartAt(t *testing.T) {
+	p := NewProcess("p").EventInterArrivalTime(ConstantDuration(10 * time.Millisecond))
+	Raise0(p, 5, func() core.Event { return noopCmd{} })
+	sc := New().StartAt(p, time.Second)
+	sched, err := sc.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 5 {
+		t.Fatalf("%d events, want 5", len(sched.Events))
+	}
+	if sched.Events[0].At != time.Second+10*time.Millisecond {
+		t.Fatalf("first event at %v", sched.Events[0].At)
+	}
+	if sched.End != time.Second+50*time.Millisecond {
+		t.Fatalf("end %v", sched.End)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if d := UniformDuration(time.Millisecond, 2*time.Millisecond)(rng); d < time.Millisecond || d > 2*time.Millisecond {
+			t.Fatalf("uniform out of range: %v", d)
+		}
+		if d := NormalDuration(time.Millisecond, 5*time.Millisecond)(rng); d < 0 {
+			t.Fatalf("normal went negative: %v", d)
+		}
+		if d := ExponentialDuration(time.Millisecond)(rng); d < 0 {
+			t.Fatalf("exponential negative: %v", d)
+		}
+		if v := UniformBits(16)(rng); v >= 1<<16 {
+			t.Fatalf("uniform bits out of range: %d", v)
+		}
+		if v := UniformRange(10, 20)(rng); v < 10 || v >= 20 {
+			t.Fatalf("uniform range: %d", v)
+		}
+	}
+	if ConstantDuration(time.Second)(rng) != time.Second {
+		t.Fatalf("constant duration")
+	}
+	if ConstantInt(7)(rng) != 7 {
+		t.Fatalf("constant int")
+	}
+	if UniformDuration(time.Second, time.Second)(rng) != time.Second {
+		t.Fatalf("degenerate uniform duration")
+	}
+}
+
+func TestDistributionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { UniformBits(0) },
+		func() { UniformBits(64) },
+		func() { UniformRange(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- drivers -----------------------------------------------------------------
+
+// cmdSink provides the experiment port and records received commands.
+type cmdSink struct {
+	port *core.Port
+	got  []core.Event
+	at   []time.Time
+}
+
+func (cs *cmdSink) Setup(ctx *core.Ctx) {
+	cs.port = ctx.Provides(experimentPort)
+	rec := func(ev core.Event) {
+		cs.got = append(cs.got, ev)
+		cs.at = append(cs.at, ctx.Now())
+	}
+	core.Subscribe(ctx, cs.port, func(e joinCmd) { rec(e) })
+	core.Subscribe(ctx, cs.port, func(e failCmd) { rec(e) })
+	core.Subscribe(ctx, cs.port, func(e lookupCmd) { rec(e) })
+	core.Subscribe(ctx, cs.port, func(e noopCmd) { rec(e) })
+}
+
+func TestExecuteSimulatedDeliversAllCommandsAtVirtualTimes(t *testing.T) {
+	sc, _, _, _ := paperScenario()
+	sched, err := sc.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulation.New(11)
+	sink := &cmdSink{}
+	var target *core.Port
+	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("sink", sink)
+		target = c.Provided(experimentPort)
+	}))
+	sim.Run(0)
+	end := ExecuteSimulated(sim, sched, target)
+	if end != sched.End {
+		t.Fatalf("end mismatch")
+	}
+	stats := sim.Run(0)
+	if len(sink.got) != len(sched.Events) {
+		t.Fatalf("sink got %d commands, want %d", len(sink.got), len(sched.Events))
+	}
+	epoch := sink.at[0].Add(-sched.Events[0].At)
+	for i := range sink.got {
+		if sink.got[i] != sched.Events[i].Event {
+			t.Fatalf("command %d mismatch", i)
+		}
+		if got := sink.at[i].Sub(epoch); got != sched.Events[i].At {
+			t.Fatalf("command %d at %v, want %v", i, got, sched.Events[i].At)
+		}
+	}
+	if stats.DiscreteEvents == 0 {
+		t.Fatalf("no discrete events")
+	}
+}
+
+func TestExecuteRealTimeDeliversAll(t *testing.T) {
+	p := NewProcess("fast").EventInterArrivalTime(ConstantDuration(time.Millisecond))
+	Raise0(p, 20, func() core.Event { return noopCmd{} })
+	sc := New().Start(p)
+	sched, err := sc.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(
+		core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue),
+	)
+	defer rt.Shutdown()
+	sink := &cmdSink{}
+	var target *core.Port
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("sink", sink)
+		target = c.Provided(experimentPort)
+	}))
+	rt.WaitQuiescence(time.Second)
+	done, stop := ExecuteRealTime(sched, target)
+	defer stop()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("real-time driver did not finish")
+	}
+	rt.WaitQuiescence(time.Second)
+	if len(sink.got) != 20 {
+		t.Fatalf("sink got %d, want 20", len(sink.got))
+	}
+}
+
+func TestExecuteRealTimeStop(t *testing.T) {
+	p := NewProcess("slow").EventInterArrivalTime(ConstantDuration(time.Hour))
+	Raise0(p, 5, func() core.Event { return noopCmd{} })
+	sc := New().Start(p)
+	sched, err := sc.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(
+		core.WithScheduler(core.NewWorkStealingScheduler(1)),
+		core.WithFaultPolicy(core.LogAndContinue),
+	)
+	defer rt.Shutdown()
+	sink := &cmdSink{}
+	var target *core.Port
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("sink", sink)
+		target = c.Provided(experimentPort)
+	}))
+	done, stop := ExecuteRealTime(sched, target)
+	stop()
+	stop() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stop did not abort the driver")
+	}
+}
+
+// Property: schedules are always time-ordered and sized as the sum of
+// raise counts (when no termination cut applies).
+func TestPropertySchedulesOrderedAndComplete(t *testing.T) {
+	f := func(seed int64, nJoins, nFails uint8) bool {
+		p := NewProcess("p").EventInterArrivalTime(ExponentialDuration(time.Millisecond))
+		Raise1(p, int(nJoins), join, UniformBits(8))
+		Raise1(p, int(nFails), fail, UniformBits(8))
+		sc := New().Start(p)
+		sched, err := sc.Generate(seed)
+		if err != nil {
+			return false
+		}
+		if len(sched.Events) != int(nJoins)+int(nFails) {
+			return false
+		}
+		var prev time.Duration
+		for _, ev := range sched.Events {
+			if ev.At < prev {
+				return false
+			}
+			prev = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// LatencyModel draws a one-way message latency. It receives the emulator's
+// seeded random source, so latencies are deterministic per run.
+type LatencyModel func(rng *rand.Rand, src, dst network.Address) time.Duration
+
+// ConstantLatency returns a fixed one-way latency.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(*rand.Rand, network.Address, network.Address) time.Duration { return d }
+}
+
+// UniformLatency draws latencies uniformly from [lo, hi].
+func UniformLatency(lo, hi time.Duration) LatencyModel {
+	return func(rng *rand.Rand, _, _ network.Address) time.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// ExponentialLatency draws latencies from base plus an exponential tail
+// with the given mean.
+func ExponentialLatency(base, mean time.Duration) LatencyModel {
+	return func(rng *rand.Rand, _, _ network.Address) time.Duration {
+		return base + time.Duration(rng.ExpFloat64()*float64(mean))
+	}
+}
+
+// NetworkEmulator is the simulated Network provider shared by all emulated
+// transports of one simulation: a virtual-time network with a latency
+// model, probabilistic loss, and named partitions. It implements the
+// generic discrete-event network of the paper's simulation architecture
+// (§4.2).
+type NetworkEmulator struct {
+	sim     *Simulation
+	rng     *rand.Rand
+	latency LatencyModel
+	loss    float64
+
+	nodes      map[network.Address]*EmulatedTransport
+	partitions map[network.Address]int // address → partition group; absent = group 0
+
+	delivered, dropped, blocked, unroutable uint64
+}
+
+// EmulatorOption configures a NetworkEmulator.
+type EmulatorOption func(*NetworkEmulator)
+
+// WithLatency sets the latency model (default: constant 1ms).
+func WithLatency(m LatencyModel) EmulatorOption {
+	return func(e *NetworkEmulator) { e.latency = m }
+}
+
+// WithLoss drops each message independently with probability p.
+func WithLoss(p float64) EmulatorOption {
+	return func(e *NetworkEmulator) { e.loss = p }
+}
+
+// NewNetworkEmulator creates an emulator bound to the simulation; its
+// randomness derives from the simulation seed.
+func NewNetworkEmulator(sim *Simulation, opts ...EmulatorOption) *NetworkEmulator {
+	e := &NetworkEmulator{
+		sim:        sim,
+		rng:        rand.New(rand.NewSource(sim.Seed() ^ 0x6e657477)), // "netw"
+		latency:    ConstantLatency(time.Millisecond),
+		nodes:      make(map[network.Address]*EmulatedTransport),
+		partitions: make(map[network.Address]int),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Transport creates an emulated transport component definition for addr.
+func (e *NetworkEmulator) Transport(addr network.Address) *EmulatedTransport {
+	return &EmulatedTransport{emu: e, self: addr}
+}
+
+// Partition assigns nodes to a named partition group: messages only flow
+// between nodes in the same group. Group 0 is the default for all nodes.
+func (e *NetworkEmulator) Partition(group int, addrs ...network.Address) {
+	for _, a := range addrs {
+		e.partitions[a] = group
+	}
+}
+
+// Heal removes all partitions.
+func (e *NetworkEmulator) Heal() {
+	e.partitions = make(map[network.Address]int)
+}
+
+// Stats returns delivery counters: delivered, dropped by loss, blocked by
+// partitions, and unroutable.
+func (e *NetworkEmulator) Stats() (delivered, dropped, blocked, unroutable uint64) {
+	return e.delivered, e.dropped, e.blocked, e.unroutable
+}
+
+// send routes one message through the emulated network.
+func (e *NetworkEmulator) send(m network.Message) {
+	src, dst := m.Source(), m.Destination()
+	if e.partitions[src] != e.partitions[dst] {
+		e.blocked++
+		return
+	}
+	if e.loss > 0 && e.rng.Float64() < e.loss {
+		e.dropped++
+		return
+	}
+	d := e.latency(e.rng, src, dst)
+	e.sim.ScheduleAt(d, fmt.Sprintf("net:%s->%s", src, dst), func() {
+		t, ok := e.nodes[dst]
+		if !ok {
+			e.unroutable++
+			return
+		}
+		e.delivered++
+		_ = core.TriggerOn(t.port, m)
+	})
+}
+
+// EmulatedTransport is one node's Network provider inside the emulator.
+type EmulatedTransport struct {
+	emu  *NetworkEmulator
+	self network.Address
+	port *core.Port
+}
+
+var _ core.Definition = (*EmulatedTransport)(nil)
+
+// Setup declares the provided Network port and registers with the emulator
+// on Start (deregisters on Stop, so destroyed nodes become unroutable).
+func (t *EmulatedTransport) Setup(ctx *core.Ctx) {
+	t.port = ctx.Provides(network.PortType)
+	core.Subscribe(ctx, t.port, func(m network.Message) {
+		if m.Destination() == t.self {
+			_ = core.TriggerOn(t.port, m) // self-delivery, zero latency
+			return
+		}
+		t.emu.send(m)
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		t.emu.nodes[t.self] = t
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) {
+		if t.emu.nodes[t.self] == t {
+			delete(t.emu.nodes, t.self)
+		}
+	})
+}
+
+// Self returns the transport's address.
+func (t *EmulatedTransport) Self() network.Address { return t.self }

@@ -1,0 +1,111 @@
+package simulation
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timer"
+)
+
+// Timer is the simulated Timer provider: it satisfies exactly the same
+// port contract as timer.Real, but timeouts fire in virtual time through
+// the simulation's discrete-event queue, deterministically.
+type Timer struct {
+	sim  *Simulation
+	port *core.Port
+
+	oneShot map[timer.ID]*ScheduledEvent
+	period  map[timer.ID]*periodic
+}
+
+type periodic struct {
+	ev        *ScheduledEvent
+	cancelled bool
+}
+
+// NewTimer creates a simulated timer component definition bound to sim.
+func NewTimer(sim *Simulation) *Timer {
+	return &Timer{
+		sim:     sim,
+		oneShot: make(map[timer.ID]*ScheduledEvent),
+		period:  make(map[timer.ID]*periodic),
+	}
+}
+
+var _ core.Definition = (*Timer)(nil)
+
+// Setup declares the provided Timer port and subscribes request handlers.
+// No locking is needed: under the simulation scheduler all handlers and all
+// event firings run on one goroutine.
+func (t *Timer) Setup(ctx *core.Ctx) {
+	t.port = ctx.Provides(timer.PortType)
+	core.Subscribe(ctx, t.port, t.handleSchedule)
+	core.Subscribe(ctx, t.port, t.handlePeriodic)
+	core.Subscribe(ctx, t.port, func(c timer.CancelTimeout) {
+		if ev, ok := t.oneShot[c.ID]; ok {
+			ev.Cancel()
+			delete(t.oneShot, c.ID)
+		}
+	})
+	core.Subscribe(ctx, t.port, func(c timer.CancelPeriodic) {
+		if p, ok := t.period[c.ID]; ok {
+			p.cancelled = true
+			if p.ev != nil {
+				p.ev.Cancel()
+			}
+			delete(t.period, c.ID)
+		}
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) { t.cancelAll() })
+}
+
+func (t *Timer) handleSchedule(st timer.ScheduleTimeout) {
+	id := st.Timeout.TimeoutID()
+	ev := st.Timeout
+	t.oneShot[id] = t.sim.ScheduleAt(st.Delay, fmt.Sprintf("timeout:%d", id), func() {
+		delete(t.oneShot, id)
+		_ = core.TriggerOn(t.port, ev)
+	})
+}
+
+func (t *Timer) handlePeriodic(sp timer.SchedulePeriodic) {
+	id := sp.Timeout.TimeoutID()
+	period := sp.Period
+	if period <= 0 {
+		period = 1
+	}
+	p := &periodic{}
+	t.period[id] = p
+	ev := sp.Timeout
+	var arm func(delay time.Duration)
+	arm = func(delay time.Duration) {
+		p.ev = t.sim.ScheduleAt(delay, fmt.Sprintf("periodic:%d", id), func() {
+			if p.cancelled {
+				return
+			}
+			arm(period)
+			_ = core.TriggerOn(t.port, ev)
+		})
+	}
+	arm(sp.Delay)
+}
+
+func (t *Timer) cancelAll() {
+	for id, ev := range t.oneShot {
+		ev.Cancel()
+		delete(t.oneShot, id)
+	}
+	for id, p := range t.period {
+		p.cancelled = true
+		if p.ev != nil {
+			p.ev.Cancel()
+		}
+		delete(t.period, id)
+	}
+}
+
+// Pending returns outstanding one-shot and periodic counts (tests).
+func (t *Timer) Pending() (oneShot, periodicN int) {
+	return len(t.oneShot), len(t.period)
+}

@@ -1,0 +1,105 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timer"
+)
+
+// timerWorld wires one simulated timer to a counting client.
+type timerWorld struct {
+	sim   *Simulation
+	Timer *Timer
+	ctx   *core.Ctx
+	port  *core.Port
+	comp  *core.Component
+	ticks int
+}
+
+func newTimerWorld(t *testing.T) *timerWorld {
+	t.Helper()
+	w := &timerWorld{sim: New(3)}
+	w.Timer = NewTimer(w.sim)
+	w.sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		tm := ctx.Create("timer", w.Timer)
+		w.comp = tm
+		cl := ctx.Create("client", core.SetupFunc(func(cx *core.Ctx) {
+			w.ctx = cx
+			w.port = cx.Requires(timer.PortType)
+			core.Subscribe(cx, w.port, func(tick) { w.ticks++ })
+		}))
+		ctx.Connect(tm.Provided(timer.PortType), cl.Required(timer.PortType))
+	}))
+	w.sim.Run(0)
+	return w
+}
+
+func TestSimTimerStopCancelsAll(t *testing.T) {
+	w := newTimerWorld(t)
+	w.ctx.Trigger(timer.ScheduleTimeout{
+		Delay:   50 * time.Millisecond,
+		Timeout: tick{Timeout: timer.Timeout{ID: timer.NextID()}},
+	}, w.port)
+	w.ctx.Trigger(timer.SchedulePeriodic{
+		Delay:   10 * time.Millisecond,
+		Period:  10 * time.Millisecond,
+		Timeout: tick{Timeout: timer.Timeout{ID: timer.NextID()}},
+	}, w.port)
+	w.sim.Run(25 * time.Millisecond)
+	if w.ticks != 2 {
+		t.Fatalf("ticks before stop: %d, want 2", w.ticks)
+	}
+	one, per := w.Timer.Pending()
+	if one != 1 || per != 1 {
+		t.Fatalf("pending %d/%d, want 1/1", one, per)
+	}
+	// Stop the timer component: everything pending is cancelled.
+	_ = core.TriggerOn(w.comp.Control(), core.Stop{})
+	w.sim.Run(200 * time.Millisecond)
+	if w.ticks != 2 {
+		t.Fatalf("timers fired after Stop: %d", w.ticks)
+	}
+	one, per = w.Timer.Pending()
+	if one != 0 || per != 0 {
+		t.Fatalf("pending after stop: %d/%d", one, per)
+	}
+}
+
+func TestSimTimerCancelUnknownIsNoOp(t *testing.T) {
+	w := newTimerWorld(t)
+	w.ctx.Trigger(timer.CancelTimeout{ID: 424242}, w.port)
+	w.ctx.Trigger(timer.CancelPeriodic{ID: 424242}, w.port)
+	w.sim.Run(10 * time.Millisecond)
+	if w.ticks != 0 {
+		t.Fatalf("phantom ticks: %d", w.ticks)
+	}
+}
+
+func TestSimTimerPeriodicZeroClamped(t *testing.T) {
+	w := newTimerWorld(t)
+	id := timer.NextID()
+	w.ctx.Trigger(timer.SchedulePeriodic{
+		Delay:   0,
+		Period:  0, // clamped to 1ns
+		Timeout: tick{Timeout: timer.Timeout{ID: id}},
+	}, w.port)
+	w.sim.Run(5 * time.Nanosecond)
+	if w.ticks < 2 {
+		t.Fatalf("clamped periodic fired %d times", w.ticks)
+	}
+	w.ctx.Trigger(timer.CancelPeriodic{ID: id}, w.port)
+}
+
+func TestSimTimerOneShotFiresExactlyOnce(t *testing.T) {
+	w := newTimerWorld(t)
+	w.ctx.Trigger(timer.ScheduleTimeout{
+		Delay:   time.Millisecond,
+		Timeout: tick{Timeout: timer.Timeout{ID: timer.NextID()}},
+	}, w.port)
+	w.sim.Run(time.Second)
+	if w.ticks != 1 {
+		t.Fatalf("one-shot fired %d times", w.ticks)
+	}
+}

@@ -1,0 +1,25 @@
+// Package status defines the Status port abstraction of the paper: every
+// functional component of a node provides a Status port accepting
+// StatusRequests and delivering StatusResponses, which the monitoring
+// client and the node's web application aggregate.
+package status
+
+import "repro/internal/core"
+
+// Request asks a component for a snapshot of its internal metrics.
+type Request struct {
+	ReqID uint64
+}
+
+// Response carries one component's metrics snapshot.
+type Response struct {
+	ReqID     uint64
+	Component string
+	Metrics   map[string]int64
+}
+
+// PortType is the Status service abstraction.
+var PortType = core.NewPortType("Status",
+	core.Request[Request](),
+	core.Indication[Response](),
+)

@@ -1,0 +1,180 @@
+// Package web implements the paper's Web abstraction: components expose a
+// user-friendly status/interaction surface by providing a Web port that
+// accepts Request events and answers with Response events. The Bridge
+// component (the Jetty equivalent) embeds a net/http server and converts
+// every HTTP request into a Request event on its required Web port,
+// correlating the Response back to the HTTP client.
+package web
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Request is one web request entering the component system.
+type Request struct {
+	ReqID uint64
+	// Path is the URL path, e.g. "/status".
+	Path string
+	// Query is the raw query string.
+	Query string
+}
+
+// Response answers a Request.
+type Response struct {
+	ReqID  uint64
+	Status int
+	// ContentType defaults to text/html when empty.
+	ContentType string
+	Body        string
+}
+
+// PortType is the Web service abstraction: application components provide
+// it; the HTTP bridge requires it.
+var PortType = core.NewPortType("Web",
+	core.Request[Request](),
+	core.Indication[Response](),
+)
+
+// BridgeConfig parameterizes an HTTP bridge.
+type BridgeConfig struct {
+	// Listen is the host:port to serve HTTP on.
+	Listen string
+	// Timeout bounds how long the bridge waits for a component Response
+	// (default 5s).
+	Timeout time.Duration
+}
+
+// Bridge is the embedded web server component: it requires a Web port and
+// forwards HTTP traffic through it.
+type Bridge struct {
+	cfg BridgeConfig
+
+	ctx  *core.Ctx
+	webP *core.Port
+
+	mu      sync.Mutex
+	waiters map[uint64]chan Response
+	seq     atomic.Uint64
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// NewBridge creates an HTTP bridge component definition.
+func NewBridge(cfg BridgeConfig) *Bridge {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Bridge{cfg: cfg, waiters: make(map[uint64]chan Response)}
+}
+
+var _ core.Definition = (*Bridge)(nil)
+
+// Setup declares the required Web port; the HTTP server starts on Start.
+func (b *Bridge) Setup(ctx *core.Ctx) {
+	b.ctx = ctx
+	b.webP = ctx.Requires(PortType)
+	core.Subscribe(ctx, b.webP, b.handleResponse)
+	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
+		if err := b.listen(); err != nil {
+			panic(fmt.Errorf("web: listen on %s: %w", b.cfg.Listen, err))
+		}
+	})
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) { b.shutdown() })
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (b *Bridge) Addr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ln == nil {
+		return ""
+	}
+	return b.ln.Addr().String()
+}
+
+func (b *Bridge) listen() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", b.cfg.Listen)
+	if err != nil {
+		return err
+	}
+	b.ln = ln
+	srv := &http.Server{Handler: http.HandlerFunc(b.serveHTTP)}
+	b.srv = srv
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+func (b *Bridge) shutdown() {
+	b.mu.Lock()
+	srv := b.srv
+	b.srv = nil
+	b.ln = nil
+	b.mu.Unlock()
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+// serveHTTP wraps one HTTP request into a Request event and waits for the
+// correlated Response.
+func (b *Bridge) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	id := b.seq.Add(1)
+	ch := make(chan Response, 1)
+	b.mu.Lock()
+	b.waiters[id] = ch
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.waiters, id)
+		b.mu.Unlock()
+	}()
+
+	if err := core.TriggerOn(b.webP, Request{ReqID: id, Path: r.URL.Path, Query: r.URL.RawQuery}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	select {
+	case resp := <-ch:
+		ct := resp.ContentType
+		if ct == "" {
+			ct = "text/html; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
+		status := resp.Status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		_, _ = fmt.Fprint(w, resp.Body)
+	case <-time.After(b.cfg.Timeout):
+		http.Error(w, "component response timeout", http.StatusGatewayTimeout)
+	}
+}
+
+// handleResponse resolves the waiting HTTP handler, if any.
+func (b *Bridge) handleResponse(resp Response) {
+	b.mu.Lock()
+	ch, ok := b.waiters[resp.ReqID]
+	b.mu.Unlock()
+	if ok {
+		select {
+		case ch <- resp:
+		default:
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package web
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// echoApp provides Web and answers with the request path.
+type echoApp struct {
+	delay bool // never answer when true (tests bridge timeout)
+}
+
+func (a *echoApp) Setup(ctx *core.Ctx) {
+	p := ctx.Provides(PortType)
+	core.Subscribe(ctx, p, func(r Request) {
+		if a.delay {
+			return
+		}
+		ctx.Trigger(Response{
+			ReqID:       r.ReqID,
+			Status:      200,
+			ContentType: "text/plain",
+			Body:        fmt.Sprintf("path=%s query=%s", r.Path, r.Query),
+		}, p)
+	})
+}
+
+func newWebWorld(t *testing.T, app core.Definition, timeout time.Duration) (*core.Runtime, *Bridge) {
+	t.Helper()
+	rt := core.New(
+		core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue),
+	)
+	t.Cleanup(rt.Shutdown)
+	bridge := NewBridge(BridgeConfig{Listen: "127.0.0.1:0", Timeout: timeout})
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		appC := ctx.Create("app", app)
+		brC := ctx.Create("bridge", bridge)
+		ctx.Connect(appC.Provided(PortType), brC.Required(PortType))
+	}))
+	if !rt.WaitQuiescence(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bridge.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if bridge.Addr() == "" {
+		t.Fatal("bridge never bound")
+	}
+	return rt, bridge
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestBridgeRoundTrip(t *testing.T) {
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+	code, body := httpGet(t, "http://"+bridge.Addr()+"/hello?x=1")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "path=/hello") || !strings.Contains(body, "query=x=1") {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestBridgeConcurrentRequests(t *testing.T) {
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+	done := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			_, body := httpGet(t, fmt.Sprintf("http://%s/req%d", bridge.Addr(), i))
+			done <- body
+		}(i)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		select {
+		case b := <-done:
+			seen[b] = true
+		case <-time.After(10 * time.Second):
+			t.Fatal("concurrent requests timed out")
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("responses collided: %d distinct", len(seen))
+	}
+}
+
+func TestBridgeTimeout(t *testing.T) {
+	_, bridge := newWebWorld(t, &echoApp{delay: true}, 100*time.Millisecond)
+	code, _ := httpGet(t, "http://"+bridge.Addr()+"/slow")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+}
+
+func TestBridgeShutdownStopsServing(t *testing.T) {
+	rt, bridge := newWebWorld(t, &echoApp{}, time.Second)
+	addr := bridge.Addr()
+	// Stop the whole tree: the bridge shuts its HTTP server down.
+	core.TriggerOn(rt.Root().Control(), core.Stop{}) //nolint:errcheck
+	rt.WaitQuiescence(5 * time.Second)
+	time.Sleep(50 * time.Millisecond)
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/x"); err == nil {
+		t.Fatalf("bridge still serving after shutdown")
+	}
+}
+
+func TestResponseDefaults(t *testing.T) {
+	// Response with zero status and no content type gets sane defaults.
+	rt := core.New(
+		core.WithScheduler(core.NewWorkStealingScheduler(1)),
+		core.WithFaultPolicy(core.LogAndContinue),
+	)
+	defer rt.Shutdown()
+	bridge := NewBridge(BridgeConfig{Listen: "127.0.0.1:0"})
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		appC := ctx.Create("app", core.SetupFunc(func(cx *core.Ctx) {
+			p := cx.Provides(PortType)
+			core.Subscribe(cx, p, func(r Request) {
+				cx.Trigger(Response{ReqID: r.ReqID, Body: "defaulted"}, p)
+			})
+		}))
+		brC := ctx.Create("bridge", bridge)
+		ctx.Connect(appC.Provided(PortType), brC.Required(PortType))
+	}))
+	rt.WaitQuiescence(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for bridge.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get("http://" + bridge.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+}
