@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-dispatch ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run; includes the deque and routing-cache stress tests in
+# internal/core (concurrent push/pop/steal, subscribe/unsubscribe under fire).
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (experiment macro-benchmarks take seconds per run).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Just the hot-path microbenchmarks: dispatch allocs and deque throughput.
+bench-dispatch:
+	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkDispatchAllocs|BenchmarkPingPongRoundTrip|BenchmarkChannelFanout' -benchmem -count=3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkWSDeque' -benchmem -count=3 ./internal/core/
+
+ci: vet build test-race

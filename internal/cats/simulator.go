@@ -2,6 +2,7 @@ package cats
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/abd"
@@ -146,11 +147,18 @@ type Simulator struct {
 	// MaxSeeds bounds how many existing nodes a joiner learns (default 3).
 	MaxSeeds int
 
-	ctx     *core.Ctx
-	exp     *core.Port
+	ctx *core.Ctx
+	exp *core.Port
+
+	// mu guards peers and metrics: handlers mutate them on a scheduler
+	// worker while real-time experiment drivers poll Metrics/AliveNodes/
+	// Peer from outside the runtime. pending and load are touched only by
+	// handlers (component-serial) and need no lock.
+	mu      sync.Mutex
 	peers   map[ident.Key]*peerHandle
-	pending map[uint64]*pendingOp
 	metrics Metrics
+
+	pending map[uint64]*pendingOp
 
 	// Closed-loop load state.
 	load struct {
@@ -190,22 +198,44 @@ func (s *Simulator) Setup(ctx *core.Ctx) {
 
 // Metrics returns a copy of the experiment counters collected so far.
 func (s *Simulator) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.metrics
 	m.OpLatencies = append([]time.Duration(nil), s.metrics.OpLatencies...)
 	return m
 }
 
+// bump applies one metrics mutation under the lock.
+func (s *Simulator) bump(f func(m *Metrics)) {
+	s.mu.Lock()
+	f(&s.metrics)
+	s.mu.Unlock()
+}
+
 // AliveCount returns the number of currently deployed nodes.
-func (s *Simulator) AliveCount() int { return len(s.peers) }
+func (s *Simulator) AliveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
 
 // AliveNodes returns the deployed node references, sorted by key.
 func (s *Simulator) AliveNodes() []ident.NodeRef {
+	s.mu.Lock()
 	out := make([]ident.NodeRef, 0, len(s.peers))
 	for _, h := range s.peers {
 		out = append(out, h.ref)
 	}
+	s.mu.Unlock()
 	ident.SortByKey(out)
 	return out
+}
+
+// peerOf looks up a deployed node's handle by exact key.
+func (s *Simulator) peerOf(key ident.Key) *peerHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers[key]
 }
 
 // Peer returns the handle of the node responsible for key (tests).
@@ -226,17 +256,17 @@ func addrOf(key ident.Key) network.Address {
 // smallest key >= key, wrapping (so scenario-drawn node IDs always hit an
 // alive node).
 func (s *Simulator) resolve(key ident.Key) *peerHandle {
-	if len(s.peers) == 0 {
+	refs := s.AliveNodes()
+	if len(refs) == 0 {
 		return nil
 	}
-	refs := s.AliveNodes()
 	n := ident.SuccessorOf(refs, key)
-	return s.peers[n.Key]
+	return s.peerOf(n.Key)
 }
 
 func (s *Simulator) handleJoin(j JoinNode) {
-	if _, exists := s.peers[j.Key]; exists {
-		s.metrics.Skipped++
+	if s.peerOf(j.Key) != nil {
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
 	self := ident.NodeRef{Key: j.Key, Addr: addrOf(j.Key)}
@@ -273,26 +303,30 @@ func (s *Simulator) handleJoin(j JoinNode) {
 	core.Subscribe(s.ctx, h.putget, s.handleGetResponse)
 	core.Subscribe(s.ctx, h.putget, s.handlePutResponse)
 	core.Subscribe(s.ctx, h.route, s.handleFound)
+	s.mu.Lock()
 	s.peers[j.Key] = h
-	s.ctx.Start(comp)
 	s.metrics.Joins++
+	s.mu.Unlock()
+	s.ctx.Start(comp)
 }
 
 func (s *Simulator) handleFail(f FailNode) {
 	h := s.resolve(f.Key)
 	if h == nil {
-		s.metrics.Skipped++
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
+	s.mu.Lock()
 	delete(s.peers, h.ref.Key)
-	s.ctx.Destroy(h.comp) // crash: queues dropped, no leave protocol
 	s.metrics.Fails++
+	s.mu.Unlock()
+	s.ctx.Destroy(h.comp) // crash: queues dropped, no leave protocol
 }
 
 func (s *Simulator) handleLookup(l OpLookup) {
 	h := s.resolve(l.NodeKey)
 	if h == nil {
-		s.metrics.Skipped++
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
 	id := simReqBase + NextReqID()
@@ -307,7 +341,7 @@ func (s *Simulator) handleLookup(l OpLookup) {
 func (s *Simulator) handlePut(p OpPut) {
 	h := s.resolve(p.NodeKey)
 	if h == nil {
-		s.metrics.Skipped++
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
 	id := simReqBase + NextReqID()
@@ -318,7 +352,7 @@ func (s *Simulator) handlePut(p OpPut) {
 func (s *Simulator) handleGet(g OpGet) {
 	h := s.resolve(g.NodeKey)
 	if h == nil {
-		s.metrics.Skipped++
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
 	id := simReqBase + NextReqID()
@@ -329,8 +363,8 @@ func (s *Simulator) handleGet(g OpGet) {
 // handleStartLoad begins the closed-loop workload: Clients operations are
 // issued immediately; every completion launches the next until TotalOps.
 func (s *Simulator) handleStartLoad(l StartLoad) {
-	if len(s.peers) == 0 || l.Clients <= 0 || l.TotalOps <= 0 {
-		s.metrics.Skipped++
+	if s.AliveCount() == 0 || l.Clients <= 0 || l.TotalOps <= 0 {
+		s.bump(func(m *Metrics) { m.Skipped++ })
 		return
 	}
 	s.load.active = true
@@ -344,8 +378,10 @@ func (s *Simulator) handleStartLoad(l StartLoad) {
 	if s.load.keys <= 0 {
 		s.load.keys = 256
 	}
-	s.metrics.LoadStart = s.ctx.Now()
-	s.metrics.LoadEnd = s.metrics.LoadStart
+	s.bump(func(m *Metrics) {
+		m.LoadStart = s.ctx.Now()
+		m.LoadEnd = m.LoadStart
+	})
 	clients := l.Clients
 	if clients > l.TotalOps {
 		clients = l.TotalOps
@@ -362,7 +398,7 @@ func (s *Simulator) issueLoadOp() {
 	}
 	s.load.left--
 	refs := s.AliveNodes()
-	h := s.peers[refs[s.ctx.Rand().Intn(len(refs))].Key]
+	h := s.peerOf(refs[s.ctx.Rand().Intn(len(refs))].Key)
 	key := fmt.Sprintf("load-%d", s.ctx.Rand().Intn(s.load.keys))
 	id := simReqBase + NextReqID()
 	if s.ctx.Rand().Float64() < s.load.readFraction {
@@ -377,10 +413,13 @@ func (s *Simulator) issueLoadOp() {
 // loadOpDone records a completed closed-loop operation and chains the
 // next.
 func (s *Simulator) loadOpDone(op *pendingOp) {
-	s.metrics.LoadDone++
-	s.metrics.LoadEnd = s.ctx.Now()
-	s.metrics.LoadLatencySum += s.ctx.Now().Sub(op.start)
-	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+	now := s.ctx.Now()
+	s.bump(func(m *Metrics) {
+		m.LoadDone++
+		m.LoadEnd = now
+		m.LoadLatencySum += now.Sub(op.start)
+		m.OpLatencies = append(m.OpLatencies, now.Sub(op.start))
+	})
 	s.issueLoadOp()
 }
 
@@ -390,11 +429,14 @@ func (s *Simulator) handleFound(f router.FoundSuccessor) {
 		return
 	}
 	delete(s.pending, f.ReqID)
-	s.metrics.Lookups++
-	if len(f.Group) == 0 {
-		s.metrics.LookupsEmpty++
-	}
-	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+	now := s.ctx.Now()
+	s.bump(func(m *Metrics) {
+		m.Lookups++
+		if len(f.Group) == 0 {
+			m.LookupsEmpty++
+		}
+		m.OpLatencies = append(m.OpLatencies, now.Sub(op.start))
+	})
 }
 
 func (s *Simulator) handleGetResponse(g abd.GetResponse) {
@@ -403,16 +445,19 @@ func (s *Simulator) handleGetResponse(g abd.GetResponse) {
 		return
 	}
 	delete(s.pending, g.ReqID)
-	if g.Err != "" {
-		s.metrics.GetsFailed++
-	} else {
-		s.metrics.GetsOK++
-	}
+	s.bump(func(m *Metrics) {
+		if g.Err != "" {
+			m.GetsFailed++
+		} else {
+			m.GetsOK++
+		}
+	})
 	if op.load {
 		s.loadOpDone(op)
 		return
 	}
-	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+	now := s.ctx.Now()
+	s.bump(func(m *Metrics) { m.OpLatencies = append(m.OpLatencies, now.Sub(op.start)) })
 }
 
 func (s *Simulator) handlePutResponse(p abd.PutResponse) {
@@ -421,14 +466,17 @@ func (s *Simulator) handlePutResponse(p abd.PutResponse) {
 		return
 	}
 	delete(s.pending, p.ReqID)
-	if p.Err != "" {
-		s.metrics.PutsFailed++
-	} else {
-		s.metrics.PutsOK++
-	}
+	s.bump(func(m *Metrics) {
+		if p.Err != "" {
+			m.PutsFailed++
+		} else {
+			m.PutsOK++
+		}
+	})
 	if op.load {
 		s.loadOpDone(op)
 		return
 	}
-	s.metrics.OpLatencies = append(s.metrics.OpLatencies, s.ctx.Now().Sub(op.start))
+	now := s.ctx.Now()
+	s.bump(func(m *Metrics) { m.OpLatencies = append(m.OpLatencies, now.Sub(op.start)) })
 }

@@ -79,8 +79,10 @@ func (ch *Channel) Ends() (a, b *Port) {
 
 // forward carries an event that just crossed into half `from` onward to the
 // opposite endpoint. If the channel is held, or the destination end is
-// currently unplugged, the event is queued instead of dropped.
-func (ch *Channel) forward(ev Event, from *Port) {
+// currently unplugged, the event is queued instead of dropped. hint is the
+// scheduler locality hint of the originating trigger, threaded through the
+// synchronous forwarding chain (see Port.deliver).
+func (ch *Channel) forward(ev Event, from *Port, hint *worker) {
 	ch.mu.Lock()
 	dstEnd := ch.endIndexOfOther(from)
 	if dstEnd < 0 {
@@ -100,7 +102,7 @@ func (ch *Channel) forward(ev Event, from *Port) {
 	}
 	dst := ch.ends[dstEnd]
 	ch.mu.Unlock()
-	dst.present(ev)
+	dst.deliver(ev, hint)
 }
 
 // endIndexOfOther returns the slot index of the endpoint opposite to half p,

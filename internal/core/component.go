@@ -73,6 +73,14 @@ type Component struct {
 	sched atomic.Int32
 	life  atomic.Int32
 
+	// curWorker is the scheduler worker currently executing this
+	// component's handlers, set by the work-stealing scheduler around
+	// ExecuteOne. Ctx.Trigger reads it as a locality hint so events
+	// triggered from inside a handler schedule their destinations onto the
+	// triggering worker's own deque. It is advisory only: a stale or nil
+	// value merely costs locality, never correctness.
+	curWorker atomic.Pointer[worker]
+
 	ctx *Ctx
 }
 
@@ -88,6 +96,7 @@ func newComponent(rt *Runtime, parent *Component, name string, def Definition) *
 		required: make(map[*PortType]*portPair),
 	}
 	c.control = newPortPair(ControlPortType, c, true)
+	c.control.isControl = true
 	c.ctx = &Ctx{c: c}
 	rt.componentCreated(c)
 	def.Setup(c.ctx)
@@ -160,8 +169,10 @@ func (c *Component) Children() []*Component {
 }
 
 // enqueue appends a work item to the appropriate queue and makes the
-// component ready if it was idle.
-func (c *Component) enqueue(it workItem) {
+// component ready if it was idle. hint, when non-nil, is the worker whose
+// handler execution produced the event; it keeps the readied component on
+// that worker's own deque for cache locality.
+func (c *Component) enqueue(it workItem, hint *worker) {
 	if c.life.Load() == lifeDestroyed {
 		return // events to destroyed components are dropped
 	}
@@ -172,17 +183,24 @@ func (c *Component) enqueue(it workItem) {
 		c.mainQ.push(it)
 	}
 	c.qmu.Unlock()
-	c.wake()
+	c.wake(hint)
 }
 
-// wake schedules the component if it is idle and has runnable work.
-func (c *Component) wake() {
+// wake schedules the component if it is idle and has runnable work. When the
+// locality hint names a worker of this runtime's scheduler, the component is
+// submitted to that worker's own deque; otherwise it goes through the
+// scheduler's placement policy.
+func (c *Component) wake(hint *worker) {
 	if !c.hasRunnable() {
 		return
 	}
 	if c.sched.CompareAndSwap(schedIdle, schedReady) {
 		c.rt.componentReady(c)
-		c.rt.scheduler.Schedule(c)
+		if hint != nil && hint.sched.is(c.rt.scheduler) {
+			hint.submitLocal(c)
+		} else {
+			c.rt.scheduler.Schedule(c)
+		}
 	}
 }
 
@@ -253,8 +271,10 @@ func (c *Component) ExecuteOne() bool {
 	c.sched.Store(schedIdle)
 	// Re-wake BEFORE releasing this execution's active count: if more work
 	// is queued, the ready count never transiently reaches zero, so
-	// WaitQuiescence cannot observe a false quiescence mid-drain.
-	c.wake()
+	// WaitQuiescence cannot observe a false quiescence mid-drain. The
+	// executing worker (if any) is the locality hint, so a component with a
+	// backlog re-enters that worker's own deque.
+	c.wake(c.curWorker.Load())
 	c.rt.componentIdle(c)
 	return ok
 }
@@ -272,7 +292,7 @@ func (c *Component) runItem(it workItem) {
 		defer c.destroy()
 	}
 	for _, s := range it.subs {
-		if !s.active { // unsubscribed since delivery; owner-serial, safe read
+		if !s.active.Load() { // unsubscribed since delivery
 			continue
 		}
 		c.invoke(s, it.event)

@@ -917,8 +917,8 @@ func TestSchedulerStopIsIdempotent(t *testing.T) {
 	s.Stop() // must not panic or deadlock
 }
 
-func TestLFQueueFIFO(t *testing.T) {
-	q := newLFQueue()
+func TestWSDequeFIFO(t *testing.T) {
+	q := newWSDeque()
 	rt := newTestRuntime(t)
 	root := rt.MustBootstrap("Main", SetupFunc(func(*Ctx) {}))
 	waitQuiet(t, rt)
@@ -938,8 +938,8 @@ func TestLFQueueFIFO(t *testing.T) {
 	}
 }
 
-func TestLFQueueConcurrent(t *testing.T) {
-	q := newLFQueue()
+func TestWSDequeConcurrentPushPop(t *testing.T) {
+	q := newWSDeque()
 	rt := newTestRuntime(t)
 	root := rt.MustBootstrap("Main", SetupFunc(func(*Ctx) {}))
 	waitQuiet(t, rt)

@@ -69,7 +69,10 @@ func (x *Ctx) Control() *Port { return x.c.control.half(inner) }
 // event's type must be allowed by the port type in the direction the event
 // will travel; violations panic (→ Fault).
 func (x *Ctx) Trigger(ev Event, p *Port) {
-	if err := TriggerOn(p, ev); err != nil {
+	// When this component's handler is running on a scheduler worker, pass
+	// that worker down as a locality hint so components readied by this
+	// trigger land on its own deque (worker-local submission).
+	if err := triggerFrom(p, ev, x.c.curWorker.Load()); err != nil {
 		panic(err)
 	}
 }
@@ -79,7 +82,11 @@ func (x *Ctx) Trigger(ev Event, p *Port) {
 // entry point used by runtime bridges (network receive loops, timer
 // goroutines, experiment drivers, tests) that inject events from outside
 // any component.
-func TriggerOn(p *Port, ev Event) error {
+func TriggerOn(p *Port, ev Event) error { return triggerFrom(p, ev, nil) }
+
+// triggerFrom validates and delivers an event, carrying the scheduler
+// locality hint of the triggering execution context (nil outside workers).
+func triggerFrom(p *Port, ev Event, hint *worker) error {
 	if p == nil {
 		return fmt.Errorf("core: trigger: nil port")
 	}
@@ -91,7 +98,7 @@ func TriggerOn(p *Port, ev Event) error {
 		return fmt.Errorf("core: trigger: port type %s does not allow %T in direction %s",
 			p.pair.typ.Name(), ev, d)
 	}
-	p.present(ev)
+	p.deliver(ev, hint)
 	return nil
 }
 
@@ -119,11 +126,7 @@ func Subscribe[E Event](x *Ctx, p *Port, h func(E)) *Subscription {
 	if p.pair.typ == ControlPortType {
 		// The control port accepts any Init-style configuration event in
 		// addition to its declared lifecycle events; skip direction check.
-		p.pair.mu.Lock()
-		s.active = true
-		p.pair.subs[p.face-1] = append(p.pair.subs[p.face-1], s)
-		p.pair.generation++
-		p.pair.mu.Unlock()
+		p.pair.subscribeUnchecked(s)
 		return s
 	}
 	if err := p.pair.subscribe(s); err != nil {

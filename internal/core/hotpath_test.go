@@ -1,0 +1,376 @@
+package core
+
+// Stress tests and microbenchmarks for the zero-allocation dispatch hot
+// path: the work-stealing deque (deque.go) and the copy-on-write routing
+// table (port.go). The stress tests are written to run under -race: they
+// exercise concurrent push/pop/steal and subscribe/unsubscribe-under-fire
+// interleavings that the deterministic tests cannot reach.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWSDequeStressPushPopSteal hammers one deque with N producers, the
+// owner popping, and thieves range-stealing concurrently, then verifies
+// every pushed component was consumed exactly once.
+func TestWSDequeStressPushPopSteal(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 5000
+		thieves   = 3
+	)
+	total := producers * perProd
+
+	rt := newTestRuntime(t)
+	root := rt.MustBootstrap("Main", SetupFunc(func(*Ctx) {}))
+	waitQuiet(t, rt)
+
+	comps := make([]*Component, total)
+	index := make(map[*Component]int, total)
+	for i := range comps {
+		comps[i] = root.ctx.Create(fmt.Sprintf("s%d", i), SetupFunc(func(*Ctx) {}))
+		index[comps[i]] = i
+	}
+
+	d := newWSDeque()
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+
+	record := func(c *Component) {
+		if c == nil {
+			return
+		}
+		i, ok := index[c]
+		if !ok {
+			t.Error("deque returned unknown component")
+			return
+		}
+		if seen[i].Add(1) != 1 {
+			t.Errorf("component %d consumed twice", i)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				d.push(comps[p*perProd+i])
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	// Owner-style FIFO popper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if c := d.pop(); c != nil {
+				record(c)
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	// Thieves stealing half the visible queue in one CAS.
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []*Component
+			for {
+				n := d.size()/2 + 1
+				buf = d.stealInto(buf[:0], n)
+				for _, c := range buf {
+					record(c)
+				}
+				if len(buf) == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	deadline := time.After(30 * time.Second)
+	for consumed.Load() < int64(total) {
+		select {
+		case <-deadline:
+			close(stop)
+			t.Fatalf("consumed %d of %d before deadline", consumed.Load(), total)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if consumed.Load() != int64(total) {
+		t.Fatalf("consumed %d, want %d", consumed.Load(), total)
+	}
+}
+
+// TestWSDequeGrowUnderSteal forces repeated array growth while thieves are
+// active, checking the published-array handoff.
+func TestWSDequeGrowUnderSteal(t *testing.T) {
+	rt := newTestRuntime(t)
+	root := rt.MustBootstrap("Main", SetupFunc(func(*Ctx) {}))
+	waitQuiet(t, rt)
+	const total = 4096 // 64 initial capacity -> several doublings
+	comps := make([]*Component, total)
+	for i := range comps {
+		comps[i] = root.ctx.Create(fmt.Sprintf("g%d", i), SetupFunc(func(*Ctx) {}))
+	}
+
+	d := newWSDeque()
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var buf []*Component
+		for consumed.Load() < total {
+			buf = d.stealInto(buf[:0], 3)
+			consumed.Add(int64(len(buf)))
+		}
+	}()
+	for _, c := range comps {
+		d.push(c)
+	}
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d, want %d", consumed.Load(), total)
+	}
+	if d.size() != 0 {
+		t.Fatalf("deque not drained: %d left", d.size())
+	}
+}
+
+type stressEvent struct{ N int }
+
+var stressPort = NewPortType("StressPP", Request[stressEvent]())
+
+// TestRoutingCacheSubscribeUnderFire triggers a continuous event stream
+// while a second handler subscribes and unsubscribes concurrently,
+// validating that generation bumps invalidate the routing table: the
+// permanent handler misses nothing, the toggled handler receives events
+// only while subscribed, and a final subscribe/unsubscribe round observed
+// after quiescence proves the cache does not serve stale plans.
+func TestRoutingCacheSubscribeUnderFire(t *testing.T) {
+	rt := New(WithScheduler(NewWorkStealingScheduler(4)), WithFaultPolicy(LogAndContinue))
+	defer rt.Shutdown()
+
+	var base, toggled atomic.Int64
+	var port *Port
+	var sinkCtx *Ctx
+	var innerHalf *Port
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		sink := ctx.Create("sink", SetupFunc(func(cx *Ctx) {
+			sinkCtx = cx
+			innerHalf = cx.Provides(stressPort)
+			Subscribe(cx, innerHalf, func(stressEvent) { base.Add(1) })
+		}))
+		port = sink.Provided(stressPort)
+	}))
+	if !rt.WaitQuiescence(time.Second) {
+		t.Fatal("no initial quiescence")
+	}
+	inner := innerHalf // extra subscriptions attach to the same inner half
+
+	const events = 20000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < events; i++ {
+			if err := TriggerOn(port, stressEvent{N: i}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s := Subscribe(sinkCtx, inner, func(stressEvent) { toggled.Add(1) })
+			time.Sleep(50 * time.Microsecond)
+			sinkCtx.Unsubscribe(s)
+		}
+	}()
+	wg.Wait()
+	if !rt.WaitQuiescence(5 * time.Second) {
+		t.Fatal("no quiescence after fire")
+	}
+	if base.Load() != events {
+		t.Fatalf("base handler saw %d of %d events", base.Load(), events)
+	}
+
+	// Quiescent invalidation check: a fresh subscription must be visible to
+	// the very next trigger (the cached plan for stressEvent predates it).
+	var late atomic.Int64
+	s := Subscribe(sinkCtx, inner, func(stressEvent) { late.Add(1) })
+	if err := TriggerOn(port, stressEvent{N: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.WaitQuiescence(time.Second) {
+		t.Fatal("no quiescence after late subscribe")
+	}
+	if late.Load() != 1 {
+		t.Fatalf("late handler saw %d events, want 1 (stale routing plan?)", late.Load())
+	}
+	// And after unsubscribing, the next trigger must not reach it.
+	sinkCtx.Unsubscribe(s)
+	if err := TriggerOn(port, stressEvent{N: -2}); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.WaitQuiescence(time.Second) {
+		t.Fatal("no quiescence after late unsubscribe")
+	}
+	if late.Load() != 1 {
+		t.Fatalf("late handler saw %d events after unsubscribe, want 1", late.Load())
+	}
+}
+
+// TestRoutingCacheChannelAttachUnderFire attaches and detaches a channel
+// between rounds of traffic, checking that the frozen channel lists in
+// cached plans never go stale: requests triggered by the client while the
+// channel is connected reach the provider, requests while it is
+// disconnected do not, and no event is duplicated.
+func TestRoutingCacheChannelAttachUnderFire(t *testing.T) {
+	rt := New(WithScheduler(NewWorkStealingScheduler(4)), WithFaultPolicy(LogAndContinue))
+	defer rt.Shutdown()
+
+	var served atomic.Int64
+	var srv, cli *Component
+	var cliReq *Port // inner half of the client's required port
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		srv = ctx.Create("srv", SetupFunc(func(cx *Ctx) {
+			p := cx.Provides(stressPort)
+			Subscribe(cx, p, func(stressEvent) { served.Add(1) })
+		}))
+		cli = ctx.Create("cli", SetupFunc(func(cx *Ctx) {
+			cliReq = cx.Requires(stressPort)
+		}))
+	}))
+	if !rt.WaitQuiescence(time.Second) {
+		t.Fatal("no initial quiescence")
+	}
+
+	const rounds = 50
+	const perRound = 100
+	for r := 0; r < rounds; r++ {
+		ch := MustConnect(srv.Provided(stressPort), cli.Required(stressPort))
+		for i := 0; i < perRound; i++ {
+			if err := TriggerOn(cliReq, stressEvent{N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !rt.WaitQuiescence(2 * time.Second) {
+			t.Fatal("no quiescence mid-round")
+		}
+		ch.Disconnect()
+		// Requests triggered with the channel detached must not reach srv.
+		for i := 0; i < perRound; i++ {
+			if err := TriggerOn(cliReq, stressEvent{N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !rt.WaitQuiescence(2 * time.Second) {
+			t.Fatal("no quiescence mid-round")
+		}
+	}
+	if got, want := served.Load(), int64(rounds*perRound); got != want {
+		t.Fatalf("provider saw %d events, want %d", got, want)
+	}
+}
+
+// --- microbenchmarks --------------------------------------------------------
+
+// BenchmarkWSDequePushPop measures the uncontended owner push + FIFO pop
+// round trip (the steady-state scheduling cost of one ready component).
+func BenchmarkWSDequePushPop(b *testing.B) {
+	d := newWSDeque()
+	c := &Component{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.push(c)
+		if d.pop() == nil {
+			b.Fatal("pop returned nil")
+		}
+	}
+}
+
+// BenchmarkWSDequeStealHalf measures range-steal throughput: a victim deque
+// is refilled in batches and a thief claims half of it per stealInto call
+// (one CAS per batch). The reported ns/op is per stolen component.
+func BenchmarkWSDequeStealHalf(b *testing.B) {
+	d := newWSDeque()
+	c := &Component{}
+	var buf []*Component
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	stolen := 0
+	for stolen < b.N {
+		for i := 0; i < batch; i++ {
+			d.push(c)
+		}
+		for d.size() > 0 {
+			buf = d.stealInto(buf[:0], d.size()/2+1)
+			stolen += len(buf)
+		}
+	}
+}
+
+// BenchmarkWSDequeStealContended measures steal throughput with one
+// producer and several concurrent thieves fighting over the same victim.
+func BenchmarkWSDequeStealContended(b *testing.B) {
+	d := newWSDeque()
+	c := &Component{}
+	var consumed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []*Component
+			for {
+				buf = d.stealInto(buf[:0], d.size()/2+1)
+				consumed.Add(int64(len(buf)))
+				if len(buf) == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.push(c)
+	}
+	for consumed.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // face identifies which half of a port pair a *Port handle refers to.
@@ -50,19 +52,38 @@ type portPair struct {
 	typ      *PortType
 	owner    *Component
 	provided bool
+	// isControl marks the owner's control port pair, whose inner half must
+	// deliver lifecycle events to the owner even with no subscription.
+	isControl bool
+	// halves are the two canonical Port handles, indexed by face-1. All
+	// half() calls return pointers into this array, so the hot path never
+	// allocates a Port and handle identity is stable.
+	halves [2]Port
 
-	mu         sync.RWMutex
-	subs       [2][]*Subscription // indexed by face-1
-	chans      [2][]*Channel      // indexed by face-1
-	generation uint64             // bumped on any mutation, for diagnostics
+	mu    sync.RWMutex
+	subs  [2][]*Subscription // indexed by face-1
+	chans [2][]*Channel      // indexed by face-1
+	// gen is bumped (under mu) on any subscription or channel mutation; the
+	// routing tables below are valid only while their recorded generation
+	// matches it.
+	gen atomic.Uint64
+	// routes caches, per destination face, the precomputed delivery plan of
+	// every dynamic event type seen so far. Tables are immutable once
+	// published (copy-on-write) and replaced wholesale, so the steady-state
+	// dispatch path is one atomic load plus one map hit: no lock, no slice
+	// allocation, no subscription scan.
+	routes [2]atomic.Pointer[routeTable]
 }
 
 func newPortPair(typ *PortType, owner *Component, provided bool) *portPair {
-	return &portPair{typ: typ, owner: owner, provided: provided}
+	pp := &portPair{typ: typ, owner: owner, provided: provided}
+	pp.halves[inner-1] = Port{pair: pp, face: inner}
+	pp.halves[outer-1] = Port{pair: pp, face: outer}
+	return pp
 }
 
-// half returns the Port handle for one face of the pair.
-func (pp *portPair) half(f face) *Port { return &Port{pair: pp, face: f} }
+// half returns the canonical Port handle for one face of the pair.
+func (pp *portPair) half(f face) *Port { return &pp.halves[f-1] }
 
 // Type returns the port's type.
 func (p *Port) Type() *PortType { return p.pair.typ }
@@ -125,7 +146,11 @@ type Subscription struct {
 	eventT  EventType
 	name    string // handler name for diagnostics
 	handler func(Event)
-	active  bool // guarded by port.pair.mu
+	// active is cleared by unsubscribe and re-checked at execution time, so
+	// a handler never fires for events that were routed before the
+	// unsubscribe but not yet executed. Atomic because unsubscribe may run
+	// on any goroutine while a worker is mid-runItem.
+	active atomic.Bool
 }
 
 // EventType returns the event type the subscription accepts.
@@ -147,12 +172,19 @@ func (pp *portPair) subscribe(s *Subscription) error {
 		return fmt.Errorf("core: cannot subscribe handler for %s at %s: port type %s does not allow %s in direction %s",
 			s.eventT, s.port, pp.typ.Name(), s.eventT, in)
 	}
+	pp.subscribeUnchecked(s)
+	return nil
+}
+
+// subscribeUnchecked attaches a subscription without direction validation.
+// The control port uses it directly: control accepts any Init-style
+// configuration event in addition to its declared lifecycle events.
+func (pp *portPair) subscribeUnchecked(s *Subscription) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	s.active = true
+	s.active.Store(true)
 	pp.subs[s.port.face-1] = append(pp.subs[s.port.face-1], s)
-	pp.generation++
-	return nil
+	pp.gen.Add(1)
 }
 
 // unsubscribe detaches a subscription from its half. It is a no-op if the
@@ -164,8 +196,8 @@ func (pp *portPair) unsubscribe(s *Subscription) {
 	for i, cur := range list {
 		if cur == s {
 			pp.subs[s.port.face-1] = append(list[:i:i], list[i+1:]...)
-			s.active = false
-			pp.generation++
+			s.active.Store(false)
+			pp.gen.Add(1)
 			return
 		}
 	}
@@ -176,7 +208,7 @@ func (pp *portPair) attachChannel(f face, ch *Channel) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
 	pp.chans[f-1] = append(pp.chans[f-1], ch)
-	pp.generation++
+	pp.gen.Add(1)
 }
 
 // detachChannel removes a channel endpoint from one half.
@@ -187,10 +219,37 @@ func (pp *portPair) detachChannel(f face, ch *Channel) {
 	for i, cur := range list {
 		if cur == ch {
 			pp.chans[f-1] = append(list[:i:i], list[i+1:]...)
-			pp.generation++
+			pp.gen.Add(1)
 			return
 		}
 	}
+}
+
+// routeTable is an immutable snapshot of delivery plans for one destination
+// face, valid while gen matches the pair's generation counter. It is
+// replaced wholesale (copy-on-write) when a new dynamic type is planned.
+type routeTable struct {
+	gen   uint64
+	plans map[reflect.Type]*routePlan
+}
+
+// routePlan is the precomputed delivery of one dynamic event type crossing
+// into one face: the component enqueues (subscriptions pre-grouped by owner,
+// with the control flag and the implicit owner-lifecycle delivery already
+// resolved) and the frozen channel forwarding list.
+type routePlan struct {
+	deliveries []routeDelivery
+	chans      []*Channel
+}
+
+// routeDelivery is one enqueue of the plan. subs is shared by every event
+// that hits the plan; executeOne re-checks Subscription.active, so a stale
+// plan entry for an unsubscribed handler is skipped exactly as a stale
+// workItem was before planning existed.
+type routeDelivery struct {
+	dest    *Component
+	subs    []*Subscription
+	control bool
 }
 
 // present delivers an event at half p: the event crosses to the twin half,
@@ -201,82 +260,118 @@ func (pp *portPair) detachChannel(f face, ch *Channel) {
 // Delivery is synchronous enqueueing: by the time present returns, the
 // event sits in every destination component's queue, preserving FIFO order
 // per source component along every path.
-func (p *Port) present(ev Event) {
-	dst := p.twin()
-	pp := p.pair
+func (p *Port) present(ev Event) { p.deliver(ev, nil) }
 
+// deliver is present with a scheduler locality hint: when the event is
+// triggered from inside a worker's handler execution, from carries that
+// worker so newly readied components land on its own deque (see
+// Component.wake).
+func (p *Port) deliver(ev Event, from *worker) {
+	pp := p.pair
+	dst := p.twin()
+	dynT := reflect.TypeOf(ev)
+
+	gen := pp.gen.Load()
+	if tab := pp.routes[dst.face-1].Load(); tab != nil && tab.gen == gen {
+		if plan, ok := tab.plans[dynT]; ok {
+			plan.run(ev, dst, from)
+			return
+		}
+	}
+
+	plan, gen := pp.buildPlan(dst, dynT)
+	pp.publishPlan(dst.face, dynT, plan, gen)
+	plan.run(ev, dst, from)
+}
+
+// run executes a delivery plan for one event instance.
+func (plan *routePlan) run(ev Event, dst *Port, from *worker) {
+	for i := range plan.deliveries {
+		d := &plan.deliveries[i]
+		d.dest.enqueue(workItem{event: ev, subs: d.subs, control: d.control, via: dst}, from)
+	}
+	for _, ch := range plan.chans {
+		ch.forward(ev, dst, from)
+	}
+}
+
+// buildPlan computes the delivery plan for events of dynamic type dynT
+// crossing into half dst, returning it with the generation it is valid for.
+// It reproduces exactly the historical per-event matching semantics:
+// matching subscriptions grouped by owning component (all handlers of one
+// component for one event execute back-to-back with no interleaved foreign
+// event — the paper's Figure 7), and lifecycle events crossing into the
+// inner half of a control port always reaching the owner's control queue so
+// the runtime can intercept Start/Stop/Init/Kill.
+func (pp *portPair) buildPlan(dst *Port, dynT reflect.Type) (*routePlan, uint64) {
 	pp.mu.RLock()
-	subs := pp.subs[dst.face-1]
-	// Group matching handlers by owning component so that all handlers of
-	// one component for one event execute back-to-back with no interleaved
-	// foreign event (the paper's Figure 7 semantics).
-	var (
-		matched   []*Subscription
-		nowners   int
-		soleOwner *Component
-	)
-	dynT := DynamicTypeOf(ev)
-	for _, s := range subs {
-		if s.eventT.Accepts(dynT) {
-			if len(matched) == 0 {
-				soleOwner = s.owner
-				nowners = 1
-			} else if s.owner != soleOwner {
-				nowners = 2
-			}
+	defer pp.mu.RUnlock()
+	gen := pp.gen.Load() // stable: mutators bump only under mu.Lock
+
+	dynET := EventType{t: dynT}
+	var matched []*Subscription
+	for _, s := range pp.subs[dst.face-1] {
+		if s.eventT.Accepts(dynET) {
 			matched = append(matched, s)
 		}
 	}
-	chans := pp.chans[dst.face-1]
-	var fwd []*Channel
-	if len(chans) > 0 {
-		fwd = make([]*Channel, len(chans))
-		copy(fwd, chans)
-	}
-	pp.mu.RUnlock()
 
-	// Lifecycle events crossing into the inner half of a component's
-	// control port must reach the owner's control queue even with no user
-	// subscription, so the runtime can intercept Start/Stop/Init/Kill.
-	ownerControl := pp.owner != nil && pp == pp.owner.control && dst.face == inner
-
-	switch {
-	case nowners == 0:
-		if ownerControl {
-			pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
-		}
-	case nowners == 1:
-		if ownerControl && soleOwner != pp.owner {
-			// Foreign observer matched but owner did not: owner still gets
-			// the bare lifecycle item, observer gets a normal item.
-			pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
-			soleOwner.enqueue(workItem{event: ev, subs: matched, via: dst})
-		} else {
-			soleOwner.enqueue(workItem{event: ev, subs: matched, control: ownerControl, via: dst})
-		}
-	default:
-		// Rare: subscriptions at this half belong to several components
-		// (e.g. parent and grandparent observers). Deliver per owner.
-		byOwner := make(map[*Component][]*Subscription, 2)
-		order := make([]*Component, 0, 2)
-		for _, s := range matched {
-			if _, ok := byOwner[s.owner]; !ok {
-				order = append(order, s.owner)
-			}
-			byOwner[s.owner] = append(byOwner[s.owner], s)
-		}
-		if ownerControl {
-			if _, ok := byOwner[pp.owner]; !ok {
-				pp.owner.enqueue(workItem{event: ev, control: true, via: dst})
-			}
-		}
-		for _, owner := range order {
-			owner.enqueue(workItem{event: ev, subs: byOwner[owner], control: ownerControl && owner == pp.owner, via: dst})
-		}
+	plan := &routePlan{}
+	if n := len(pp.chans[dst.face-1]); n > 0 {
+		plan.chans = make([]*Channel, n)
+		copy(plan.chans, pp.chans[dst.face-1])
 	}
 
-	for _, ch := range fwd {
-		ch.forward(ev, dst)
+	ownerControl := pp.isControl && dst.face == inner
+
+	// Group matched subscriptions by owner, preserving first-match order.
+	var order []*Component
+	byOwner := make(map[*Component][]*Subscription, 2)
+	for _, s := range matched {
+		if _, ok := byOwner[s.owner]; !ok {
+			order = append(order, s.owner)
+		}
+		byOwner[s.owner] = append(byOwner[s.owner], s)
+	}
+
+	if ownerControl {
+		if _, ok := byOwner[pp.owner]; !ok {
+			// Owner has no matching handler but must still see the
+			// lifecycle event, ahead of any foreign observers.
+			plan.deliveries = append(plan.deliveries, routeDelivery{dest: pp.owner, control: true})
+		}
+	}
+	for _, owner := range order {
+		plan.deliveries = append(plan.deliveries, routeDelivery{
+			dest:    owner,
+			subs:    byOwner[owner],
+			control: ownerControl && owner == pp.owner,
+		})
+	}
+	return plan, gen
+}
+
+// publishPlan installs a freshly built plan into the face's route table via
+// copy-on-write. Concurrent publishers race benignly: a lost entry is simply
+// rebuilt on a later miss, and a table whose generation no longer matches is
+// never consulted.
+func (pp *portPair) publishPlan(f face, dynT reflect.Type, plan *routePlan, gen uint64) {
+	slot := &pp.routes[f-1]
+	for i := 0; i < 4; i++ {
+		cur := slot.Load()
+		if cur != nil && cur.gen > gen {
+			return // a newer snapshot exists; ours is stale
+		}
+		next := &routeTable{gen: gen, plans: make(map[reflect.Type]*routePlan, 4)}
+		if cur != nil && cur.gen == gen {
+			for k, v := range cur.plans {
+				next.plans[k] = v
+			}
+		}
+		next.plans[dynT] = plan
+		if slot.CompareAndSwap(cur, next) {
+			return
+		}
 	}
 }
 

@@ -34,9 +34,14 @@ func (r *ring) pop() (it workItem, ok bool) {
 // len returns the number of queued items.
 func (r *ring) len() int { return r.size }
 
-// reset drops all queued items.
+// reset drops all queued items but keeps the backing array, so a component
+// that drains and refills (or is reused after a lifecycle reset) does not
+// pay the growth allocations again. Entries are cleared so dropped events
+// do not pin their payloads against GC.
 func (r *ring) reset() {
-	r.buf = nil
+	for i := 0; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = workItem{}
+	}
 	r.head = 0
 	r.size = 0
 }

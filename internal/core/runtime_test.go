@@ -170,8 +170,8 @@ func TestSubscriptionAccessors(t *testing.T) {
 }
 
 // Property: under any single-threaded interleaving of pushes and pops the
-// lock-free queue behaves as a FIFO (model check).
-func TestPropertyLFQueueModel(t *testing.T) {
+// work-stealing deque behaves as a FIFO (model check).
+func TestPropertyWSDequeModel(t *testing.T) {
 	rt := newTestRuntime(t)
 	root := rt.MustBootstrap("Main", SetupFunc(func(*Ctx) {}))
 	waitQuiet(t, rt)
@@ -180,7 +180,7 @@ func TestPropertyLFQueueModel(t *testing.T) {
 		comps[i] = root.ctx.Create(string(rune('a'+i)), SetupFunc(func(*Ctx) {}))
 	}
 	f := func(ops []uint8) bool {
-		q := newLFQueue()
+		q := newWSDeque()
 		var model []*Component
 		for _, op := range ops {
 			if op%3 != 0 { // push twice as often as pop
@@ -201,7 +201,7 @@ func TestPropertyLFQueueModel(t *testing.T) {
 				model = model[1:]
 			}
 		}
-		if int(q.approxLen()) != len(model) {
+		if int(q.size()) != len(model) {
 			return false
 		}
 		return true

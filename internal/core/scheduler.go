@@ -1,7 +1,5 @@
 package core
 
-import "sync/atomic"
-
 // Scheduler decouples component behaviour from component execution: the
 // same (unchanged) component-based system runs under the multi-core
 // work-stealing scheduler in production and under a single-threaded
@@ -10,6 +8,11 @@ import "sync/atomic"
 // The runtime hands a component to Schedule exactly once per transition to
 // the ready state; the scheduler must eventually call ExecuteOne on it
 // (from exactly one goroutine at a time per component).
+//
+// The production scheduler's per-worker ready queues are array-based
+// work-stealing deques (see wsDeque in deque.go); the earlier node-based
+// Michael–Scott queue was replaced because it allocated one node per
+// Schedule on the dispatch hot path.
 type Scheduler interface {
 	// Schedule notifies the scheduler that a component became ready. It
 	// may be called from worker goroutines (a handler triggered events)
@@ -20,90 +23,4 @@ type Scheduler interface {
 	// Stop shuts the scheduler down, after which Schedule calls are
 	// ignored. It does not wait for queued work.
 	Stop()
-}
-
-// lfQueue is a lock-free multi-producer multi-consumer FIFO queue of ready
-// components (Michael–Scott), used as the per-worker work queue so that
-// victims and thieves can concurrently consume ready components, as in the
-// paper's work-stealing design. Go's garbage collector makes the pointer
-// CAS safe from ABA.
-type lfQueue struct {
-	head atomic.Pointer[lfNode] // points at a dummy node
-	tail atomic.Pointer[lfNode]
-	size atomic.Int64
-}
-
-type lfNode struct {
-	next atomic.Pointer[lfNode]
-	c    *Component
-}
-
-// newLFQueue returns an empty queue.
-func newLFQueue() *lfQueue {
-	q := &lfQueue{}
-	dummy := &lfNode{}
-	q.head.Store(dummy)
-	q.tail.Store(dummy)
-	return q
-}
-
-// push enqueues a component at the tail.
-func (q *lfQueue) push(c *Component) {
-	n := &lfNode{c: c}
-	for {
-		tail := q.tail.Load()
-		next := tail.next.Load()
-		if tail != q.tail.Load() {
-			continue
-		}
-		if next != nil {
-			// Tail is lagging: help advance it.
-			q.tail.CompareAndSwap(tail, next)
-			continue
-		}
-		if tail.next.CompareAndSwap(nil, n) {
-			q.tail.CompareAndSwap(tail, n)
-			q.size.Add(1)
-			return
-		}
-	}
-}
-
-// pop dequeues a component from the head, or returns nil if empty. Safe for
-// concurrent callers (the owning worker and thieves).
-func (q *lfQueue) pop() *Component {
-	for {
-		head := q.head.Load()
-		tail := q.tail.Load()
-		next := head.next.Load()
-		if head != q.head.Load() {
-			continue
-		}
-		if next == nil {
-			return nil // empty
-		}
-		if head == tail {
-			// Tail is lagging behind head: help advance it.
-			q.tail.CompareAndSwap(tail, next)
-			continue
-		}
-		// Note: next.c is deliberately not cleared after a successful CAS;
-		// the node becomes the new dummy and drops the reference on the
-		// following pop. Clearing it would race with concurrent poppers
-		// that read it before their (failing) CAS.
-		c := next.c
-		if q.head.CompareAndSwap(head, next) {
-			q.size.Add(-1)
-			return c
-		}
-	}
-}
-
-// approxLen returns the approximate queue length (exact when quiescent).
-func (q *lfQueue) approxLen() int64 {
-	n := q.size.Load()
-	if n < 0 {
-		return 0
-	}
-	return n
 }

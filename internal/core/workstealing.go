@@ -7,27 +7,33 @@ import (
 )
 
 // WorkStealingScheduler is the production scheduler: a pool of worker
-// goroutines, each with a dedicated lock-free queue of ready components.
-// Workers process one event in one component at a time; one component is
-// never processed by multiple workers simultaneously (the runtime's
-// ready/busy protocol guarantees a component is handed to the scheduler at
-// most once until it goes idle again).
+// goroutines, each with a dedicated array-based work-stealing deque of
+// ready components (see wsDeque). Workers process one event in one
+// component at a time; one component is never processed by multiple workers
+// simultaneously (the runtime's ready/busy protocol guarantees a component
+// is handed to the scheduler at most once until it goes idle again).
+//
+// Submission is two-tier. Events triggered from inside a worker's handler
+// execution push the readied component onto that worker's own deque
+// (worker-local submission — the component's queue and the deque slot stay
+// in the worker's cache). External submissions (network receive loops,
+// timers, tests) go through the placement policy, round-robin by default.
 //
 // A worker that runs out of ready components engages in work stealing: the
 // thief contacts the victim with the highest number of ready components and
-// steals a batch of half of them. Batching shows a considerable performance
-// improvement over stealing single components (paper §3); the batch size
-// policy is configurable to make that claim measurable (see
-// BenchmarkC3StealBatching).
+// steals a batch of half of them — in a single CAS, regardless of batch
+// size. Batching shows a considerable performance improvement over stealing
+// single components (paper §3); the batch size policy is configurable to
+// make that claim measurable (see BenchmarkC3StealBatching).
 type WorkStealingScheduler struct {
 	workers []*worker
-	rr      atomic.Uint64 // placement sequence for submissions
+	rr      atomic.Uint64 // placement sequence for external submissions
 	// stealBatch computes how many components to steal from a victim queue
 	// of length n. The default steals half.
 	stealBatch func(n int64) int64
-	// placement picks the worker queue for the seq-th submission. The
-	// default is round-robin; benchmarks use skewed placements to measure
-	// the stealing path under imbalance.
+	// placement picks the worker queue for the seq-th external submission.
+	// The default is round-robin; benchmarks use skewed placements to
+	// measure the stealing path under imbalance.
 	placement func(seq uint64, workers int) int
 
 	parkMu   sync.Mutex
@@ -37,11 +43,15 @@ type WorkStealingScheduler struct {
 	wg       sync.WaitGroup
 }
 
-// worker is one scheduler thread with its dedicated ready queue.
+// worker is one scheduler thread with its dedicated ready deque.
 type worker struct {
 	id    int
-	queue *lfQueue
+	deque *wsDeque
 	sched *WorkStealingScheduler
+	// stealBuf is the worker-local scratch the thief reads a stolen range
+	// into before committing the steal; reused across steals so the steal
+	// path allocates nothing in steady state.
+	stealBuf []*Component
 	// stats
 	executed atomic.Uint64
 	steals   atomic.Uint64
@@ -59,9 +69,9 @@ func WithStealBatch(f func(n int64) int64) SchedulerOption {
 	return func(s *WorkStealingScheduler) { s.stealBatch = f }
 }
 
-// WithPlacement overrides which worker queue receives the seq-th ready
-// component (default: round-robin). Benchmarks use single-queue placement
-// to exercise work stealing under maximal imbalance.
+// WithPlacement overrides which worker queue receives the seq-th externally
+// submitted ready component (default: round-robin). Benchmarks use
+// single-queue placement to exercise work stealing under maximal imbalance.
 func WithPlacement(f func(seq uint64, workers int) int) SchedulerOption {
 	return func(s *WorkStealingScheduler) { s.placement = f }
 }
@@ -81,7 +91,7 @@ func NewWorkStealingScheduler(n int, opts ...SchedulerOption) *WorkStealingSched
 		o(s)
 	}
 	for i := 0; i < n; i++ {
-		s.workers = append(s.workers, &worker{id: i, queue: newLFQueue(), sched: s})
+		s.workers = append(s.workers, &worker{id: i, deque: newWSDeque(), sched: s})
 	}
 	return s
 }
@@ -91,14 +101,39 @@ var _ Scheduler = (*WorkStealingScheduler)(nil)
 // Workers returns the number of worker goroutines.
 func (s *WorkStealingScheduler) Workers() int { return len(s.workers) }
 
-// Schedule places a ready component on a worker queue and wakes a parked
-// worker if any. Placement is round-robin; work stealing rebalances load.
+// is reports whether sch is this scheduler. Component.wake uses it to
+// validate a worker locality hint against the runtime's scheduler before
+// bypassing placement (a process may host many runtimes).
+func (s *WorkStealingScheduler) is(sch Scheduler) bool {
+	ws, ok := sch.(*WorkStealingScheduler)
+	return ok && ws == s
+}
+
+// Schedule places a ready component on a worker deque and wakes a parked
+// worker if any. This is the external submission path; worker-local
+// submission bypasses it via submitLocal.
 func (s *WorkStealingScheduler) Schedule(c *Component) {
 	if s.stopped.Load() {
 		return
 	}
 	w := s.workers[s.placement(s.rr.Add(1), len(s.workers))]
-	w.queue.push(c)
+	w.deque.push(c)
+	s.wakeIdler()
+}
+
+// submitLocal pushes a component readied during this worker's handler
+// execution onto the worker's own deque.
+func (w *worker) submitLocal(c *Component) {
+	s := w.sched
+	if s.stopped.Load() {
+		return
+	}
+	w.deque.push(c)
+	s.wakeIdler()
+}
+
+// wakeIdler signals one parked worker, if any.
+func (s *WorkStealingScheduler) wakeIdler() {
 	if s.idlers.Load() > 0 {
 		s.parkMu.Lock()
 		s.parkCond.Signal()
@@ -140,7 +175,7 @@ func (s *WorkStealingScheduler) Stats() (executed, steals, stolen uint64) {
 	return executed, steals, stolen
 }
 
-// run is the worker main loop: drain own queue; steal when empty; park when
+// run is the worker main loop: drain own deque; steal when empty; park when
 // there is nothing to steal.
 func (w *worker) run() {
 	s := w.sched
@@ -148,9 +183,8 @@ func (w *worker) run() {
 		if s.stopped.Load() {
 			return
 		}
-		if c := w.queue.pop(); c != nil {
-			c.ExecuteOne()
-			w.executed.Add(1)
+		if c := w.deque.pop(); c != nil {
+			w.execute(c)
 			continue
 		}
 		if w.steal() {
@@ -173,19 +207,29 @@ func (w *worker) run() {
 	}
 }
 
-// anyWorkVisible reports whether any worker queue appears non-empty.
+// execute runs one event of component c, exposing this worker to the
+// component as the locality hint for events its handlers trigger.
+func (w *worker) execute(c *Component) {
+	c.curWorker.Store(w)
+	c.ExecuteOne()
+	c.curWorker.Store(nil)
+	w.executed.Add(1)
+}
+
+// anyWorkVisible reports whether any worker deque appears non-empty.
 func (w *worker) anyWorkVisible() bool {
 	for _, v := range w.sched.workers {
-		if v.queue.approxLen() > 0 {
+		if v.deque.size() > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// steal finds the victim with the most ready components and moves a batch
-// of them (per the batch policy, default half) onto this worker's queue,
-// then executes one. Returns false when no victim had work.
+// steal finds the victim with the most ready components and claims a batch
+// of them (per the batch policy, default half) in one CAS, pushing all but
+// the first onto this worker's own deque and executing the first. Returns
+// false when no victim had work.
 func (w *worker) steal() bool {
 	s := w.sched
 	var victim *worker
@@ -194,7 +238,7 @@ func (w *worker) steal() bool {
 		if v == w {
 			continue
 		}
-		if n := v.queue.approxLen(); n > max {
+		if n := v.deque.size(); n > max {
 			max, victim = n, v
 		}
 	}
@@ -205,21 +249,22 @@ func (w *worker) steal() bool {
 	if n < 1 {
 		n = 1
 	}
-	first := victim.queue.pop()
-	if first == nil {
+	w.stealBuf = victim.deque.stealInto(w.stealBuf[:0], n)
+	got := len(w.stealBuf)
+	if got == 0 {
 		return false
 	}
 	w.steals.Add(1)
-	w.stolen.Add(1)
-	for i := int64(1); i < n; i++ {
-		c := victim.queue.pop()
-		if c == nil {
-			break
-		}
-		w.queue.push(c)
-		w.stolen.Add(1)
+	w.stolen.Add(uint64(got))
+	for _, c := range w.stealBuf[1:] {
+		w.deque.push(c)
 	}
-	first.ExecuteOne()
-	w.executed.Add(1)
+	first := w.stealBuf[0]
+	// Drop stolen references from the scratch buffer promptly; the buffer
+	// itself is retained for reuse.
+	for i := range w.stealBuf {
+		w.stealBuf[i] = nil
+	}
+	w.execute(first)
 	return true
 }

@@ -318,10 +318,13 @@ type StealingResult struct {
 }
 
 // Stealing measures scheduler throughput under maximal placement imbalance
-// (every ready component lands on worker 0's queue; all other workers must
-// steal) with the given steal-batch policy — the paper's §3 claim that
-// batching (stealing half the victim's queue) considerably outperforms
-// stealing single components.
+// (every externally scheduled component lands on worker 0's deque; all other
+// workers must steal) with the given steal-batch policy — the paper's §3
+// claim that batching (stealing half the victim's queue) considerably
+// outperforms stealing single components. With the array-based deques a
+// batch steal claims the whole range in a single CAS of the victim's top
+// index, so Steals counts one operation per transferred batch rather than
+// per transferred component.
 func Stealing(workers, components, eventsPerComponent int, batchHalf bool) StealingResult {
 	batch := func(n int64) int64 { return 1 }
 	label := "one"

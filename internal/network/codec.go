@@ -52,23 +52,43 @@ var zlibWriterPool = sync.Pool{
 
 var zlibReaderPool = sync.Pool{}
 
+// encBufPool recycles the per-message scratch buffer gob encodes into, so
+// Encode pays only the one unavoidable allocation: the returned payload,
+// sized exactly, written once. The gob encoder itself cannot be pooled: a
+// reused encoder omits type descriptors it already sent, which would make
+// payloads non-self-contained and undecodable by a fresh decoder.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
 // Encode serializes a message into a self-contained payload.
 func (c Codec) Encode(m Message) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(envelope{M: m}); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+
+	if !c.Compress {
+		// Write the flag into the scratch buffer ahead of the gob body so
+		// the payload is produced in one sized allocation and one copy
+		// (previously: make + flag append + body append, copying twice).
+		buf.WriteByte(flagPlain)
+		if err := gob.NewEncoder(buf).Encode(envelope{M: m}); err != nil {
+			return nil, fmt.Errorf("network: encode %T: %w", m, err)
+		}
+		out := make([]byte, buf.Len())
+		copy(out, buf.Bytes())
+		return out, nil
+	}
+
+	if err := gob.NewEncoder(buf).Encode(envelope{M: m}); err != nil {
 		return nil, fmt.Errorf("network: encode %T: %w", m, err)
 	}
-	if !c.Compress {
-		out := make([]byte, 0, body.Len()+1)
-		out = append(out, flagPlain)
-		return append(out, body.Bytes()...), nil
-	}
 	var out bytes.Buffer
-	out.Grow(body.Len()/2 + 16)
+	out.Grow(buf.Len()/2 + 16)
 	out.WriteByte(flagZlib)
 	zw := zlibWriterPool.Get().(*zlib.Writer)
 	zw.Reset(&out)
-	_, werr := zw.Write(body.Bytes())
+	_, werr := zw.Write(buf.Bytes())
 	cerr := zw.Close()
 	zlibWriterPool.Put(zw)
 	if werr != nil {

@@ -7,6 +7,8 @@
 package ring
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -116,9 +118,13 @@ type Ring struct {
 	tmr  *core.Port
 	fdp  *core.Port
 
+	// mu guards pred and succs only at mutation and in the exported
+	// getters: handlers mutate them on a scheduler worker while tests and
+	// monitors poll Pred/Succs from outside the component.
+	mu        sync.Mutex
 	pred      ident.NodeRef
 	succs     []ident.NodeRef // ordered clockwise from self; never contains self
-	joined    bool
+	joined    atomic.Bool     // read by tests/monitors outside the component
 	joining   bool
 	seeds     []ident.NodeRef
 	monitored map[network.Address]ident.NodeRef
@@ -145,7 +151,7 @@ func (r *Ring) Setup(ctx *core.Ctx) {
 	st := ctx.Provides(status.PortType)
 	core.Subscribe(ctx, st, func(q status.Request) {
 		joined := int64(0)
-		if r.joined {
+		if r.joined.Load() {
 			joined = 1
 		}
 		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "ring", Metrics: map[string]int64{
@@ -185,22 +191,28 @@ func (r *Ring) Setup(ctx *core.Ctx) {
 func (r *Ring) Self() ident.NodeRef { return r.cfg.Self }
 
 // Pred returns the current predecessor (zero when unknown).
-func (r *Ring) Pred() ident.NodeRef { return r.pred }
+func (r *Ring) Pred() ident.NodeRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pred
+}
 
 // Succs returns a copy of the current successor list.
 func (r *Ring) Succs() []ident.NodeRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]ident.NodeRef, len(r.succs))
 	copy(out, r.succs)
 	return out
 }
 
 // Joined reports whether the node participates in a ring.
-func (r *Ring) Joined() bool { return r.joined }
+func (r *Ring) Joined() bool { return r.joined.Load() }
 
 // --- join protocol -----------------------------------------------------------
 
 func (r *Ring) handleJoin(j Join) {
-	if r.joined || r.joining {
+	if r.joined.Load() || r.joining {
 		return
 	}
 	seeds := make([]ident.NodeRef, 0, len(j.Seeds))
@@ -211,7 +223,7 @@ func (r *Ring) handleJoin(j Join) {
 	}
 	if len(seeds) == 0 {
 		// Found a fresh ring: the node is its own predecessor/successor.
-		r.pred = r.cfg.Self
+		r.setPred(r.cfg.Self)
 		r.becomeJoined()
 		return
 	}
@@ -244,7 +256,7 @@ func (r *Ring) handleJoinRetry(joinRetryTimeout) {
 // predecessor, and its successor list. The joiner picks its successor
 // candidate from that set and stabilization repairs the rest.
 func (r *Ring) handleJoinReq(m joinReqMsg) {
-	if !r.joined {
+	if !r.joined.Load() {
 		return // cannot help yet; the joiner will retry
 	}
 	members := append([]ident.NodeRef{r.cfg.Self}, r.succs...)
@@ -279,7 +291,7 @@ func (r *Ring) handleJoinResp(m joinRespMsg) {
 }
 
 func (r *Ring) becomeJoined() {
-	r.joined = true
+	r.joined.Store(true)
 	r.ctx.Trigger(Ready{Self: r.cfg.Self}, r.ring)
 	r.publishNeighbors()
 }
@@ -287,7 +299,7 @@ func (r *Ring) becomeJoined() {
 // --- stabilization -------------------------------------------------------------
 
 func (r *Ring) handleStabilizeTick(stabilizeTimeout) {
-	if !r.joined || len(r.succs) == 0 {
+	if !r.joined.Load() || len(r.succs) == 0 {
 		return
 	}
 	succ := r.succs[0]
@@ -305,7 +317,7 @@ func (r *Ring) handleStabilizeReq(m stabilizeReqMsg) {
 }
 
 func (r *Ring) handleStabilizeResp(m stabilizeRespMsg) {
-	if !r.joined {
+	if !r.joined.Load() {
 		return
 	}
 	candidates := append([]ident.NodeRef(nil), m.Succs...)
@@ -339,7 +351,7 @@ func (r *Ring) handleNotify(m notifyMsg) {
 	if r.pred.IsZero() || r.pred.Addr == r.cfg.Self.Addr ||
 		n.Key.InOpenInterval(r.pred.Key, r.cfg.Self.Key) {
 		if r.pred != n {
-			r.pred = n
+			r.setPred(n)
 			r.monitor(n)
 			r.publishNeighbors()
 		}
@@ -366,12 +378,21 @@ func (r *Ring) adoptSuccessors(candidates []ident.NodeRef) {
 	members = ident.Dedup(members)
 	newSuccs := ident.SuccessorsOf(members, r.cfg.Self.Key+1, r.cfg.SuccessorListSize)
 	if !nodesEqual(newSuccs, r.succs) {
+		r.mu.Lock()
 		r.succs = newSuccs
-		for _, s := range r.succs {
+		r.mu.Unlock()
+		for _, s := range newSuccs {
 			r.monitor(s)
 		}
 		r.publishNeighbors()
 	}
+}
+
+// setPred installs a new predecessor under the lock.
+func (r *Ring) setPred(n ident.NodeRef) {
+	r.mu.Lock()
+	r.pred = n
+	r.mu.Unlock()
 }
 
 // --- failure handling ------------------------------------------------------------
@@ -385,6 +406,7 @@ func (r *Ring) handleSuspect(s fd.Suspect) {
 	r.ctx.Trigger(fd.StopMonitor{Node: s.Node}, r.fdp)
 
 	changed := false
+	r.mu.Lock()
 	if r.pred.Addr == node.Addr {
 		r.pred = ident.NodeRef{}
 		changed = true
@@ -398,6 +420,7 @@ func (r *Ring) handleSuspect(s fd.Suspect) {
 		}
 	}
 	r.succs = pruned
+	r.mu.Unlock()
 	if changed {
 		r.publishNeighbors()
 	}
