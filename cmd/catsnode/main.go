@@ -40,6 +40,7 @@ func main() {
 		webS       = flag.String("web", "", "web UI listen address (empty: disabled)")
 		replicas   = flag.Int("replication", 3, "replication degree")
 		compress   = flag.Bool("compress", false, "zlib-compress network messages")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the web listener")
 	)
 	flag.Parse()
 
@@ -78,14 +79,14 @@ func main() {
 	rt.MustBootstrap("CatsNodeMain", core.SetupFunc(func(ctx *core.Ctx) {
 		peerC := ctx.Create("peer", peer)
 		if *webS != "" {
-			bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS}))
+			bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS, EnablePprof: *pprofOn}))
 			ctx.Connect(peerC.Provided(web.PortType), bridge.Required(web.PortType))
 		}
 	}))
 
 	fmt.Printf("catsnode: %s up (replication=%d", self, *replicas)
 	if *webS != "" {
-		fmt.Printf(", web http://%s/status", *webS)
+		fmt.Printf(", web http://%s/status, metrics http://%s/metrics", *webS, *webS)
 	}
 	fmt.Println(")")
 

@@ -21,8 +21,9 @@ import (
 
 func main() {
 	var (
-		addrS = flag.String("addr", "127.0.0.1:7200", "report listen address (host:port)")
-		webS  = flag.String("web", "127.0.0.1:8090", "web UI listen address")
+		addrS   = flag.String("addr", "127.0.0.1:7200", "report listen address (host:port)")
+		webS    = flag.String("web", "127.0.0.1:8090", "web UI listen address")
+		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof/ on the web listener")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		tr := ctx.Create("net", network.NewTCP(addr))
 		srv := ctx.Create("server", monitor.NewServer(monitor.ServerConfig{Self: addr}))
 		ctx.Connect(srv.Required(network.PortType), tr.Provided(network.PortType))
-		bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS}))
+		bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS, EnablePprof: *pprofOn}))
 		ctx.Connect(srv.Provided(web.PortType), bridge.Required(web.PortType))
 	}))
 	fmt.Printf("monitord: reports on %s, global view at http://%s/\n", addr, *webS)

@@ -218,6 +218,11 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	ctx.Connect(n.pgP, abdC.Provided(abd.PutGetPortType))
 	ctx.Connect(n.rtP, routC.Provided(router.PortType))
 
+	// Runtime telemetry producer: surfaces scheduler/component/network
+	// counters through the same Status abstraction the protocol children
+	// use, so the monitor server aggregates them without special-casing.
+	rtsC := ctx.Create("rtstat", monitor.NewRuntimeStatus())
+
 	// Status surfaces.
 	n.statPorts = []*core.Port{
 		fdC.Provided(status.PortType),
@@ -225,6 +230,7 @@ func (n *Node) Setup(ctx *core.Ctx) {
 		ringC.Provided(status.PortType),
 		routC.Provided(status.PortType),
 		abdC.Provided(status.PortType),
+		rtsC.Provided(status.PortType),
 	}
 	for _, sp := range n.statPorts {
 		core.Subscribe(ctx, sp, n.handleStatusResponse)

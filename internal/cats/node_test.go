@@ -204,7 +204,8 @@ func TestMonitorReportingFlow(t *testing.T) {
 	if msrv.NodeCount() != 2 {
 		t.Fatalf("monitor server has %d node views, want 2", msrv.NodeCount())
 	}
-	// Each view contains snapshots from the five instrumented components.
+	// Each view contains snapshots from the five instrumented protocol
+	// components plus the runtime telemetry producer.
 	views := 0
 	for _, p := range []int{1, 2} {
 		name := ident.NodeRef{Key: ident.Key(uint64(p) << 60), Addr: network.Address{Host: "node", Port: uint16(p)}}.String()
@@ -212,8 +213,20 @@ func TestMonitorReportingFlow(t *testing.T) {
 		if !ok {
 			t.Fatalf("no view for %s", name)
 		}
-		if len(v.Snapshots) != 5 {
-			t.Fatalf("view %s has %d snapshots, want 5", name, len(v.Snapshots))
+		if len(v.Snapshots) != 6 {
+			t.Fatalf("view %s has %d snapshots, want 6", name, len(v.Snapshots))
+		}
+		hasRuntime := false
+		for _, s := range v.Snapshots {
+			if s.Component == "runtime" {
+				hasRuntime = true
+				if s.Metrics["sched.executed"] <= 0 {
+					t.Fatalf("runtime snapshot for %s has no executed events: %v", name, s.Metrics)
+				}
+			}
+		}
+		if !hasRuntime {
+			t.Fatalf("view %s missing runtime snapshot", name)
 		}
 		views++
 	}

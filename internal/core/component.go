@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 )
@@ -72,6 +73,11 @@ type Component struct {
 
 	sched atomic.Int32
 	life  atomic.Int32
+
+	// stats are the component's always-on telemetry counters (see
+	// telemetry.go); embedded so the dispatch path reaches them without an
+	// extra indirection or allocation.
+	stats compStats
 
 	// curWorker is the scheduler worker currently executing this
 	// component's handlers, set by the work-stealing scheduler around
@@ -266,7 +272,38 @@ func (c *Component) ExecuteOne() bool {
 	c.sched.Store(schedBusy)
 	it, ok := c.pop()
 	if ok {
-		c.runItem(it)
+		// Telemetry: the handled counter is unconditional (one uncontended
+		// atomic add); the clock is read only when this execution is
+		// latency-sampled or a trace sink is attached, keeping the common
+		// path free of time syscalls and allocations.
+		rt := c.rt
+		n := c.stats.handled.Add(1)
+		sampled := n&rt.latMask == 0
+		if sink := rt.traceSink; sink != nil || sampled {
+			start := rt.clock.Now()
+			c.runItem(it)
+			d := rt.clock.Now().Sub(start)
+			if sampled {
+				c.stats.latency.observe(d)
+			}
+			if sink != nil {
+				handler := ""
+				if len(it.subs) > 0 {
+					handler = it.subs[0].name
+				}
+				sink.Record(TraceRecord{
+					At:        start,
+					Duration:  d,
+					Component: c,
+					Port:      it.via,
+					Event:     reflect.TypeOf(it.event),
+					Handler:   handler,
+					Handlers:  len(it.subs),
+				})
+			}
+		} else {
+			c.runItem(it)
+		}
 	}
 	c.sched.Store(schedIdle)
 	// Re-wake BEFORE releasing this execution's active count: if more work

@@ -69,6 +69,7 @@ func (x *Ctx) Control() *Port { return x.c.control.half(inner) }
 // event's type must be allowed by the port type in the direction the event
 // will travel; violations panic (→ Fault).
 func (x *Ctx) Trigger(ev Event, p *Port) {
+	x.c.stats.triggers.Add(1)
 	// When this component's handler is running on a scheduler worker, pass
 	// that worker down as a locality hint so components readied by this
 	// trigger land on its own deque (worker-local submission).

@@ -42,6 +42,10 @@ type wsDeque struct {
 	bottom atomic.Int64 // next index to fill; advanced under pushMu
 	arr    atomic.Pointer[wsArray]
 	pushMu sync.Mutex
+	// maxDepth is the deque's depth high-water mark, for telemetry. Only
+	// producers update it (under pushMu, so a load+store pair suffices —
+	// no CAS loop); readers load it racily.
+	maxDepth atomic.Int64
 }
 
 // wsArray is one immutable-size circular backing array.
@@ -73,6 +77,9 @@ func (d *wsDeque) push(c *Component) {
 	}
 	a.slots[b&a.mask].Store(c)
 	d.bottom.Store(b + 1)
+	if depth := b + 1 - t; depth > d.maxDepth.Load() {
+		d.maxDepth.Store(depth)
+	}
 	d.pushMu.Unlock()
 }
 

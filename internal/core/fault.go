@@ -67,6 +67,8 @@ func LogAndContinue(rt *Runtime, f Fault) {
 // subscribed a matching handler on its child's control port receives the
 // event; if none does, the runtime fault policy runs.
 func (rt *Runtime) handleFault(c *Component, recovered any, ev Event, s *Subscription) {
+	rt.faults.Add(1)
+	c.stats.faults.Add(1)
 	err, ok := recovered.(error)
 	if !ok {
 		err = fmt.Errorf("panic: %v", recovered)

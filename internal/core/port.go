@@ -225,6 +225,15 @@ func (pp *portPair) detachChannel(f face, ch *Channel) {
 	}
 }
 
+// routeCacheCap bounds the number of cached delivery plans per route table
+// (per port-pair face). Plans are keyed by dynamic event type with no
+// eviction, so a pathological workload producing unbounded distinct types
+// would otherwise grow a table without bound; at the cap the table is reset
+// to just the newest plan (dropped plans are rebuilt on their next miss)
+// and the runtime's reset counter is bumped. A var, not a const, so tests
+// can lower it without generating hundreds of distinct Go types.
+var routeCacheCap = 256
+
 // routeTable is an immutable snapshot of delivery plans for one destination
 // face, valid while gen matches the pair's generation counter. It is
 // replaced wholesale (copy-on-write) when a new dynamic type is planned.
@@ -308,6 +317,9 @@ func (pp *portPair) buildPlan(dst *Port, dynT reflect.Type) (*routePlan, uint64)
 	defer pp.mu.RUnlock()
 	gen := pp.gen.Load() // stable: mutators bump only under mu.Lock
 
+	if pp.owner != nil && pp.owner.rt != nil {
+		pp.owner.rt.routePlanBuilds.Add(1)
+	}
 	dynET := EventType{t: dynT}
 	var matched []*Subscription
 	for _, s := range pp.subs[dst.face-1] {
@@ -364,8 +376,18 @@ func (pp *portPair) publishPlan(f face, dynT reflect.Type, plan *routePlan, gen 
 		}
 		next := &routeTable{gen: gen, plans: make(map[reflect.Type]*routePlan, 4)}
 		if cur != nil && cur.gen == gen {
-			for k, v := range cur.plans {
-				next.plans[k] = v
+			if len(cur.plans) >= routeCacheCap {
+				// Capacity reset: publish a table holding only the new
+				// plan. Dropped plans rebuild on their next miss, so a
+				// type-churning workload pays rebuilds, never unbounded
+				// memory.
+				if pp.owner != nil && pp.owner.rt != nil {
+					pp.owner.rt.routeCacheResets.Add(1)
+				}
+			} else {
+				for k, v := range cur.plans {
+					next.plans[k] = v
+				}
 			}
 		}
 		next.plans[dynT] = plan

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+type telEvent struct{ N int }
+
+var telPort = NewPortType("TelPP", Request[telEvent]())
+
+// telWorld builds a runtime with one sink component handling telEvent, and
+// returns the runtime, the sink component, and its provided port.
+func telWorld(t *testing.T, opts ...Option) (*Runtime, *Component, *Port) {
+	t.Helper()
+	rt := newTestRuntime(t, opts...)
+	var sink *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		sink = ctx.Create("sink", SetupFunc(func(cx *Ctx) {
+			p := cx.Provides(telPort)
+			Subscribe(cx, p, func(telEvent) {})
+		}))
+	}))
+	waitQuiet(t, rt)
+	return rt, sink, sink.Provided(telPort)
+}
+
+func TestComponentCountersAndLatency(t *testing.T) {
+	rt, sink, port := telWorld(t, WithLatencySampling(1))
+
+	const events = 200
+	for i := 0; i < events; i++ {
+		if err := TriggerOn(port, telEvent{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+
+	m := sink.Metrics()
+	if m.Handled < events {
+		t.Fatalf("handled %d, want >= %d", m.Handled, events)
+	}
+	if m.Latency.Samples < events {
+		t.Fatalf("latency samples %d, want >= %d (sampling every 1)", m.Latency.Samples, events)
+	}
+	var bucketSum uint64
+	for _, c := range m.Latency.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != m.Latency.Samples {
+		t.Fatalf("bucket sum %d != samples %d", bucketSum, m.Latency.Samples)
+	}
+	if m.Path != sink.Path() {
+		t.Fatalf("path %q, want %q", m.Path, sink.Path())
+	}
+}
+
+func TestLatencySamplingDisabled(t *testing.T) {
+	rt, sink, port := telWorld(t, WithLatencySampling(0))
+	for i := 0; i < 100; i++ {
+		if err := TriggerOn(port, telEvent{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+	if s := sink.Metrics().Latency.Samples; s != 0 {
+		t.Fatalf("latency samples %d with sampling disabled, want 0", s)
+	}
+	if every := rt.MetricsSnapshot().LatencySampleEvery; every != 0 {
+		t.Fatalf("LatencySampleEvery %d, want 0", every)
+	}
+}
+
+func TestTriggerCounter(t *testing.T) {
+	rt := newTestRuntime(t)
+	var src *Component
+	var srcCtx *Ctx
+	var srcPort *Port
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		src = ctx.Create("src", SetupFunc(func(cx *Ctx) {
+			srcCtx = cx
+			srcPort = cx.Requires(telPort) // requests flow out of a required port
+		}))
+	}))
+	waitQuiet(t, rt)
+	before := src.Metrics().Triggers
+	srcCtx.Trigger(telEvent{}, srcPort)
+	waitQuiet(t, rt)
+	if got := src.Metrics().Triggers; got != before+1 {
+		t.Fatalf("triggers %d, want %d", got, before+1)
+	}
+}
+
+func TestFaultCounters(t *testing.T) {
+	rt := newTestRuntime(t)
+	var bomb *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		bomb = ctx.Create("bomb", SetupFunc(func(cx *Ctx) {
+			p := cx.Provides(telPort)
+			Subscribe(cx, p, func(telEvent) { panic("boom") })
+		}))
+	}))
+	waitQuiet(t, rt)
+
+	if err := TriggerOn(bomb.Provided(telPort), telEvent{}); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, rt)
+
+	if got := bomb.Metrics().Faults; got != 1 {
+		t.Fatalf("component faults %d, want 1", got)
+	}
+	if got := rt.MetricsSnapshot().Faults; got != 1 {
+		t.Fatalf("runtime faults %d, want 1", got)
+	}
+}
+
+func TestSchedulerMetrics(t *testing.T) {
+	rt, _, port := telWorld(t)
+	const events = 500
+	for i := 0; i < events; i++ {
+		if err := TriggerOn(port, telEvent{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+
+	s := rt.MetricsSnapshot().Scheduler
+	if s.Workers != 2 {
+		t.Fatalf("workers %d, want 2", s.Workers)
+	}
+	if s.Executed < events {
+		t.Fatalf("executed %d, want >= %d", s.Executed, events)
+	}
+	if len(s.PerWorker) != 2 {
+		t.Fatalf("per-worker entries %d, want 2", len(s.PerWorker))
+	}
+	var perWorker uint64
+	for _, w := range s.PerWorker {
+		perWorker += w.Executed
+	}
+	if perWorker != s.Executed {
+		t.Fatalf("per-worker executed sum %d != aggregate %d", perWorker, s.Executed)
+	}
+	if s.LocalPops+s.Stolen < s.Executed {
+		t.Fatalf("local pops %d + stolen %d < executed %d", s.LocalPops, s.Stolen, s.Executed)
+	}
+	if s.MaxDequeDepth < 1 {
+		t.Fatalf("max deque depth %d, want >= 1", s.MaxDequeDepth)
+	}
+}
+
+func TestMetricsSnapshotComponents(t *testing.T) {
+	rt, sink, port := telWorld(t)
+	for i := 0; i < 10; i++ {
+		if err := TriggerOn(port, telEvent{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+
+	snap := rt.MetricsSnapshot()
+	if snap.LiveComponents < 2 {
+		t.Fatalf("live components %d, want >= 2 (root + sink)", snap.LiveComponents)
+	}
+	if len(snap.Components) != int(snap.LiveComponents) {
+		t.Fatalf("%d component stats for %d live components", len(snap.Components), snap.LiveComponents)
+	}
+	for i := 1; i < len(snap.Components); i++ {
+		if snap.Components[i-1].Path > snap.Components[i].Path {
+			t.Fatalf("components not sorted by path: %q > %q",
+				snap.Components[i-1].Path, snap.Components[i].Path)
+		}
+	}
+	found := false
+	for _, c := range snap.Components {
+		if c.Path == sink.Path() {
+			found = true
+			if c.Handled < 10 {
+				t.Fatalf("sink handled %d, want >= 10", c.Handled)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing component %q", sink.Path())
+	}
+	if snap.RouteCache.Tables < 1 || snap.RouteCache.Plans < 1 {
+		t.Fatalf("route cache tables=%d plans=%d, want >= 1 each after traffic",
+			snap.RouteCache.Tables, snap.RouteCache.Plans)
+	}
+	if snap.RouteCache.Builds < 1 {
+		t.Fatalf("route plan builds %d, want >= 1", snap.RouteCache.Builds)
+	}
+	if snap.Trace.Enabled {
+		t.Fatal("trace reported enabled without a sink")
+	}
+}
+
+func TestMetricsSnapshotAfterDestroy(t *testing.T) {
+	rt := newTestRuntime(t)
+	var rootCtx *Ctx
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) { rootCtx = ctx }))
+	waitQuiet(t, rt)
+
+	child := rootCtx.Create("ephemeral", SetupFunc(func(cx *Ctx) {}))
+	rootCtx.Start(child)
+	waitQuiet(t, rt)
+	if !snapshotHasPath(rt, child.Path()) {
+		t.Fatalf("snapshot missing live child %q", child.Path())
+	}
+	rootCtx.Destroy(child)
+	waitQuiet(t, rt)
+	if snapshotHasPath(rt, child.Path()) {
+		t.Fatalf("snapshot still lists destroyed child %q", child.Path())
+	}
+}
+
+func snapshotHasPath(rt *Runtime, path string) bool {
+	for _, c := range rt.MetricsSnapshot().Components {
+		if c.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// --- trace ring -------------------------------------------------------------
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap %d, want 16", r.Cap())
+	}
+	et := reflect.TypeOf(telEvent{})
+	for i := 0; i < 40; i++ {
+		r.Record(TraceRecord{Event: et, At: time.Unix(int64(i), 0)})
+	}
+	if r.Recorded() != 40 {
+		t.Fatalf("recorded %d, want 40", r.Recorded())
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len %d, want 16", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot has %d records, want 16", len(snap))
+	}
+	for i, rec := range snap {
+		want := uint64(24 + i) // oldest retained after wrapping is 40-16
+		if rec.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestTraceRingBelowCapacity(t *testing.T) {
+	r := NewTraceRing(0) // rounds up to minimum 16
+	r.Record(TraceRecord{})
+	r.Record(TraceRecord{})
+	if r.Len() != 2 {
+		t.Fatalf("len %d, want 2", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 0 || snap[1].Seq != 1 {
+		t.Fatalf("snapshot %v, want seqs 0,1", snap)
+	}
+}
+
+// TestTraceRingConcurrent hammers one ring with concurrent writers and
+// snapshot readers; under -race this proves the slot publication protocol.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	const writers = 4
+	const perWriter = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					t.Errorf("snapshot not strictly ordered: %d then %d", snap[i-1].Seq, snap[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(TraceRecord{Handlers: w})
+			}
+		}(w)
+	}
+	// Wait for writers by record count, then release the reader.
+	for r.Recorded() < uint64(writers*perWriter) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if r.Recorded() != uint64(writers*perWriter) {
+		t.Fatalf("recorded %d, want %d", r.Recorded(), writers*perWriter)
+	}
+}
+
+func TestRuntimeTraceSink(t *testing.T) {
+	ring := NewTraceRing(128)
+	rt, sink, port := telWorld(t, WithTraceSink(ring))
+	for i := 0; i < 20; i++ {
+		if err := TriggerOn(port, telEvent{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+
+	snap := rt.MetricsSnapshot()
+	if !snap.Trace.Enabled {
+		t.Fatal("trace not reported enabled")
+	}
+	if snap.Trace.Capacity != 128 {
+		t.Fatalf("trace capacity %d, want 128", snap.Trace.Capacity)
+	}
+	if snap.Trace.Records < 20 {
+		t.Fatalf("trace records %d, want >= 20", snap.Trace.Records)
+	}
+	et := reflect.TypeOf(telEvent{})
+	matched := 0
+	for _, rec := range ring.Snapshot() {
+		if rec.Component == sink && rec.Event == et {
+			matched++
+			if rec.Handlers != 1 {
+				t.Fatalf("record %v has %d handlers, want 1", rec, rec.Handlers)
+			}
+			if rec.Handler == "" {
+				t.Fatalf("record %v missing handler name", rec)
+			}
+		}
+	}
+	if matched != 20 {
+		t.Fatalf("found %d telEvent records for sink, want 20", matched)
+	}
+}
+
+// --- route cache cap --------------------------------------------------------
+
+// capEvent types: distinct dynamic event types to churn the routing table.
+type capEventA struct{ telEvent }
+type capEventB struct{ telEvent }
+type capEventC struct{ telEvent }
+type capEventD struct{ telEvent }
+type capEventE struct{ telEvent }
+type capEventF struct{ telEvent }
+
+var capPort = NewPortType("CapPP",
+	Request[capEventA](), Request[capEventB](), Request[capEventC](),
+	Request[capEventD](), Request[capEventE](), Request[capEventF](),
+)
+
+func TestRouteCacheCapReset(t *testing.T) {
+	old := routeCacheCap
+	routeCacheCap = 4
+	defer func() { routeCacheCap = old }()
+
+	rt := newTestRuntime(t)
+	var sink *Component
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		sink = ctx.Create("sink", SetupFunc(func(cx *Ctx) {
+			p := cx.Provides(capPort)
+			Subscribe(cx, p, func(capEventA) {})
+			Subscribe(cx, p, func(capEventB) {})
+			Subscribe(cx, p, func(capEventC) {})
+			Subscribe(cx, p, func(capEventD) {})
+			Subscribe(cx, p, func(capEventE) {})
+			Subscribe(cx, p, func(capEventF) {})
+		}))
+	}))
+	waitQuiet(t, rt)
+
+	port := sink.Provided(capPort)
+	events := []Event{capEventA{}, capEventB{}, capEventC{}, capEventD{}, capEventE{}, capEventF{}}
+	for round := 0; round < 3; round++ {
+		for _, ev := range events {
+			if err := TriggerOn(port, ev); err != nil {
+				t.Fatal(err)
+			}
+			waitQuiet(t, rt) // serialize so each type caches before the next
+		}
+	}
+
+	snap := rt.MetricsSnapshot()
+	if snap.RouteCache.Resets == 0 {
+		t.Fatal("no route cache resets with 6 event types and cap 4")
+	}
+	if snap.RouteCache.Capacity != 4 {
+		t.Fatalf("reported capacity %d, want 4", snap.RouteCache.Capacity)
+	}
+	// The cap must hold for every published table.
+	if snap.RouteCache.Tables > 0 && snap.RouteCache.Plans > snap.RouteCache.Tables*routeCacheCap {
+		t.Fatalf("plans %d exceed tables %d * cap %d",
+			snap.RouteCache.Plans, snap.RouteCache.Tables, routeCacheCap)
+	}
+	// Delivery still works after resets.
+	if err := TriggerOn(port, capEventA{}); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, rt)
+	if sink.Metrics().Handled < uint64(len(events)*3)+1 {
+		t.Fatalf("handled %d after resets, want >= %d", sink.Metrics().Handled, len(events)*3+1)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if BucketBoundNS(0) != 1 {
+		t.Fatalf("bucket 0 bound %d, want 1", BucketBoundNS(0))
+	}
+	if BucketBoundNS(10) != 1024 {
+		t.Fatalf("bucket 10 bound %d, want 1024", BucketBoundNS(10))
+	}
+	if BucketBoundNS(64) != 1<<62 {
+		t.Fatalf("bucket 64 bound %d, want 2^62", BucketBoundNS(64))
+	}
+	var h latHistogram
+	h.observe(0)
+	h.observe(3) // bits.Len64(3)=2 -> bucket 2
+	h.observe(time.Duration(1) << 40)
+	h.observe(-5) // clamped to 0
+	s := h.snapshot()
+	if s.Samples != 4 {
+		t.Fatalf("samples %d, want 4", s.Samples)
+	}
+	if s.Buckets[0] != 2 { // two zero-duration observations
+		t.Fatalf("bucket 0 count %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[2] != 1 {
+		t.Fatalf("bucket 2 count %d, want 1", s.Buckets[2])
+	}
+	if s.Buckets[LatencyBuckets-1] != 1 { // 2^40 ns clamps into the last bucket
+		t.Fatalf("last bucket count %d, want 1", s.Buckets[LatencyBuckets-1])
+	}
+}
+
+func TestWorkerParkCounter(t *testing.T) {
+	rt, _, port := telWorld(t)
+	// Trigger bursts with gaps so workers park between them.
+	for burst := 0; burst < 3; burst++ {
+		for i := 0; i < 10; i++ {
+			if err := TriggerOn(port, telEvent{N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitQuiet(t, rt)
+		time.Sleep(10 * time.Millisecond)
+	}
+	s := rt.MetricsSnapshot().Scheduler
+	if s.Parks == 0 {
+		t.Fatal("no parks recorded across idle gaps")
+	}
+}

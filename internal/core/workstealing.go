@@ -43,6 +43,20 @@ type WorkStealingScheduler struct {
 	wg       sync.WaitGroup
 }
 
+// workerStats are one worker's telemetry counters, padded to a full cache
+// line so the hot executed/localPops adds of adjacent workers never
+// false-share (workers are separate heap objects, but the allocator gives
+// no line-alignment guarantee between them).
+type workerStats struct {
+	executed    atomic.Uint64 // events executed
+	localPops   atomic.Uint64 // components consumed from own deque
+	steals      atomic.Uint64 // successful steal operations
+	stealMisses atomic.Uint64 // steal attempts that found/claimed nothing
+	stolen      atomic.Uint64 // components claimed by steals
+	parks       atomic.Uint64 // times the worker slept for lack of work
+	_           [16]byte      // pad 6×8 counter bytes to 64
+}
+
 // worker is one scheduler thread with its dedicated ready deque.
 type worker struct {
 	id    int
@@ -52,10 +66,7 @@ type worker struct {
 	// into before committing the steal; reused across steals so the steal
 	// path allocates nothing in steady state.
 	stealBuf []*Component
-	// stats
-	executed atomic.Uint64
-	steals   atomic.Uint64
-	stolen   atomic.Uint64
+	stats    workerStats
 }
 
 // SchedulerOption configures a WorkStealingScheduler.
@@ -168,12 +179,46 @@ func (s *WorkStealingScheduler) Stop() {
 // components stolen), for tests and monitoring.
 func (s *WorkStealingScheduler) Stats() (executed, steals, stolen uint64) {
 	for _, w := range s.workers {
-		executed += w.executed.Load()
-		steals += w.steals.Load()
-		stolen += w.stolen.Load()
+		executed += w.stats.executed.Load()
+		steals += w.stats.steals.Load()
+		stolen += w.stats.stolen.Load()
 	}
 	return executed, steals, stolen
 }
+
+// SchedulerMetrics aggregates the padded per-worker counters into one
+// snapshot (implements SchedulerMetricsSource). Counters are read racily;
+// they are monotone, so a snapshot is a consistent lower bound.
+func (s *WorkStealingScheduler) SchedulerMetrics() SchedulerStats {
+	st := SchedulerStats{Workers: len(s.workers)}
+	st.PerWorker = make([]WorkerStats, 0, len(s.workers))
+	for _, w := range s.workers {
+		ws := WorkerStats{
+			ID:            w.id,
+			Executed:      w.stats.executed.Load(),
+			LocalPops:     w.stats.localPops.Load(),
+			Steals:        w.stats.steals.Load(),
+			StealMisses:   w.stats.stealMisses.Load(),
+			Stolen:        w.stats.stolen.Load(),
+			Parks:         w.stats.parks.Load(),
+			MaxDequeDepth: w.deque.maxDepth.Load(),
+			DequeDepth:    w.deque.size(),
+		}
+		st.Executed += ws.Executed
+		st.LocalPops += ws.LocalPops
+		st.Steals += ws.Steals
+		st.StealMisses += ws.StealMisses
+		st.Stolen += ws.Stolen
+		st.Parks += ws.Parks
+		if ws.MaxDequeDepth > st.MaxDequeDepth {
+			st.MaxDequeDepth = ws.MaxDequeDepth
+		}
+		st.PerWorker = append(st.PerWorker, ws)
+	}
+	return st
+}
+
+var _ SchedulerMetricsSource = (*WorkStealingScheduler)(nil)
 
 // run is the worker main loop: drain own deque; steal when empty; park when
 // there is nothing to steal.
@@ -184,6 +229,7 @@ func (w *worker) run() {
 			return
 		}
 		if c := w.deque.pop(); c != nil {
+			w.stats.localPops.Add(1)
 			w.execute(c)
 			continue
 		}
@@ -201,6 +247,7 @@ func (w *worker) run() {
 			s.parkMu.Unlock()
 			continue
 		}
+		w.stats.parks.Add(1)
 		s.parkCond.Wait()
 		s.idlers.Add(-1)
 		s.parkMu.Unlock()
@@ -213,7 +260,7 @@ func (w *worker) execute(c *Component) {
 	c.curWorker.Store(w)
 	c.ExecuteOne()
 	c.curWorker.Store(nil)
-	w.executed.Add(1)
+	w.stats.executed.Add(1)
 }
 
 // anyWorkVisible reports whether any worker deque appears non-empty.
@@ -243,6 +290,7 @@ func (w *worker) steal() bool {
 		}
 	}
 	if victim == nil {
+		w.stats.stealMisses.Add(1)
 		return false
 	}
 	n := s.stealBatch(max)
@@ -252,10 +300,11 @@ func (w *worker) steal() bool {
 	w.stealBuf = victim.deque.stealInto(w.stealBuf[:0], n)
 	got := len(w.stealBuf)
 	if got == 0 {
+		w.stats.stealMisses.Add(1)
 		return false
 	}
-	w.steals.Add(1)
-	w.stolen.Add(uint64(got))
+	w.stats.steals.Add(1)
+	w.stats.stolen.Add(uint64(got))
 	for _, c := range w.stealBuf[1:] {
 		w.deque.push(c)
 	}

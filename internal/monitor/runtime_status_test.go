@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/simulation"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// TestRuntimeStatusAggregation wires a RuntimeStatus producer into a monitor
+// client next to a fake service and checks the server's global view ends up
+// holding the node's runtime telemetry rollup.
+func TestRuntimeStatusAggregation(t *testing.T) {
+	sim := simulation.New(99)
+	emu := simulation.NewNetworkEmulator(sim,
+		simulation.WithLatency(simulation.ConstantLatency(2*time.Millisecond)))
+
+	var srv *Server
+	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("server", core.SetupFunc(func(sx *core.Ctx) {
+			tr := sx.Create("net", emu.Transport(addr(0)))
+			srv = NewServer(ServerConfig{Self: addr(0)})
+			srvC := sx.Create("server", srv)
+			sx.Connect(srvC.Required(network.PortType), tr.Provided(network.PortType))
+		}))
+		ctx.Create("client", core.SetupFunc(func(cx *core.Ctx) {
+			tr := cx.Create("net", emu.Transport(addr(1)))
+			tm := cx.Create("timer", simulation.NewTimer(sim))
+			svc := cx.Create("svc", &fakeService{name: "alpha", val: 1})
+			rts := cx.Create("rtstat", NewRuntimeStatus())
+			clC := cx.Create("client", NewClient(ClientConfig{
+				Self:     addr(1),
+				Server:   addr(0),
+				NodeName: "node-rt",
+				Period:   500 * time.Millisecond,
+			}))
+			cx.Connect(clC.Required(network.PortType), tr.Provided(network.PortType))
+			cx.Connect(clC.Required(timer.PortType), tm.Provided(timer.PortType))
+			cx.Connect(clC.Required(status.PortType), svc.Provided(status.PortType))
+			cx.Connect(clC.Required(status.PortType), rts.Provided(status.PortType))
+		}))
+	}))
+	sim.Settle()
+	sim.Run(3 * time.Second)
+
+	v, ok := srv.View("node-rt")
+	if !ok {
+		t.Fatal("no view for node-rt")
+	}
+	if len(v.Snapshots) != 2 {
+		t.Fatalf("view has %d snapshots, want 2 (alpha + runtime)", len(v.Snapshots))
+	}
+	var rt *status.Response
+	for i := range v.Snapshots {
+		if v.Snapshots[i].Component == "runtime" {
+			rt = &v.Snapshots[i]
+		}
+	}
+	if rt == nil {
+		t.Fatalf("no runtime snapshot in view: %+v", v.Snapshots)
+	}
+	for _, key := range []string{
+		"sched.executed", "sched.workers", "comps.handled", "comps.triggers",
+		"components.live", "routecache.plans", "net.sent",
+	} {
+		if _, ok := rt.Metrics[key]; !ok {
+			t.Errorf("runtime snapshot missing %q: %v", key, rt.Metrics)
+		}
+	}
+	if rt.Metrics["sched.executed"] <= 0 {
+		t.Fatalf("sched.executed = %d, want > 0", rt.Metrics["sched.executed"])
+	}
+	if rt.Metrics["sched.workers"] != 1 {
+		t.Fatalf("sched.workers = %d, want 1 under simulation", rt.Metrics["sched.workers"])
+	}
+	if rt.Metrics["components.live"] <= 0 {
+		t.Fatalf("components.live = %d, want > 0", rt.Metrics["components.live"])
+	}
+}
+
+func TestFlattenRuntimeMetrics(t *testing.T) {
+	snap := core.MetricsSnapshot{
+		LiveComponents: 4,
+		Faults:         2,
+		Scheduler:      core.SchedulerStats{Workers: 3, Executed: 100, LocalPops: 80, Stolen: 20},
+		RouteCache:     core.RouteCacheStats{Tables: 2, Plans: 5, Builds: 7, Resets: 1},
+		Trace:          core.TraceStats{Enabled: true, Records: 42},
+		Components: []core.ComponentStats{
+			{Path: "a", Handled: 60, Triggers: 10},
+			{Path: "b", Handled: 40, Triggers: 5},
+		},
+	}
+	net := network.Metrics{Sent: 9, CompressedMsgs: 3, CompressedIn: 1000, CompressedOut: 400}
+	m := FlattenRuntimeMetrics(snap, net)
+	for key, want := range map[string]int64{
+		"components.live":   4,
+		"faults":            2,
+		"sched.workers":     3,
+		"sched.executed":    100,
+		"sched.stolen":      20,
+		"routecache.plans":  5,
+		"routecache.resets": 1,
+		"comps.handled":     100,
+		"comps.triggers":    15,
+		"net.sent":          9,
+		"net.zlib_msgs":     3,
+		"net.zlib_in":       1000,
+		"net.zlib_out":      400,
+		"trace.records":     42,
+	} {
+		if m[key] != want {
+			t.Errorf("%s = %d, want %d", key, m[key], want)
+		}
+	}
+}
+
+// TestServerViewAfterClientRestart checks a re-reporting node refreshes its
+// view rather than duplicating it, and that expiry leaves fresh views alone.
+func TestServerViewAfterClientRestart(t *testing.T) {
+	sim, _, srv := newMonitorWorld(t)
+	sim.Run(3 * time.Second)
+	if srv.Server.NodeCount() != 1 {
+		t.Fatalf("views %d, want 1", srv.Server.NodeCount())
+	}
+	first, _ := srv.Server.View("node-1")
+	sim.Run(2 * time.Second)
+	second, _ := srv.Server.View("node-1")
+	if !second.Received.After(first.Received) {
+		t.Fatalf("view not refreshed: %v then %v", first.Received, second.Received)
+	}
+	if srv.Server.NodeCount() != 1 {
+		t.Fatalf("views %d after refresh, want 1", srv.Server.NodeCount())
+	}
+}

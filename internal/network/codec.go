@@ -77,6 +77,8 @@ func (c Codec) Encode(m Message) ([]byte, error) {
 		}
 		out := make([]byte, buf.Len())
 		copy(out, buf.Bytes())
+		gEncodedMsgs.Add(1)
+		gEncodedBytes.Add(uint64(len(out)))
 		return out, nil
 	}
 
@@ -97,6 +99,11 @@ func (c Codec) Encode(m Message) ([]byte, error) {
 	if cerr != nil {
 		return nil, fmt.Errorf("network: compress %T: %w", m, cerr)
 	}
+	gEncodedMsgs.Add(1)
+	gEncodedBytes.Add(uint64(out.Len()))
+	gCompressedMsgs.Add(1)
+	gCompressedIn.Add(uint64(buf.Len()))
+	gCompressedOut.Add(uint64(out.Len() - 1)) // exclude the flag byte
 	return out.Bytes(), nil
 }
 
@@ -141,6 +148,10 @@ func (c Codec) Decode(payload []byte) (Message, error) {
 	}
 	if env.M == nil {
 		return nil, fmt.Errorf("network: decode: nil message")
+	}
+	gDecodedMsgs.Add(1)
+	if payload[0] == flagZlib {
+		gDecompressedMsgs.Add(1)
 	}
 	return env.M, nil
 }

@@ -1,0 +1,63 @@
+package network
+
+import "sync/atomic"
+
+// Process-wide transport counters, aggregated across every Codec and TCP
+// instance in the process. Per-instance counters remain available via
+// TCP.Stats; these globals exist so the /metrics endpoint can report network
+// activity without holding references to every transport component.
+var (
+	gEncodedMsgs      atomic.Uint64 // messages serialized by Codec.Encode
+	gEncodedBytes     atomic.Uint64 // payload bytes produced by Encode (post-compression)
+	gDecodedMsgs      atomic.Uint64 // messages deserialized by Codec.Decode
+	gCompressedMsgs   atomic.Uint64 // messages that went through zlib on encode
+	gCompressedIn     atomic.Uint64 // bytes fed into zlib (uncompressed gob size)
+	gCompressedOut    atomic.Uint64 // bytes out of zlib (compressed payload body)
+	gDecompressedMsgs atomic.Uint64 // messages that went through zlib on decode
+
+	gSent        atomic.Uint64 // messages enqueued for transmission (all transports)
+	gReceived    atomic.Uint64 // messages delivered to the Network port
+	gDroppedFull atomic.Uint64 // messages dropped on full send queues
+	gSendErrors  atomic.Uint64 // encode/dial/write failures
+)
+
+// Metrics is a snapshot of the process-wide network counters.
+type Metrics struct {
+	EncodedMsgs      uint64 `json:"encoded_msgs"`
+	EncodedBytes     uint64 `json:"encoded_bytes"`
+	DecodedMsgs      uint64 `json:"decoded_msgs"`
+	CompressedMsgs   uint64 `json:"compressed_msgs"`
+	CompressedIn     uint64 `json:"compressed_bytes_in"`
+	CompressedOut    uint64 `json:"compressed_bytes_out"`
+	DecompressedMsgs uint64 `json:"decompressed_msgs"`
+	Sent             uint64 `json:"sent"`
+	Received         uint64 `json:"received"`
+	DroppedFull      uint64 `json:"dropped_full"`
+	SendErrors       uint64 `json:"send_errors"`
+}
+
+// GlobalMetrics snapshots the process-wide network counters.
+func GlobalMetrics() Metrics {
+	return Metrics{
+		EncodedMsgs:      gEncodedMsgs.Load(),
+		EncodedBytes:     gEncodedBytes.Load(),
+		DecodedMsgs:      gDecodedMsgs.Load(),
+		CompressedMsgs:   gCompressedMsgs.Load(),
+		CompressedIn:     gCompressedIn.Load(),
+		CompressedOut:    gCompressedOut.Load(),
+		DecompressedMsgs: gDecompressedMsgs.Load(),
+		Sent:             gSent.Load(),
+		Received:         gReceived.Load(),
+		DroppedFull:      gDroppedFull.Load(),
+		SendErrors:       gSendErrors.Load(),
+	}
+}
+
+// CompressionRatio returns compressed-out over compressed-in bytes (1.0 when
+// nothing was compressed): the effective zlib payload shrink factor.
+func (m Metrics) CompressionRatio() float64 {
+	if m.CompressedIn == 0 {
+		return 1.0
+	}
+	return float64(m.CompressedOut) / float64(m.CompressedIn)
+}

@@ -168,12 +168,14 @@ func (t *TCP) shutdown() {
 func (t *TCP) handleSend(m Message) {
 	if m.Destination() == t.self {
 		t.received.Add(1)
+		gReceived.Add(1)
 		core.TriggerOn(t.port, m) //nolint:errcheck // port type validated at Setup
 		return
 	}
 	payload, err := t.codec.Encode(m)
 	if err != nil {
 		t.sendErrors.Add(1)
+		gSendErrors.Add(1)
 		t.log.Warn("tcp: encode failed", "type", fmt.Sprintf("%T", m), "err", err)
 		return
 	}
@@ -184,8 +186,10 @@ func (t *TCP) handleSend(m Message) {
 	select {
 	case pc.ch <- payload:
 		t.sent.Add(1)
+		gSent.Add(1)
 	default:
 		t.droppedFull.Add(1)
+		gDroppedFull.Add(1)
 	}
 }
 
@@ -226,6 +230,7 @@ func (t *TCP) writeLoop(pc *peerConn) {
 	conn, err := net.DialTimeout("tcp", pc.addr.String(), dialTimeout)
 	if err != nil {
 		t.sendErrors.Add(1)
+		gSendErrors.Add(1)
 		t.log.Debug("tcp: dial failed", "peer", pc.addr.String(), "err", err)
 		t.dropPeer(pc)
 		return
@@ -237,16 +242,19 @@ func (t *TCP) writeLoop(pc *peerConn) {
 		case payload := <-pc.ch:
 			if len(payload) > maxFrame {
 				t.sendErrors.Add(1)
+				gSendErrors.Add(1)
 				continue
 			}
 			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
 			if _, err := conn.Write(lenBuf[:]); err != nil {
 				t.sendErrors.Add(1)
+				gSendErrors.Add(1)
 				t.dropPeer(pc)
 				return
 			}
 			if _, err := conn.Write(payload); err != nil {
 				t.sendErrors.Add(1)
+				gSendErrors.Add(1)
 				t.dropPeer(pc)
 				return
 			}
@@ -312,6 +320,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			continue
 		}
 		t.received.Add(1)
+		gReceived.Add(1)
 		if err := core.TriggerOn(t.port, m); err != nil {
 			t.log.Warn("tcp: deliver failed", "err", err)
 		}

@@ -18,14 +18,40 @@ import (
 // goroutine that calls Simulation.Run, so a fixed seed yields a fixed
 // execution order.
 type SimScheduler struct {
-	ready []*core.Component
+	ready    []*core.Component
+	executed uint64
+	maxReady int
 }
 
 var _ core.Scheduler = (*SimScheduler)(nil)
+var _ core.SchedulerMetricsSource = (*SimScheduler)(nil)
 
 // Schedule appends a ready component. It is only ever called from the
 // simulation goroutine (component handlers run inline during drain).
-func (s *SimScheduler) Schedule(c *core.Component) { s.ready = append(s.ready, c) }
+func (s *SimScheduler) Schedule(c *core.Component) {
+	s.ready = append(s.ready, c)
+	if len(s.ready) > s.maxReady {
+		s.maxReady = len(s.ready)
+	}
+}
+
+// SchedulerMetrics implements core.SchedulerMetricsSource for the
+// single-threaded scheduler: every executed event is a "local pop" of the
+// one FIFO; stealing and parking do not exist.
+func (s *SimScheduler) SchedulerMetrics() core.SchedulerStats {
+	return core.SchedulerStats{
+		Workers:       1,
+		Executed:      s.executed,
+		LocalPops:     s.executed,
+		MaxDequeDepth: int64(s.maxReady),
+		PerWorker: []core.WorkerStats{{
+			Executed:      s.executed,
+			LocalPops:     s.executed,
+			MaxDequeDepth: int64(s.maxReady),
+			DequeDepth:    int64(len(s.ready)),
+		}},
+	}
+}
 
 // Start implements core.Scheduler (no worker goroutines to launch).
 func (s *SimScheduler) Start() {}
@@ -44,6 +70,7 @@ func (s *SimScheduler) drain() uint64 {
 			n++
 		}
 	}
+	s.executed += n
 	return n
 }
 
@@ -126,6 +153,7 @@ type Simulation struct {
 	seq   uint64
 	fired uint64
 	trace func(at time.Time, tag string)
+	sink  core.TraceSink
 	halt  bool
 }
 
@@ -136,6 +164,13 @@ type SimOption func(*Simulation)
 // order; determinism tests compare these traces across runs.
 func WithTrace(f func(at time.Time, tag string)) SimOption {
 	return func(s *Simulation) { s.trace = f }
+}
+
+// WithTraceSink installs a core.TraceSink on the simulated runtime, so every
+// handler execution is recorded with virtual timestamps — the same mechanism
+// production uses with wall-clock time.
+func WithTraceSink(sink core.TraceSink) SimOption {
+	return func(s *Simulation) { s.sink = sink }
 }
 
 // New creates a simulation seeded with seed. Component code obtains
@@ -153,7 +188,7 @@ func New(seed int64, opts ...SimOption) *Simulation {
 		o(s)
 	}
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s.rt = core.New(
+	rtOpts := []core.Option{
 		core.WithScheduler(s.sched),
 		core.WithClock(s.clock),
 		core.WithLogger(quiet),
@@ -163,7 +198,11 @@ func New(seed int64, opts ...SimOption) *Simulation {
 			_, _ = h.Write([]byte(c.Path()))
 			return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 		}),
-	)
+	}
+	if s.sink != nil {
+		rtOpts = append(rtOpts, core.WithTraceSink(s.sink))
+	}
+	s.rt = core.New(rtOpts...)
 	return s
 }
 

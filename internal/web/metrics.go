@@ -1,0 +1,220 @@
+// Prometheus text exposition (format 0.0.4) for the runtime telemetry
+// snapshot and the process-wide network counters. Hand-rolled rather than
+// depending on a client library: the format is a few lines of escaping rules,
+// and the repo's dependency budget is the standard library.
+package web
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsWriter emits metric families in the Prometheus text exposition
+// format: a HELP/TYPE header per family followed by one sample line per
+// (name, label set). Label values are escaped per the format spec.
+type MetricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricsWriter wraps w for exposition output.
+func NewMetricsWriter(w io.Writer) *MetricsWriter { return &MetricsWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (m *MetricsWriter) Err() error { return m.err }
+
+func (m *MetricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// Header writes the HELP and TYPE lines for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (m *MetricsWriter) Header(name, typ, help string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatLabels renders {k="v",...} from alternating key/value pairs; empty
+// input renders nothing.
+func formatLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, kv[i], escapeLabel(kv[i+1]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter writes one counter sample. kv is alternating label key/value pairs.
+func (m *MetricsWriter) Counter(name string, value uint64, kv ...string) {
+	m.printf("%s%s %d\n", name, formatLabels(kv), value)
+}
+
+// Gauge writes one gauge sample.
+func (m *MetricsWriter) Gauge(name string, value float64, kv ...string) {
+	m.printf("%s%s %g\n", name, formatLabels(kv), value)
+}
+
+// Histogram writes a full Prometheus histogram from the core power-of-two
+// latency stats: cumulative `le` buckets in seconds, then _sum and _count.
+func (m *MetricsWriter) Histogram(name string, ls core.LatencyStats, kv ...string) {
+	var cum uint64
+	for i := 0; i < core.LatencyBuckets; i++ {
+		cum += ls.Buckets[i]
+		if ls.Buckets[i] == 0 && i < core.LatencyBuckets-1 {
+			continue // sparse output: skip empty non-terminal buckets
+		}
+		le := float64(core.BucketBoundNS(i)) / 1e9
+		lkv := append(append([]string{}, kv...), "le", fmt.Sprintf("%g", le))
+		m.printf("%s_bucket%s %d\n", name, formatLabels(lkv), cum)
+	}
+	inf := append(append([]string{}, kv...), "le", "+Inf")
+	m.printf("%s_bucket%s %d\n", name, formatLabels(inf), ls.Samples)
+	m.printf("%s_sum%s %g\n", name, formatLabels(kv), float64(ls.SumNanos)/1e9)
+	m.printf("%s_count%s %d\n", name, formatLabels(kv), ls.Samples)
+}
+
+// WriteRuntimeMetrics renders a core telemetry snapshot as the
+// cats_scheduler_*, cats_component_*, cats_routecache_*, and cats_trace_*
+// series.
+func WriteRuntimeMetrics(w io.Writer, s core.MetricsSnapshot) error {
+	m := NewMetricsWriter(w)
+
+	m.Header("cats_runtime_components_live", "gauge", "Components currently alive.")
+	m.Gauge("cats_runtime_components_live", float64(s.LiveComponents))
+	m.Header("cats_runtime_components_total", "counter", "Components ever created.")
+	m.Counter("cats_runtime_components_total", uint64(s.TotalComponents))
+	m.Header("cats_runtime_faults_total", "counter", "Handler panics recovered runtime-wide.")
+	m.Counter("cats_runtime_faults_total", s.Faults)
+
+	m.Header("cats_scheduler_workers", "gauge", "Scheduler worker goroutines.")
+	m.Gauge("cats_scheduler_workers", float64(s.Scheduler.Workers))
+	m.Header("cats_scheduler_executed_total", "counter", "Component events executed.")
+	m.Counter("cats_scheduler_executed_total", s.Scheduler.Executed)
+	m.Header("cats_scheduler_local_pops_total", "counter", "Ready components consumed from the worker's own deque.")
+	m.Counter("cats_scheduler_local_pops_total", s.Scheduler.LocalPops)
+	m.Header("cats_scheduler_steals_total", "counter", "Successful batch steals.")
+	m.Counter("cats_scheduler_steals_total", s.Scheduler.Steals)
+	m.Header("cats_scheduler_steal_misses_total", "counter", "Steal attempts that found nothing.")
+	m.Counter("cats_scheduler_steal_misses_total", s.Scheduler.StealMisses)
+	m.Header("cats_scheduler_stolen_total", "counter", "Components claimed by steals.")
+	m.Counter("cats_scheduler_stolen_total", s.Scheduler.Stolen)
+	m.Header("cats_scheduler_parks_total", "counter", "Times a worker parked for lack of work.")
+	m.Counter("cats_scheduler_parks_total", s.Scheduler.Parks)
+	m.Header("cats_scheduler_max_deque_depth", "gauge", "High-water mark of any worker deque.")
+	m.Gauge("cats_scheduler_max_deque_depth", float64(s.Scheduler.MaxDequeDepth))
+	if len(s.Scheduler.PerWorker) > 1 {
+		m.Header("cats_scheduler_worker_executed_total", "counter", "Events executed per worker.")
+		for _, w := range s.Scheduler.PerWorker {
+			m.Counter("cats_scheduler_worker_executed_total", w.Executed, "worker", fmt.Sprint(w.ID))
+		}
+	}
+
+	m.Header("cats_routecache_tables", "gauge", "Published copy-on-write route tables.")
+	m.Gauge("cats_routecache_tables", float64(s.RouteCache.Tables))
+	m.Header("cats_routecache_plans", "gauge", "Cached delivery plans across all route tables.")
+	m.Gauge("cats_routecache_plans", float64(s.RouteCache.Plans))
+	m.Header("cats_routecache_builds_total", "counter", "Route-plan constructions (cache misses).")
+	m.Counter("cats_routecache_builds_total", s.RouteCache.Builds)
+	m.Header("cats_routecache_resets_total", "counter", "Route-table resets forced by the capacity cap.")
+	m.Counter("cats_routecache_resets_total", s.RouteCache.Resets)
+	m.Header("cats_routecache_capacity", "gauge", "Per-table plan cap.")
+	m.Gauge("cats_routecache_capacity", float64(s.RouteCache.Capacity))
+
+	m.Header("cats_trace_enabled", "gauge", "Whether an event-trace sink is attached.")
+	if s.Trace.Enabled {
+		m.Gauge("cats_trace_enabled", 1)
+	} else {
+		m.Gauge("cats_trace_enabled", 0)
+	}
+	m.Header("cats_trace_records_total", "counter", "Trace records written.")
+	m.Counter("cats_trace_records_total", s.Trace.Records)
+
+	m.Header("cats_component_handled_total", "counter", "Events handled per component.")
+	for _, c := range s.Components {
+		m.Counter("cats_component_handled_total", c.Handled, "component", c.Path)
+	}
+	m.Header("cats_component_triggers_total", "counter", "Events triggered per component.")
+	for _, c := range s.Components {
+		m.Counter("cats_component_triggers_total", c.Triggers, "component", c.Path)
+	}
+	m.Header("cats_component_faults_total", "counter", "Handler panics per component.")
+	for _, c := range s.Components {
+		if c.Faults > 0 {
+			m.Counter("cats_component_faults_total", c.Faults, "component", c.Path)
+		}
+	}
+	m.Header("cats_component_queue_depth", "gauge", "Queued events per component.")
+	for _, c := range s.Components {
+		m.Gauge("cats_component_queue_depth", float64(c.QueueDepth), "component", c.Path)
+	}
+
+	// Handler latency aggregated across components: per-component histograms
+	// would multiply cardinality by 34 buckets each.
+	var agg core.LatencyStats
+	for _, c := range s.Components {
+		agg.Samples += c.Latency.Samples
+		agg.SumNanos += c.Latency.SumNanos
+		for i := range agg.Buckets {
+			agg.Buckets[i] += c.Latency.Buckets[i]
+		}
+	}
+	m.Header("cats_component_handler_latency_seconds", "histogram",
+		"Sampled handler execution latency, all components.")
+	m.Histogram("cats_component_handler_latency_seconds", agg)
+
+	return m.Err()
+}
+
+// WriteNetworkMetrics renders the process-wide network counters as the
+// cats_network_* series.
+func WriteNetworkMetrics(w io.Writer, n network.Metrics) error {
+	m := NewMetricsWriter(w)
+	m.Header("cats_network_sent_total", "counter", "Messages enqueued for transmission.")
+	m.Counter("cats_network_sent_total", n.Sent)
+	m.Header("cats_network_received_total", "counter", "Messages delivered to the Network port.")
+	m.Counter("cats_network_received_total", n.Received)
+	m.Header("cats_network_dropped_full_total", "counter", "Messages dropped on full send queues.")
+	m.Counter("cats_network_dropped_full_total", n.DroppedFull)
+	m.Header("cats_network_send_errors_total", "counter", "Encode, dial, and write failures.")
+	m.Counter("cats_network_send_errors_total", n.SendErrors)
+	m.Header("cats_network_encoded_msgs_total", "counter", "Messages serialized by the codec.")
+	m.Counter("cats_network_encoded_msgs_total", n.EncodedMsgs)
+	m.Header("cats_network_encoded_bytes_total", "counter", "Payload bytes produced by the codec.")
+	m.Counter("cats_network_encoded_bytes_total", n.EncodedBytes)
+	m.Header("cats_network_decoded_msgs_total", "counter", "Messages deserialized by the codec.")
+	m.Counter("cats_network_decoded_msgs_total", n.DecodedMsgs)
+	m.Header("cats_network_compressed_msgs_total", "counter", "Messages zlib-compressed on encode.")
+	m.Counter("cats_network_compressed_msgs_total", n.CompressedMsgs)
+	m.Header("cats_network_compressed_bytes_in_total", "counter", "Uncompressed bytes fed into zlib.")
+	m.Counter("cats_network_compressed_bytes_in_total", n.CompressedIn)
+	m.Header("cats_network_compressed_bytes_out_total", "counter", "Compressed bytes out of zlib.")
+	m.Counter("cats_network_compressed_bytes_out_total", n.CompressedOut)
+	m.Header("cats_network_decompressed_msgs_total", "counter", "Messages zlib-decompressed on decode.")
+	m.Counter("cats_network_decompressed_msgs_total", n.DecompressedMsgs)
+	return m.Err()
+}

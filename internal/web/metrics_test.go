@@ -1,0 +1,207 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+
+	// Generate some traffic through the component system first.
+	for i := 0; i < 5; i++ {
+		httpGet(t, "http://"+bridge.Addr()+"/warm")
+	}
+
+	resp, err := http.Get("http://" + bridge.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type %q, want %q", ct, PromContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Every required series family is present.
+	for _, series := range []string{
+		"cats_scheduler_executed_total",
+		"cats_scheduler_workers",
+		"cats_component_handled_total",
+		"cats_component_queue_depth",
+		"cats_component_handler_latency_seconds_count",
+		"cats_routecache_plans",
+		"cats_routecache_builds_total",
+		"cats_routecache_resets_total",
+		"cats_network_sent_total",
+		"cats_network_compressed_bytes_out_total",
+		"cats_runtime_components_live",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("missing series %s", series)
+		}
+	}
+	// The bridge itself shows up as a labeled component with handled events.
+	if !strings.Contains(body, `cats_component_handled_total{component="`) {
+		t.Fatalf("no labeled component series in:\n%s", body)
+	}
+	// Exposition format sanity: every non-comment line is "name{labels} value"
+	// or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDebugRuntimeJSON(t *testing.T) {
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+	httpGet(t, "http://"+bridge.Addr()+"/warm")
+
+	resp, err := http.Get("http://" + bridge.Addr() + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out struct {
+		Runtime core.MetricsSnapshot `json:"runtime"`
+		Network network.Metrics      `json:"network"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Runtime.LiveComponents < 2 {
+		t.Fatalf("live components %d, want >= 2", out.Runtime.LiveComponents)
+	}
+	if len(out.Runtime.Components) == 0 {
+		t.Fatal("no component stats in JSON snapshot")
+	}
+	if out.Runtime.Scheduler.Workers != 2 {
+		t.Fatalf("workers %d, want 2", out.Runtime.Scheduler.Workers)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	// Default bridge: pprof not mounted.
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+	code, body := httpGet(t, "http://"+bridge.Addr()+"/debug/pprof/")
+	// Falls through to the component app, which echoes the path.
+	if code != 200 || !strings.Contains(body, "path=/debug/pprof/") {
+		t.Fatalf("pprof path not routed to app: code=%d body=%q", code, body)
+	}
+
+	// Pprof-enabled bridge serves the index.
+	rt := core.New(
+		core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue),
+	)
+	t.Cleanup(rt.Shutdown)
+	pb := NewBridge(BridgeConfig{Listen: "127.0.0.1:0", Timeout: time.Second, EnablePprof: true})
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		appC := ctx.Create("app", &echoApp{})
+		brC := ctx.Create("bridge", pb)
+		ctx.Connect(appC.Provided(PortType), brC.Required(PortType))
+	}))
+	rt.WaitQuiescence(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for pb.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	code, body = httpGet(t, "http://"+pb.Addr()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index not served: code=%d", code)
+	}
+}
+
+// TestMetricsWriterExposition pins the exact exposition output for a
+// synthetic snapshot (golden test for the hand-rolled format writer).
+func TestMetricsWriterExposition(t *testing.T) {
+	var sb strings.Builder
+	m := NewMetricsWriter(&sb)
+	m.Header("demo_total", "counter", "A demo counter.")
+	m.Counter("demo_total", 42)
+	m.Counter("demo_total", 7, "component", `we"ird\pa`+"\n"+`th`)
+	m.Gauge("demo_depth", 3.5, "worker", "0")
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP demo_total A demo counter.\n" +
+		"# TYPE demo_total counter\n" +
+		"demo_total 42\n" +
+		`demo_total{component="we\"ird\\pa\nth"} 7` + "\n" +
+		`demo_depth{worker="0"} 3.5` + "\n"
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestMetricsWriterHistogram(t *testing.T) {
+	var ls core.LatencyStats
+	ls.Samples = 3
+	ls.SumNanos = 1500
+	ls.Buckets[9] = 2  // two samples in [256, 512) ns
+	ls.Buckets[10] = 1 // one sample in [512, 1024) ns
+
+	var sb strings.Builder
+	m := NewMetricsWriter(&sb)
+	m.Histogram("lat_seconds", ls)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="5.12e-07"} 2`,
+		`lat_seconds_bucket{le="1.024e-06"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		`lat_seconds_sum 1.5e-06`,
+		`lat_seconds_count 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+	// Cumulative counts never decrease.
+	last := -1.0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		var v float64
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts decreased at %q", line)
+		}
+		last = v
+	}
+}
+
+// fmtSscanLast parses the trailing value of an exposition sample line.
+func fmtSscanLast(line string, v *float64) (int, error) {
+	fields := strings.Fields(line)
+	return 1, json.Unmarshal([]byte(fields[len(fields)-1]), v)
+}

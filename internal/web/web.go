@@ -7,15 +7,19 @@
 package web
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/network"
 )
 
 // Request is one web request entering the component system.
@@ -50,6 +54,8 @@ type BridgeConfig struct {
 	// Timeout bounds how long the bridge waits for a component Response
 	// (default 5s).
 	Timeout time.Duration
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Bridge is the embedded web server component: it requires a Web port and
@@ -111,7 +117,7 @@ func (b *Bridge) listen() error {
 		return err
 	}
 	b.ln = ln
-	srv := &http.Server{Handler: http.HandlerFunc(b.serveHTTP)}
+	srv := &http.Server{Handler: b.mux()}
 	b.srv = srv
 	go func() { _ = srv.Serve(ln) }()
 	return nil
@@ -128,6 +134,57 @@ func (b *Bridge) shutdown() {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	}
+}
+
+// mux assembles the bridge's HTTP routes: built-in telemetry endpoints, the
+// optional pprof handlers, and component-served paths on everything else.
+func (b *Bridge) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", b.serveMetrics)
+	mux.HandleFunc("/debug/runtime", b.serveRuntimeJSON)
+	if b.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.HandleFunc("/", b.serveHTTP)
+	return mux
+}
+
+// serveMetrics renders the runtime telemetry snapshot and the process-wide
+// network counters in the Prometheus text exposition format. It runs on the
+// HTTP goroutine: MetricsSnapshot is safe to call from outside component
+// handlers, and aggregation cost is proportional to live components, which is
+// fine at scrape frequency.
+func (b *Bridge) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := b.ctx.Runtime().MetricsSnapshot()
+	var buf bytes.Buffer
+	if err := WriteRuntimeMetrics(&buf, snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := WriteNetworkMetrics(&buf, network.GlobalMetrics()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", PromContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// serveRuntimeJSON renders the same snapshot as indented JSON for humans and
+// scripts that do not speak the exposition format.
+func (b *Bridge) serveRuntimeJSON(w http.ResponseWriter, r *http.Request) {
+	snap := b.ctx.Runtime().MetricsSnapshot()
+	out := struct {
+		Runtime core.MetricsSnapshot `json:"runtime"`
+		Network network.Metrics      `json:"network"`
+	}{snap, network.GlobalMetrics()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 // serveHTTP wraps one HTTP request into a Request event and waits for the
