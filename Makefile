@@ -1,8 +1,27 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-dispatch ci
+# Benchmark knobs for bench-dispatch. Fixed -cpu keeps runs comparable
+# across machines and against CI; override per invocation, e.g.
+#   make bench-dispatch BENCHTIME=3s BENCHCPU=8
+BENCHTIME ?= 1s
+BENCHCPU ?= 4
+
+.PHONY: all help build vet test test-race bench bench-dispatch determinism ci
 
 all: build
+
+help:
+	@echo "Targets:"
+	@echo "  build           go build ./..."
+	@echo "  vet             go vet ./..."
+	@echo "  test            go test ./..."
+	@echo "  test-race       go test -race ./... (deque/routing-cache stress tests)"
+	@echo "  bench           full benchmark sweep (macro experiments included)"
+	@echo "  bench-dispatch  hot-path microbenchmarks only: dispatch, fan-out,"
+	@echo "                  ping-pong, deque. Pinned -benchtime $(BENCHTIME) -cpu $(BENCHCPU);"
+	@echo "                  override with BENCHTIME=... BENCHCPU=..."
+	@echo "  determinism     run the simulation twice per seed and diff trace digests"
+	@echo "  ci              vet + build + test-race"
 
 build:
 	$(GO) build ./...
@@ -22,9 +41,19 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Just the hot-path microbenchmarks: dispatch allocs and deque throughput.
+# Just the hot-path microbenchmarks: dispatch allocs, batched fan-out, and
+# deque throughput. -benchtime and -cpu are pinned (see BENCHTIME/BENCHCPU
+# above) so results are comparable between local runs and the CI artifact.
 bench-dispatch:
-	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkDispatchAllocs|BenchmarkPingPongRoundTrip|BenchmarkChannelFanout' -benchmem -count=3 .
-	$(GO) test -run '^$$' -bench 'BenchmarkWSDeque' -benchmem -count=3 ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkDispatchAllocs|BenchmarkPingPongRoundTrip|BenchmarkChannelFanout|BenchmarkFanout' -benchmem -benchtime $(BENCHTIME) -cpu $(BENCHCPU) -count=3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkWSDeque|BenchmarkStealPingPong' -benchmem -benchtime $(BENCHTIME) -cpu $(BENCHCPU) -count=3 ./internal/core/
+
+# Local mirror of the CI determinism job: one seed, two runs, diff all
+# deterministic output lines (wall time filtered) including the -trace digest.
+determinism:
+	$(GO) build -o /tmp/catssim ./cmd/catssim
+	/tmp/catssim -mode sim -seed 7 -trace -boot 30 -churn 10 -lookups 200 -ops 100 -tail 10s | grep -v 'wall=' > /tmp/sim-a.txt
+	/tmp/catssim -mode sim -seed 7 -trace -boot 30 -churn 10 -lookups 200 -ops 100 -tail 10s | grep -v 'wall=' > /tmp/sim-b.txt
+	diff -u /tmp/sim-a.txt /tmp/sim-b.txt && echo "deterministic"
 
 ci: vet build test-race

@@ -260,6 +260,53 @@ func BenchmarkChannelFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkFanout measures broadcast fan-out: one trigger crossing a port
+// pair with N attached channels, each leading to a distinct subscriber
+// component (the batched-forwarding hot path). Reported time is per
+// broadcast (N deliveries + N handler executions); the dispatch side must
+// stay allocation-free (TestFanoutZeroAlloc gates that in CI).
+func BenchmarkFanout(b *testing.B) {
+	for _, subs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprint(subs), func(b *testing.B) {
+			rt := core.New(core.WithScheduler(core.NewWorkStealingScheduler(2)))
+			defer rt.Shutdown()
+			var handled atomic.Int64
+			done := make(chan struct{}, 1)
+			var srvPort *core.Port
+			var srvCtx *core.Ctx
+			target := int64(b.N) * int64(subs)
+			rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+				srv := ctx.Create("server", core.SetupFunc(func(sx *core.Ctx) {
+					srvCtx = sx
+					srvPort = sx.Provides(benchPP)
+				}))
+				for i := 0; i < subs; i++ {
+					cli := ctx.Create(fmt.Sprintf("c%d", i), core.SetupFunc(func(inner *core.Ctx) {
+						p := inner.Requires(benchPP)
+						core.Subscribe(inner, p, func(benchPong) {
+							if handled.Add(1) == target {
+								done <- struct{}{}
+							}
+						})
+					}))
+					ctx.Connect(srv.Provided(benchPP), cli.Required(benchPP))
+				}
+			}))
+			rt.WaitQuiescence(time.Second)
+
+			// Warm up routing plans and queue rings; box the event once so
+			// interface conversion isn't charged to dispatch.
+			var ev core.Event = benchPong{N: 0}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srvCtx.Trigger(ev, srvPort)
+			}
+			<-done
+		})
+	}
+}
+
 // BenchmarkSchedulerWorkers measures event throughput over many components
 // as worker count grows (multi-core execution; flat on single-core hosts).
 func BenchmarkSchedulerWorkers(b *testing.B) {

@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"os"
 	"time"
 
@@ -36,6 +38,7 @@ func main() {
 		lookups = flag.Int("lookups", 1000, "ring lookups issued")
 		ops     = flag.Int("ops", 200, "put/get operations issued (half each)")
 		tail    = flag.Duration("tail", 30*time.Second, "extra run time after the scenario ends")
+		trace   = flag.Bool("trace", false, "sim mode: digest every handler execution and print it (determinism check)")
 	)
 	flag.Parse()
 
@@ -60,7 +63,7 @@ func main() {
 
 	switch *mode {
 	case "sim":
-		runSimulated(*seed, sched, nodeCfg, *tail)
+		runSimulated(*seed, sched, nodeCfg, *tail, *trace)
 	case "local":
 		runLocal(sched, nodeCfg, *tail)
 	default:
@@ -112,8 +115,14 @@ func buildScenario(boot, churn, lookups, ops int) *scenario.Scenario {
 	return sc
 }
 
-func runSimulated(seed int64, sched scenario.Schedule, nodeCfg cats.NodeConfig, tail time.Duration) {
-	sim := simulation.New(seed)
+func runSimulated(seed int64, sched scenario.Schedule, nodeCfg cats.NodeConfig, tail time.Duration, trace bool) {
+	var digest *traceDigest
+	simOpts := []simulation.SimOption{}
+	if trace {
+		digest = newTraceDigest()
+		simOpts = append(simOpts, simulation.WithTraceSink(digest))
+	}
+	sim := simulation.New(seed, simOpts...)
 	emu := simulation.NewNetworkEmulator(sim,
 		simulation.WithLatency(simulation.UniformLatency(time.Millisecond, 10*time.Millisecond)))
 	host := cats.NewSimulator(cats.SimEnv{Sim: sim, Emu: emu}, nodeCfg)
@@ -127,6 +136,30 @@ func runSimulated(seed int64, sched scenario.Schedule, nodeCfg cats.NodeConfig, 
 	stats := sim.Run(end + tail)
 	report(host.Metrics(), host.AliveCount())
 	fmt.Printf("  %v\n", stats)
+	if digest != nil {
+		fmt.Printf("  trace: records=%d digest=%016x\n", digest.n, digest.h.Sum64())
+	}
+}
+
+// traceDigest is a core.TraceSink that folds every handler execution —
+// virtual timestamp, component path, event type, handler name — into one
+// FNV-1a hash. Two simulation runs are behaviorally identical iff their
+// record counts and digests match, which is what the CI determinism job
+// diffs; a full trace dump would be millions of lines.
+type traceDigest struct {
+	n uint64
+	h hash.Hash64
+}
+
+func newTraceDigest() *traceDigest { return &traceDigest{h: fnv.New64a()} }
+
+func (t *traceDigest) Record(r core.TraceRecord) {
+	t.n++
+	comp := ""
+	if r.Component != nil {
+		comp = r.Component.Path()
+	}
+	fmt.Fprintf(t.h, "%d|%s|%v|%s|%d\n", r.At.UnixNano(), comp, r.Event, r.Handler, r.Handlers)
 }
 
 func runLocal(sched scenario.Schedule, nodeCfg cats.NodeConfig, tail time.Duration) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Channel is a first-class binding between two complementary port halves of
@@ -14,6 +15,14 @@ import (
 type Channel struct {
 	typ *PortType
 
+	// pass caches the two live endpoints for lock-free pass-through
+	// forwarding. It is non-nil exactly while the channel is a plain pipe —
+	// both ends plugged and not held — and nil whenever any reconfiguration
+	// state forces the locked slow path. Mutators republish it under mu
+	// (updatePassLocked), so the broadcast hot path costs one atomic load
+	// and a pointer compare per channel instead of a mutex round trip.
+	pass atomic.Pointer[chanEnds]
+
 	mu   sync.Mutex
 	ends [2]*Port // endpoint halves; an unplugged end is nil
 	held bool
@@ -21,6 +30,23 @@ type Channel struct {
 	// the destination end was unplugged, in arrival order. dstEnd records
 	// which endpoint slot each event was heading to.
 	queue []queuedEvent
+}
+
+// chanEnds is an immutable snapshot of a live channel's endpoints. Port
+// handles are canonical (see portPair.halves), so endpoint identity is a
+// pointer compare.
+type chanEnds struct{ a, b *Port }
+
+// otherOf returns the endpoint opposite half from, or nil when from is not
+// an endpoint of this snapshot (a racing unplug: take the slow path).
+func (ce *chanEnds) otherOf(from *Port) *Port {
+	if ce.a == from {
+		return ce.b
+	}
+	if ce.b == from {
+		return ce.a
+	}
+	return nil
 }
 
 type queuedEvent struct {
@@ -51,6 +77,7 @@ func Connect(a, b *Port) (*Channel, error) {
 	ch := &Channel{typ: a.Type()}
 	ch.ends[0] = a
 	ch.ends[1] = b
+	ch.pass.Store(&chanEnds{a: a, b: b})
 	a.pair.attachChannel(a.face, ch)
 	b.pair.attachChannel(b.face, ch)
 	return ch, nil
@@ -83,7 +110,76 @@ func (ch *Channel) Ends() (a, b *Port) {
 // scheduler locality hint of the originating trigger, threaded through the
 // synchronous forwarding chain (see Port.deliver).
 func (ch *Channel) forward(ev Event, from *Port, hint *worker) {
+	if ce := ch.pass.Load(); ce != nil {
+		if dst := ce.otherOf(from); dst != nil {
+			dst.deliver(ev, hint)
+			return
+		}
+	}
+	ch.forwardSlow(ev, from, hint, nil)
+}
+
+// forwardInto is forward inside an ongoing batch collection: the far side's
+// fan-out joins the same batch.
+func (ch *Channel) forwardInto(ev Event, from *Port, hint *worker, b *fanoutBatch) {
+	if ce := ch.pass.Load(); ce != nil {
+		if dst := ce.otherOf(from); dst != nil {
+			dst.deliverInto(ev, hint, b)
+			return
+		}
+	}
+	ch.forwardSlow(ev, from, hint, b)
+}
+
+// forwardSlice carries a homogeneous event slice across the channel as one
+// atomic batch: a live channel forwards it whole; a held channel (or one
+// whose destination end is unplugged) buffers the whole slice in order
+// under a single lock acquisition, so no concurrent forward can interleave
+// inside the batch and Resume replays it contiguously.
+func (ch *Channel) forwardSlice(evs []Event, from *Port, hint *worker, b *fanoutBatch) {
+	if ce := ch.pass.Load(); ce != nil {
+		if dst := ce.otherOf(from); dst != nil {
+			dst.deliverSliceInto(evs, hint, b)
+			return
+		}
+	}
 	ch.mu.Lock()
+	dstEnd := ch.slowDstEndLocked(from)
+	if ch.held || ch.ends[dstEnd] == nil {
+		for _, ev := range evs {
+			ch.queue = append(ch.queue, queuedEvent{event: ev, dstEnd: dstEnd})
+		}
+		ch.mu.Unlock()
+		return
+	}
+	dst := ch.ends[dstEnd]
+	ch.mu.Unlock()
+	dst.deliverSliceInto(evs, hint, b)
+}
+
+// forwardSlow is the locked forwarding path, taken whenever the channel is
+// not a plain live pipe (held, partially unplugged, or racing a reconfig).
+// When b is non-nil the delivery joins that batch.
+func (ch *Channel) forwardSlow(ev Event, from *Port, hint *worker, b *fanoutBatch) {
+	ch.mu.Lock()
+	dstEnd := ch.slowDstEndLocked(from)
+	if ch.held || ch.ends[dstEnd] == nil {
+		ch.queue = append(ch.queue, queuedEvent{event: ev, dstEnd: dstEnd})
+		ch.mu.Unlock()
+		return
+	}
+	dst := ch.ends[dstEnd]
+	ch.mu.Unlock()
+	if b != nil {
+		dst.deliverInto(ev, hint, b)
+	} else {
+		dst.deliver(ev, hint)
+	}
+}
+
+// slowDstEndLocked resolves which endpoint slot an event entering from half
+// `from` is heading to. Called with ch.mu held.
+func (ch *Channel) slowDstEndLocked(from *Port) int {
 	dstEnd := ch.endIndexOfOther(from)
 	if dstEnd < 0 {
 		// The 'from' half is no longer an endpoint (racing unplug): the
@@ -95,14 +191,17 @@ func (ch *Channel) forward(ev Event, from *Port, hint *worker) {
 			dstEnd = 1
 		}
 	}
-	if ch.held || ch.ends[dstEnd] == nil {
-		ch.queue = append(ch.queue, queuedEvent{event: ev, dstEnd: dstEnd})
-		ch.mu.Unlock()
-		return
+	return dstEnd
+}
+
+// updatePassLocked republishes the lock-free pass-through snapshot after a
+// state mutation. Called with ch.mu held.
+func (ch *Channel) updatePassLocked() {
+	if !ch.held && ch.ends[0] != nil && ch.ends[1] != nil {
+		ch.pass.Store(&chanEnds{a: ch.ends[0], b: ch.ends[1]})
+	} else {
+		ch.pass.Store(nil)
 	}
-	dst := ch.ends[dstEnd]
-	ch.mu.Unlock()
-	dst.deliver(ev, hint)
 }
 
 // endIndexOfOther returns the slot index of the endpoint opposite to half p,
@@ -123,6 +222,7 @@ func (ch *Channel) Hold() {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	ch.held = true
+	ch.updatePassLocked()
 }
 
 // Held reports whether the channel is currently on hold.
@@ -146,6 +246,7 @@ func (ch *Channel) QueuedLen() int {
 func (ch *Channel) Resume() {
 	ch.mu.Lock()
 	ch.held = false
+	ch.updatePassLocked()
 	ch.drainLocked()
 }
 
@@ -153,8 +254,11 @@ func (ch *Channel) Resume() {
 // held and releases it before returning. Delivery happens outside the lock
 // (present may re-enter forward on this same channel via port graphs), so
 // events arriving concurrently are appended behind the batch being flushed,
-// preserving FIFO per direction.
+// preserving FIFO per direction. Maximal consecutive runs headed to the
+// same end are replayed as one batch, so a batch that was buffered whole by
+// a held channel leaves it whole, in order, on Resume.
 func (ch *Channel) drainLocked() {
+	var run []Event // drain-local scratch; reconfig path, allocation is fine
 	for {
 		if ch.held || len(ch.queue) == 0 {
 			ch.mu.Unlock()
@@ -172,11 +276,19 @@ func (ch *Channel) drainLocked() {
 			ch.mu.Unlock()
 			return
 		}
-		qe := ch.queue[idx]
-		ch.queue = append(ch.queue[:idx:idx], ch.queue[idx+1:]...)
-		dst := ch.ends[qe.dstEnd]
+		dstEnd := ch.queue[idx].dstEnd
+		end := idx + 1
+		for end < len(ch.queue) && ch.queue[end].dstEnd == dstEnd {
+			end++
+		}
+		run = run[:0]
+		for _, qe := range ch.queue[idx:end] {
+			run = append(run, qe.event)
+		}
+		ch.queue = append(ch.queue[:idx:idx], ch.queue[end:]...)
+		dst := ch.ends[dstEnd]
 		ch.mu.Unlock()
-		dst.present(qe.event)
+		dst.deliverSlice(run, nil)
 		ch.mu.Lock()
 	}
 }
@@ -201,6 +313,7 @@ func (ch *Channel) Unplug(p *Port) error {
 		return fmt.Errorf("core: Unplug: %s is not an endpoint of this channel", p)
 	}
 	ch.ends[slot] = nil
+	ch.updatePassLocked()
 	ch.mu.Unlock()
 	p.pair.detachChannel(p.face, ch)
 	return nil
@@ -246,6 +359,7 @@ func (ch *Channel) Plug(p *Port) error {
 		return fmt.Errorf("core: Plug: port type mismatch: channel carries %s, port is %s", ch.typ.Name(), p)
 	}
 	ch.ends[slot] = p
+	ch.updatePassLocked()
 	p.pair.attachChannel(p.face, ch)
 	ch.drainLocked()
 	return nil
@@ -259,6 +373,7 @@ func (ch *Channel) Disconnect() {
 	copy(ends[:], ch.ends[:])
 	ch.ends[0], ch.ends[1] = nil, nil
 	ch.queue = nil
+	ch.updatePassLocked()
 	ch.mu.Unlock()
 	for _, e := range ends {
 		if e != nil {

@@ -73,6 +73,11 @@ type Component struct {
 
 	sched atomic.Int32
 	life  atomic.Int32
+	// pending counts queued work items (control + main). It is mutated only
+	// under qmu — so it equals the exact queue sizes whenever qmu is held —
+	// and read lock-free by hasRunnable's empty fast path, which spares a
+	// drained component's post-execution wake a full mutex round trip.
+	pending atomic.Int32
 
 	// stats are the component's always-on telemetry counters (see
 	// telemetry.go); embedded so the dispatch path reaches them without an
@@ -188,8 +193,51 @@ func (c *Component) enqueue(it workItem, hint *worker) {
 	} else {
 		c.mainQ.push(it)
 	}
+	c.pending.Add(1)
+	runnable := c.runnableLocked()
 	c.qmu.Unlock()
-	c.wake(hint)
+	if runnable {
+		c.wakeRunnable(hint)
+	}
+}
+
+// enqueueRun appends a run of work items bound for this component — one
+// destination's slice of a batched fan-out — under a single queue-lock
+// acquisition, in run order. If the component became runnable and was idle,
+// it is recorded in the batch's ready list for the batched scheduler
+// submission instead of being submitted immediately (see fanoutBatch.flush);
+// the ready CAS still happens here so readiness order matches enqueue order.
+func (c *Component) enqueueRun(ents []fanoutEntry, b *fanoutBatch) {
+	if c.life.Load() == lifeDestroyed {
+		return // events to destroyed components are dropped
+	}
+	c.qmu.Lock()
+	for i := 0; i < len(ents); {
+		ctrl := ents[i].item.control
+		j := i + 1
+		for j < len(ents) && ents[j].item.control == ctrl {
+			j++
+		}
+		q := &c.mainQ
+		if ctrl {
+			q = &c.ctrlQ
+		}
+		q.reserve(j - i)
+		for k := i; k < j; k++ {
+			q.push(ents[k].item)
+		}
+		i = j
+	}
+	c.pending.Add(int32(len(ents)))
+	runnable := c.runnableLocked()
+	c.qmu.Unlock()
+	if !runnable {
+		return
+	}
+	if c.sched.CompareAndSwap(schedIdle, schedReady) {
+		c.rt.componentReady(c)
+		b.ready = append(b.ready, c)
+	}
 }
 
 // wake schedules the component if it is idle and has runnable work. When the
@@ -200,6 +248,13 @@ func (c *Component) wake(hint *worker) {
 	if !c.hasRunnable() {
 		return
 	}
+	c.wakeRunnable(hint)
+}
+
+// wakeRunnable is wake for callers that already observed runnable work
+// under qmu (the enqueue paths), skipping the redundant hasRunnable lock
+// round trip.
+func (c *Component) wakeRunnable(hint *worker) {
 	if c.sched.CompareAndSwap(schedIdle, schedReady) {
 		c.rt.componentReady(c)
 		if hint != nil && hint.sched.is(c.rt.scheduler) {
@@ -216,20 +271,34 @@ func (c *Component) pop() (workItem, bool) {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	if it, ok := c.ctrlQ.pop(); ok {
+		c.pending.Add(-1)
 		return it, true
 	}
 	if c.life.Load() == lifeActive {
 		if it, ok := c.mainQ.pop(); ok {
+			c.pending.Add(-1)
 			return it, true
 		}
 	}
 	return workItem{}, false
 }
 
-// hasRunnable reports whether a runnable work item is queued.
+// hasRunnable reports whether a runnable work item is queued. The empty
+// case — the common one for a component that just drained its queue — is
+// answered by the lock-free pending counter; only a non-empty queue pays
+// the lock to check which queue and the lifecycle state.
 func (c *Component) hasRunnable() bool {
+	if c.pending.Load() == 0 {
+		return false
+	}
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
+	return c.runnableLocked()
+}
+
+// runnableLocked reports whether a runnable work item is queued. Called
+// with qmu held.
+func (c *Component) runnableLocked() bool {
 	if c.ctrlQ.len() > 0 {
 		return true
 	}
@@ -256,6 +325,7 @@ func (c *Component) stealMainQueue() []workItem {
 		if !ok {
 			return items
 		}
+		c.pending.Add(-1)
 		items = append(items, it)
 	}
 }
@@ -269,41 +339,27 @@ func (c *Component) stealMainQueue() []workItem {
 // more runnable work is queued, so that schedulers interleave components
 // fairly, executing one event in one component at a time.
 func (c *Component) ExecuteOne() bool {
+	return c.ExecuteBatch(1) == 1
+}
+
+// ExecuteBatch runs up to limit queued work items of the component in one
+// scheduler activation, returning the number executed. The busy/idle
+// transition, the re-wake, and the active-count release are paid once for
+// the whole batch, so a component with a backlog (the receiving side of a
+// batched fan-out, say) does not bounce through the ready queue between
+// every two events. limit bounds the activation so a busy component still
+// interleaves fairly with the rest of the ready set. The same exclusivity
+// contract as ExecuteOne applies.
+func (c *Component) ExecuteBatch(limit int) int {
 	c.sched.Store(schedBusy)
-	it, ok := c.pop()
-	if ok {
-		// Telemetry: the handled counter is unconditional (one uncontended
-		// atomic add); the clock is read only when this execution is
-		// latency-sampled or a trace sink is attached, keeping the common
-		// path free of time syscalls and allocations.
-		rt := c.rt
-		n := c.stats.handled.Add(1)
-		sampled := n&rt.latMask == 0
-		if sink := rt.traceSink; sink != nil || sampled {
-			start := rt.clock.Now()
-			c.runItem(it)
-			d := rt.clock.Now().Sub(start)
-			if sampled {
-				c.stats.latency.observe(d)
-			}
-			if sink != nil {
-				handler := ""
-				if len(it.subs) > 0 {
-					handler = it.subs[0].name
-				}
-				sink.Record(TraceRecord{
-					At:        start,
-					Duration:  d,
-					Component: c,
-					Port:      it.via,
-					Event:     reflect.TypeOf(it.event),
-					Handler:   handler,
-					Handlers:  len(it.subs),
-				})
-			}
-		} else {
-			c.runItem(it)
+	n := 0
+	for n < limit {
+		it, ok := c.pop()
+		if !ok {
+			break
 		}
+		c.executeItem(it)
+		n++
 	}
 	c.sched.Store(schedIdle)
 	// Re-wake BEFORE releasing this execution's active count: if more work
@@ -313,7 +369,42 @@ func (c *Component) ExecuteOne() bool {
 	// backlog re-enters that worker's own deque.
 	c.wake(c.curWorker.Load())
 	c.rt.componentIdle(c)
-	return ok
+	return n
+}
+
+// executeItem runs one popped work item with its telemetry bookkeeping: the
+// handled counter is unconditional (one uncontended atomic add); the clock
+// is read only when this execution is latency-sampled or a trace sink is
+// attached, keeping the common path free of time syscalls and allocations.
+func (c *Component) executeItem(it workItem) {
+	rt := c.rt
+	n := c.stats.handled.Add(1)
+	sampled := n&rt.latMask == 0
+	if sink := rt.traceSink; sink != nil || sampled {
+		start := rt.clock.Now()
+		c.runItem(it)
+		d := rt.clock.Now().Sub(start)
+		if sampled {
+			c.stats.latency.observe(d)
+		}
+		if sink != nil {
+			handler := ""
+			if len(it.subs) > 0 {
+				handler = it.subs[0].name
+			}
+			sink.Record(TraceRecord{
+				At:        start,
+				Duration:  d,
+				Component: c,
+				Port:      it.via,
+				Event:     reflect.TypeOf(it.event),
+				Handler:   handler,
+				Handlers:  len(it.subs),
+			})
+		}
+	} else {
+		c.runItem(it)
+	}
 }
 
 // runItem executes one event: lifecycle interception first, then every
@@ -405,6 +496,7 @@ func (c *Component) destroy() {
 	}
 
 	c.qmu.Lock()
+	c.pending.Add(-int32(c.ctrlQ.len() + c.mainQ.len()))
 	c.ctrlQ.reset()
 	c.mainQ.reset()
 	c.qmu.Unlock()

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for batched fan-out forwarding (port.go/fanout.go), its interaction
+// with channel Hold/Resume and hot swap, and the adaptive steal batch
+// policy. The concurrency tests here are the per-channel ordering oracle
+// for the batched path: every client must observe the exact trigger
+// sequence — no loss, no duplication, no reordering — no matter how the
+// broadcast is chopped into batches or interrupted by reconfiguration.
+
+type fanEvent struct{ Seq int }
+
+var fanPort = NewPortType("Fan", Indication[fanEvent]())
+
+// seqRec records the sequence numbers one client observed, in arrival order.
+type seqRec struct {
+	mu   sync.Mutex
+	seqs []int
+}
+
+func (r *seqRec) add(s int) {
+	r.mu.Lock()
+	r.seqs = append(r.seqs, s)
+	r.mu.Unlock()
+}
+
+func (r *seqRec) snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.seqs...)
+}
+
+// fanClient is a swappable subscriber that records into an external seqRec,
+// so a replacement instance continues the same record.
+type fanClient struct{ rec *seqRec }
+
+func (d *fanClient) Setup(ctx *Ctx) {
+	p := ctx.Requires(fanPort)
+	rec := d.rec
+	Subscribe(ctx, p, func(ev fanEvent) { rec.add(ev.Seq) })
+}
+
+// fanWorld wires one broadcasting server to n recording clients, each over
+// its own channel, and returns the server's inner port to trigger on.
+func fanWorld(t *testing.T, rt *Runtime, n int) (srvPort *Port, rootCtx *Ctx, clients []*Component, chans []*Channel, recs []*seqRec) {
+	t.Helper()
+	recs = make([]*seqRec, n)
+	clients = make([]*Component, n)
+	chans = make([]*Channel, n)
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		rootCtx = ctx
+		srv := ctx.Create("server", SetupFunc(func(sx *Ctx) {
+			srvPort = sx.Provides(fanPort)
+		}))
+		for i := 0; i < n; i++ {
+			recs[i] = &seqRec{}
+			clients[i] = ctx.Create(fmt.Sprintf("c%d", i), &fanClient{rec: recs[i]})
+			chans[i] = ctx.Connect(srv.Provided(fanPort), clients[i].Required(fanPort))
+		}
+	}))
+	waitQuiet(t, rt)
+	return
+}
+
+// assertFullSequence checks a client observed exactly seqs 0..total-1 in
+// order.
+func assertFullSequence(t *testing.T, client int, got []int, total int) {
+	t.Helper()
+	if len(got) != total {
+		t.Fatalf("client %d: received %d events, want %d (loss or duplication)", client, len(got), total)
+	}
+	for j, s := range got {
+		if s != j {
+			t.Fatalf("client %d: position %d holds seq %d (reordered)", client, j, s)
+		}
+	}
+}
+
+// TestHoldResumeDuringBatchedFanout flaps Hold/Resume on a subset of the
+// channels while a broadcast storm of event batches is in flight. Held
+// channels must buffer each batch whole and Resume must replay it in order,
+// so every client still observes the unbroken trigger sequence.
+func TestHoldResumeDuringBatchedFanout(t *testing.T) {
+	rt := newTestRuntime(t)
+	const nClients = 8
+	const batch = 4
+	const total = 2000
+	srvPort, _, _, chans, recs := fanWorld(t, rt, nClients)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			chans[0].Hold()
+			chans[3].Hold()
+			runtime.Gosched()
+			chans[0].Resume()
+			chans[3].Resume()
+			runtime.Gosched()
+		}
+	}()
+
+	evs := make([]Event, batch)
+	for seq := 0; seq < total; {
+		for k := range evs {
+			evs[k] = fanEvent{Seq: seq}
+			seq++
+		}
+		if err := TriggerBatchOn(srvPort, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, ch := range chans {
+		ch.Resume()
+	}
+	waitQuiet(t, rt)
+
+	for i, rec := range recs {
+		assertFullSequence(t, i, rec.snapshot(), total)
+	}
+}
+
+// TestSwapDuringBatchedFanout hot-swaps one client while batched broadcasts
+// are in flight. The swap recipe (hold, unplug, migrate queued events,
+// resume) must neither lose nor duplicate nor reorder any event, for the
+// swapped slot or for the bystander clients.
+func TestSwapDuringBatchedFanout(t *testing.T) {
+	rt := newTestRuntime(t)
+	const nClients = 4
+	const batch = 4
+	const total = 1600
+	srvPort, rootCtx, clients, _, recs := fanWorld(t, rt, nClients)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		evs := make([]Event, batch)
+		for seq := 0; seq < total; {
+			for k := range evs {
+				evs[k] = fanEvent{Seq: seq}
+				seq++
+			}
+			if err := TriggerBatchOn(srvPort, evs); err != nil {
+				panic(err)
+			}
+			if seq == total/2 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(200 * time.Microsecond)
+	if _, err := rootCtx.Swap(clients[0], "c0v2", &fanClient{rec: recs[0]}); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	<-done
+	waitQuiet(t, rt)
+
+	for i, rec := range recs {
+		assertFullSequence(t, i, rec.snapshot(), total)
+	}
+}
+
+// TestTriggerBatchHeterogeneous checks the per-event fallback of a mixed
+// batch still delivers everything in order.
+func TestTriggerBatchHeterogeneous(t *testing.T) {
+	rt := newTestRuntime(t)
+	var mu sync.Mutex
+	var got []Event
+	var port *Port
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		srv := ctx.Create("server", SetupFunc(func(sx *Ctx) {
+			port = sx.Provides(pingPongPort)
+		}))
+		cli := ctx.Create("cli", SetupFunc(func(cx *Ctx) {
+			p := cx.Requires(pingPongPort)
+			Subscribe(cx, p, func(ev pong) {
+				mu.Lock()
+				got = append(got, ev)
+				mu.Unlock()
+			})
+		}))
+		ctx.Connect(srv.Provided(pingPongPort), cli.Required(pingPongPort))
+	}))
+	waitQuiet(t, rt)
+
+	if err := TriggerBatchOn(port, []Event{pong{N: 1}, pong{N: 2}, pong{N: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, rt)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("received %d events, want 3", len(got))
+	}
+}
+
+// TestAdaptiveStealBatchPolicy pins the adaptive policy's shape: steal-one
+// at the shallow floor, a quarter while the victim is far below its
+// high-water mark, half otherwise — with the shrunk flag set exactly when
+// the choice is smaller than the half-batch default.
+func TestAdaptiveStealBatchPolicy(t *testing.T) {
+	cases := []struct {
+		depth, highWater int64
+		wantN            int64
+		wantShrunk       bool
+	}{
+		{depth: 1, highWater: 0, wantN: 1, wantShrunk: false},
+		{depth: 2, highWater: 8, wantN: 1, wantShrunk: false},  // half would be 1 too
+		{depth: 4, highWater: 8, wantN: 1, wantShrunk: true},   // half would be 2
+		{depth: 8, highWater: 100, wantN: 2, wantShrunk: true}, // draining: quarter
+		{depth: 16, highWater: 100, wantN: 8, wantShrunk: false},
+		{depth: 40, highWater: 400, wantN: 10, wantShrunk: true},
+		{depth: 100, highWater: 100, wantN: 50, wantShrunk: false},
+	}
+	for _, c := range cases {
+		n, shrunk := adaptiveStealBatch(c.depth, c.highWater)
+		if n != c.wantN || shrunk != c.wantShrunk {
+			t.Errorf("adaptiveStealBatch(%d, %d) = (%d, %v), want (%d, %v)",
+				c.depth, c.highWater, n, shrunk, c.wantN, c.wantShrunk)
+		}
+	}
+}
+
+// BenchmarkStealPingPong measures the steal round trip against a
+// repeatedly-refilled shallow victim whose deque once ran deep — the drain
+// phase the adaptive policy is shaped for. Sub-benchmark "half" pins the
+// paper's fixed steal-half policy; "adaptive" computes the batch from the
+// victim's current depth against its high-water mark. The interesting
+// output is not only ns/op but how much of the victim's remaining work each
+// policy strips from its owner.
+func BenchmarkStealPingPong(b *testing.B) {
+	policies := []struct {
+		name  string
+		batch func(d *wsDeque) int64
+	}{
+		{"half", func(d *wsDeque) int64 { return d.size() / 2 }},
+		{"adaptive", func(d *wsDeque) int64 {
+			n, _ := adaptiveStealBatch(d.size(), d.maxDepth.Load())
+			return n
+		}},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			d := newWSDeque()
+			c := &Component{}
+			// Establish a deep high-water mark, then drain to enter the
+			// shallow phase the policies diverge on.
+			for i := 0; i < 256; i++ {
+				d.push(c)
+			}
+			for d.pop() != nil {
+			}
+			var buf []*Component
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < 4; k++ {
+					d.push(c)
+				}
+				// Owner and thief alternate: one FIFO pop, one policy-sized
+				// steal, until the refill is consumed.
+				for d.size() > 0 {
+					if d.pop() == nil {
+						break
+					}
+					n := pol.batch(d)
+					if n < 1 {
+						n = 1
+					}
+					buf = d.stealInto(buf[:0], n)
+				}
+			}
+		})
+	}
+}
+
+// TestStealShrinkTelemetry drives an imbalanced load through the default
+// (adaptive) policy and checks the scheduler surfaces shrink decisions in
+// its stats without breaking the steals/stolen accounting.
+func TestStealShrinkTelemetry(t *testing.T) {
+	s := NewWorkStealingScheduler(2, WithPlacement(func(uint64, int) int { return 0 }))
+	rt := New(WithScheduler(s))
+	defer rt.Shutdown()
+	var handled int64
+	var mu sync.Mutex
+	var port *Port
+	rt.MustBootstrap("Main", SetupFunc(func(ctx *Ctx) {
+		srv := ctx.Create("server", SetupFunc(func(sx *Ctx) {
+			port = sx.Provides(fanPort)
+		}))
+		for i := 0; i < 16; i++ {
+			cli := ctx.Create(fmt.Sprintf("c%d", i), SetupFunc(func(cx *Ctx) {
+				p := cx.Requires(fanPort)
+				Subscribe(cx, p, func(fanEvent) {
+					mu.Lock()
+					handled++
+					mu.Unlock()
+				})
+			}))
+			ctx.Connect(srv.Provided(fanPort), cli.Required(fanPort))
+		}
+	}))
+	waitQuiet(t, rt)
+
+	for i := 0; i < 500; i++ {
+		if err := TriggerOn(port, fanEvent{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, rt)
+
+	st := s.SchedulerMetrics()
+	if st.StealShrinks > st.Steals {
+		t.Fatalf("steal shrinks %d exceed successful steals %d", st.StealShrinks, st.Steals)
+	}
+	var perWorker uint64
+	for _, w := range st.PerWorker {
+		perWorker += w.StealShrinks
+	}
+	if perWorker != st.StealShrinks {
+		t.Fatalf("per-worker shrink sum %d != aggregate %d", perWorker, st.StealShrinks)
+	}
+}

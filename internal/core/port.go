@@ -278,22 +278,91 @@ func (p *Port) present(ev Event) { p.deliver(ev, nil) }
 func (p *Port) deliver(ev Event, from *worker) {
 	pp := p.pair
 	dst := p.twin()
-	dynT := reflect.TypeOf(ev)
+	plan := pp.planFor(dst, reflect.TypeOf(ev))
+	if len(plan.chans) < fanoutBatchMinChans {
+		plan.run(ev, dst, from)
+		return
+	}
+	// Broadcast: collect the whole transitive fan-out, then flush with one
+	// queue-lock acquisition per destination run and one batched scheduler
+	// submission (see fanout.go).
+	b := acquireFanoutBatch(from)
+	plan.runInto(ev, dst, from, b)
+	b.flush(from)
+	releaseFanoutBatch(b)
+}
 
-	gen := pp.gen.Load()
-	if tab := pp.routes[dst.face-1].Load(); tab != nil && tab.gen == gen {
-		if plan, ok := tab.plans[dynT]; ok {
-			plan.run(ev, dst, from)
+// deliverSlice presents a slice of events at half p as one batch, in slice
+// order. When the events share one dynamic type (the high-rate producer
+// case) the routing plan is looked up once and every attached channel
+// observes the slice as an atomic batch — a held channel buffers it whole,
+// in order. Heterogeneous slices fall back to per-event delivery, which
+// preserves order all the same.
+func (p *Port) deliverSlice(evs []Event, from *worker) {
+	switch len(evs) {
+	case 0:
+		return
+	case 1:
+		p.deliver(evs[0], from)
+		return
+	}
+	dynT := reflect.TypeOf(evs[0])
+	for _, ev := range evs[1:] {
+		if reflect.TypeOf(ev) != dynT {
+			for _, e := range evs {
+				p.deliver(e, from)
+			}
 			return
 		}
 	}
-
-	plan, gen := pp.buildPlan(dst, dynT)
-	pp.publishPlan(dst.face, dynT, plan, gen)
-	plan.run(ev, dst, from)
+	pp := p.pair
+	dst := p.twin()
+	plan := pp.planFor(dst, dynT)
+	b := acquireFanoutBatch(from)
+	plan.runSliceInto(evs, dst, from, b)
+	b.flush(from)
+	releaseFanoutBatch(b)
 }
 
-// run executes a delivery plan for one event instance.
+// deliverInto is deliver inside an ongoing batch collection: the event
+// crossed a channel of a plan already being batched, so its own fan-out
+// joins the same batch instead of flushing separately.
+func (p *Port) deliverInto(ev Event, from *worker, b *fanoutBatch) {
+	pp := p.pair
+	dst := p.twin()
+	pp.planFor(dst, reflect.TypeOf(ev)).runInto(ev, dst, from, b)
+}
+
+// deliverSliceInto is deliverSlice inside an ongoing batch collection. The
+// caller guarantees the slice is homogeneous (checked once at the top-level
+// deliverSlice).
+func (p *Port) deliverSliceInto(evs []Event, from *worker, b *fanoutBatch) {
+	if len(evs) == 0 {
+		return
+	}
+	pp := p.pair
+	dst := p.twin()
+	pp.planFor(dst, reflect.TypeOf(evs[0])).runSliceInto(evs, dst, from, b)
+}
+
+// planFor returns the delivery plan for events of dynamic type dynT
+// crossing into half dst: one atomic generation load, one atomic table
+// load, one map hit on the steady-state path; a miss builds and publishes
+// the plan copy-on-write.
+func (pp *portPair) planFor(dst *Port, dynT reflect.Type) *routePlan {
+	gen := pp.gen.Load()
+	if tab := pp.routes[dst.face-1].Load(); tab != nil && tab.gen == gen {
+		if plan, ok := tab.plans[dynT]; ok {
+			return plan
+		}
+	}
+	plan, gen := pp.buildPlan(dst, dynT)
+	pp.publishPlan(dst.face, dynT, plan, gen)
+	return plan
+}
+
+// run executes a delivery plan for one event instance (the direct path:
+// zero or one attached channel).
 func (plan *routePlan) run(ev Event, dst *Port, from *worker) {
 	for i := range plan.deliveries {
 		d := &plan.deliveries[i]
@@ -301,6 +370,35 @@ func (plan *routePlan) run(ev Event, dst *Port, from *worker) {
 	}
 	for _, ch := range plan.chans {
 		ch.forward(ev, dst, from)
+	}
+}
+
+// runInto executes a delivery plan for one event instance into a batch:
+// enqueues are collected rather than performed, and channel forwarding
+// recurses with the same batch.
+func (plan *routePlan) runInto(ev Event, dst *Port, from *worker, b *fanoutBatch) {
+	for i := range plan.deliveries {
+		d := &plan.deliveries[i]
+		b.add(d.dest, workItem{event: ev, subs: d.subs, control: d.control, via: dst})
+	}
+	for _, ch := range plan.chans {
+		ch.forwardInto(ev, dst, from, b)
+	}
+}
+
+// runSliceInto executes a delivery plan for a homogeneous event slice into
+// a batch. Per delivery, the slice's items are emitted adjacently (one
+// queue-lock acquisition at flush); per channel, the slice crosses as an
+// atomic batch.
+func (plan *routePlan) runSliceInto(evs []Event, dst *Port, from *worker, b *fanoutBatch) {
+	for i := range plan.deliveries {
+		d := &plan.deliveries[i]
+		for _, ev := range evs {
+			b.add(d.dest, workItem{event: ev, subs: d.subs, control: d.control, via: dst})
+		}
+	}
+	for _, ch := range plan.chans {
+		ch.forwardSlice(evs, dst, from, b)
 	}
 }
 

@@ -34,6 +34,29 @@ func (r *ring) pop() (it workItem, ok bool) {
 // len returns the number of queued items.
 func (r *ring) len() int { return r.size }
 
+// reserve grows the backing array (at most once) so that n further pushes
+// proceed without triggering growth — the multi-event push of a batched
+// fan-out pays one capacity check per run instead of one per item.
+func (r *ring) reserve(n int) {
+	need := r.size + n
+	if need <= len(r.buf) {
+		return
+	}
+	sz := len(r.buf) * 2
+	if sz == 0 {
+		sz = 8
+	}
+	for sz < need {
+		sz *= 2
+	}
+	nb := make([]workItem, sz)
+	for i := 0; i < r.size; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
 // reset drops all queued items but keeps the backing array, so a component
 // that drains and refills (or is reused after a lifecycle reset) does not
 // pay the growth allocations again. Entries are cleared so dropped events

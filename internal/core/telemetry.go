@@ -136,6 +136,10 @@ type WorkerStats struct {
 	// Parks is the number of times the worker went to sleep for lack of
 	// work anywhere.
 	Parks uint64
+	// StealShrinks is the number of successful steals where the adaptive
+	// batch policy took less than the half-batch default because the victim
+	// deque was shallow relative to its high-water mark.
+	StealShrinks uint64
 	// MaxDequeDepth is the high-water mark of the worker's ready deque.
 	MaxDequeDepth int64
 	// DequeDepth is the current (racy) length of the worker's ready deque.
@@ -154,6 +158,7 @@ type SchedulerStats struct {
 	StealMisses   uint64
 	Stolen        uint64
 	Parks         uint64
+	StealShrinks  uint64
 	MaxDequeDepth int64
 	// PerWorker carries the unaggregated counters, when available.
 	PerWorker []WorkerStats `json:",omitempty"`

@@ -144,8 +144,12 @@ func TestSchedulerMetrics(t *testing.T) {
 	if perWorker != s.Executed {
 		t.Fatalf("per-worker executed sum %d != aggregate %d", perWorker, s.Executed)
 	}
-	if s.LocalPops+s.Stolen < s.Executed {
-		t.Fatalf("local pops %d + stolen %d < executed %d", s.LocalPops, s.Stolen, s.Executed)
+	// Every activation is a local pop or a steal (a steal executes the
+	// first stolen component directly; the rest are re-popped locally), and
+	// each activation executes between 1 and maxExecBatch events.
+	if acts := s.LocalPops + s.Steals; s.Executed < acts || s.Executed > acts*maxExecBatch {
+		t.Fatalf("executed %d outside [%d, %d] for %d local pops + %d steals at batch %d",
+			s.Executed, acts, acts*maxExecBatch, s.LocalPops, s.Steals, maxExecBatch)
 	}
 	if s.MaxDequeDepth < 1 {
 		t.Fatalf("max deque depth %d, want >= 1", s.MaxDequeDepth)

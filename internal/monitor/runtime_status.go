@@ -52,6 +52,7 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 		"sched.steals":      int64(s.Scheduler.Steals),
 		"sched.steal_miss":  int64(s.Scheduler.StealMisses),
 		"sched.stolen":      int64(s.Scheduler.Stolen),
+		"sched.shrinks":     int64(s.Scheduler.StealShrinks),
 		"sched.parks":       int64(s.Scheduler.Parks),
 		"sched.max_depth":   s.Scheduler.MaxDequeDepth,
 		"routecache.tables": int64(s.RouteCache.Tables),

@@ -123,6 +123,8 @@ func WriteRuntimeMetrics(w io.Writer, s core.MetricsSnapshot) error {
 	m.Counter("cats_scheduler_steal_misses_total", s.Scheduler.StealMisses)
 	m.Header("cats_scheduler_stolen_total", "counter", "Components claimed by steals.")
 	m.Counter("cats_scheduler_stolen_total", s.Scheduler.Stolen)
+	m.Header("cats_scheduler_steal_shrinks_total", "counter", "Steals shrunk below half by the adaptive batch policy.")
+	m.Counter("cats_scheduler_steal_shrinks_total", s.Scheduler.StealShrinks)
 	m.Header("cats_scheduler_parks_total", "counter", "Times a worker parked for lack of work.")
 	m.Counter("cats_scheduler_parks_total", s.Scheduler.Parks)
 	m.Header("cats_scheduler_max_deque_depth", "gauge", "High-water mark of any worker deque.")

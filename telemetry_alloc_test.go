@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -51,5 +52,56 @@ func TestTelemetryDispatchZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("telemetry-enabled dispatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFanoutZeroAlloc asserts the batched fan-out path stays allocation-free
+// in steady state: one trigger on a port with many attached channels
+// collects the whole broadcast into a reusable batch, enqueues per
+// destination, and submits the ready set in bulk — with no per-event or
+// per-destination allocation anywhere (batch scratch, queue rings, deque
+// arrays, and the ready list all reach steady capacity during warm-up).
+func TestFanoutZeroAlloc(t *testing.T) {
+	const subs = 16
+	rt := core.New(core.WithScheduler(core.NewWorkStealingScheduler(2)))
+	defer rt.Shutdown()
+	var handled atomic.Int64
+	var port *core.Port
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		srv := ctx.Create("server", core.SetupFunc(func(sx *core.Ctx) {
+			port = sx.Provides(benchPP)
+		}))
+		for i := 0; i < subs; i++ {
+			cli := ctx.Create(fmt.Sprintf("client%d", i), core.SetupFunc(func(inner *core.Ctx) {
+				p := inner.Requires(benchPP)
+				core.Subscribe(inner, p, func(benchPong) { handled.Add(1) })
+			}))
+			ctx.Connect(srv.Provided(benchPP), cli.Required(benchPP))
+		}
+	}))
+	rt.WaitQuiescence(time.Second)
+
+	var ev core.Event = benchPong{N: 1}
+	for warm := 0; warm < 3; warm++ {
+		target := handled.Load() + subs
+		if err := core.TriggerOn(port, ev); err != nil {
+			t.Fatal(err)
+		}
+		for handled.Load() < target {
+			runtime.Gosched()
+		}
+	}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		target := handled.Load() + subs
+		if err := core.TriggerOn(port, ev); err != nil {
+			t.Fatal(err)
+		}
+		for handled.Load() < target {
+			runtime.Gosched()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched fan-out allocates %.1f allocs/op, want 0", allocs)
 	}
 }
