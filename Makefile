@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHCPU ?= 4
 
-.PHONY: all help build vet test test-race bench bench-dispatch determinism ci
+.PHONY: all help build vet test test-race bench bench-dispatch determinism chaos ci
 
 all: build
 
@@ -21,6 +21,7 @@ help:
 	@echo "                  ping-pong, deque. Pinned -benchtime $(BENCHTIME) -cpu $(BENCHCPU);"
 	@echo "                  override with BENCHTIME=... BENCHCPU=..."
 	@echo "  determinism     run the simulation twice per seed and diff trace digests"
+	@echo "  chaos           churn scenario under -race plus a two-run chaos report diff"
 	@echo "  ci              vet + build + test-race"
 
 build:
@@ -55,5 +56,15 @@ determinism:
 	/tmp/catssim -mode sim -seed 7 -trace -boot 30 -churn 10 -lookups 200 -ops 100 -tail 10s | grep -v 'wall=' > /tmp/sim-a.txt
 	/tmp/catssim -mode sim -seed 7 -trace -boot 30 -churn 10 -lookups 200 -ops 100 -tail 10s | grep -v 'wall=' > /tmp/sim-b.txt
 	diff -u /tmp/sim-a.txt /tmp/sim-b.txt && echo "deterministic"
+
+# Local mirror of the CI chaos job: the churn scenario under the race
+# detector, then one seed's chaos report (with trace digest) run twice and
+# diffed — crash-restart churn must be deterministic and lose nothing.
+chaos:
+	$(GO) test -race -count=1 -run 'Churn' ./internal/experiments/
+	$(GO) build -o /tmp/catssim ./cmd/catssim
+	/tmp/catssim -mode chaos -seed 3 -trace > /tmp/chaos-a.txt
+	/tmp/catssim -mode chaos -seed 3 -trace > /tmp/chaos-b.txt
+	diff -u /tmp/chaos-a.txt /tmp/chaos-b.txt && cat /tmp/chaos-a.txt
 
 ci: vet build test-race

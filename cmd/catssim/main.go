@@ -5,6 +5,10 @@
 //     — thousands of nodes in one process, reproducible for a fixed seed;
 //   - -mode local: real-time execution over the in-process loopback
 //     network (Figure 12 right) — the local interactive stress-test mode.
+//   - -mode chaos: the robustness gate — quorum reads/writes through
+//     crash-restart churn and link flaps in virtual time, asserting
+//     linearizability and zero lost acknowledged writes (exit 1 on
+//     violation). Byte-identical output per seed; CI diffs it.
 //
 // The identical system code (the CATS node composite and the simulator
 // host component) runs in both modes; only the injected transport, timer,
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/cats"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/ident"
 	"repro/internal/network"
 	"repro/internal/scenario"
@@ -31,7 +36,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "sim", "execution mode: sim | local")
+		mode    = flag.String("mode", "sim", "execution mode: sim | local | chaos")
 		seed    = flag.Int64("seed", 42, "random seed (schedule and simulation)")
 		boot    = flag.Int("boot", 100, "nodes joined by the boot process")
 		churn   = flag.Int("churn", 50, "churn events (half joins, half failures)")
@@ -41,6 +46,11 @@ func main() {
 		trace   = flag.Bool("trace", false, "sim mode: digest every handler execution and print it (determinism check)")
 	)
 	flag.Parse()
+
+	if *mode == "chaos" {
+		runChaos(*seed, *trace)
+		return
+	}
 
 	sc := buildScenario(*boot, *churn, *lookups, *ops)
 	sched, err := sc.Generate(*seed)
@@ -68,6 +78,35 @@ func main() {
 		runLocal(sched, nodeCfg, *tail)
 	default:
 		fmt.Fprintf(os.Stderr, "catssim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+// runChaos runs the crash-restart churn scenario (experiments.Churn) and
+// exits non-zero unless the recorded history is linearizable with zero
+// lost acknowledged writes. Output is purely virtual-time derived, so two
+// runs with one seed must print byte-identical reports — the CI chaos job
+// diffs them (plus the trace digest under -trace).
+func runChaos(seed int64, trace bool) {
+	var digest *traceDigest
+	simOpts := []simulation.SimOption{}
+	if trace {
+		digest = newTraceDigest()
+		simOpts = append(simOpts, simulation.WithTraceSink(digest))
+	}
+	r := experiments.Churn(seed, experiments.ChurnConfig{}, simOpts...)
+	fmt.Printf("catssim chaos: seed=%d nodes=%d keys=%d simulated=%v events=%d execs=%d\n",
+		seed, r.Nodes, r.Keys, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
+	fmt.Printf("  acked_puts=%d ok_gets=%d failed_puts=%d failed_gets=%d unresolved=%d\n",
+		r.AckedPuts, r.OKGets, r.FailedPuts, r.FailedGets, r.UnresolvedOps)
+	fmt.Printf("  crashes=%d restarts=%d flaps=%d churn_dropped=%d\n",
+		r.Crashes, r.Restarts, r.Flaps, r.ChurnDropped)
+	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
+	if digest != nil {
+		fmt.Printf("  trace: records=%d digest=%016x\n", digest.n, digest.h.Sum64())
+	}
+	if !r.Linearizable || r.LostAckedWrites != 0 {
+		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED")
 		os.Exit(1)
 	}
 }

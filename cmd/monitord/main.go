@@ -1,7 +1,8 @@
 // monitord runs the standalone monitoring server (the paper's CATS
 // MonitorServerMain): it aggregates the periodic status reports sent by
 // every node's monitoring client and presents the global view of the
-// system on a web page.
+// system on a web page. /alerts serves the firing alert rules (queue-drop
+// growth, fault spikes, reconnect storms) as plain text.
 //
 //	monitord -addr 10.0.0.9:7200 -web 10.0.0.9:8090
 package main
@@ -41,7 +42,8 @@ func main() {
 		bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS, EnablePprof: *pprofOn}))
 		ctx.Connect(srv.Provided(web.PortType), bridge.Required(web.PortType))
 	}))
-	fmt.Printf("monitord: reports on %s, global view at http://%s/\n", addr, *webS)
+	fmt.Printf("monitord: reports on %s, global view at http://%s/, alerts at http://%s/alerts\n",
+		addr, *webS, *webS)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -59,6 +59,10 @@ type NodeConfig struct {
 	SuccessorListSize int
 	// FDInterval is the failure-detector ping period (default 100ms).
 	FDInterval time.Duration
+	// FDSuspectAfterMisses is how many consecutive unanswered ping rounds
+	// raise Suspect (default 2). Raise it to keep short network outages —
+	// e.g. transport reconnects — from evicting healthy nodes.
+	FDSuspectAfterMisses int
 	// StabilizePeriod is the ring stabilization period (default 500ms).
 	StabilizePeriod time.Duration
 	// CyclonPeriod is the peer-sampling shuffle period (default 1s).
@@ -172,7 +176,11 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	self := n.cfg.Self
 
 	// Substrate children.
-	n.FD = fd.NewPing(fd.Config{Self: self.Addr, Interval: n.cfg.FDInterval})
+	n.FD = fd.NewPing(fd.Config{
+		Self:               self.Addr,
+		Interval:           n.cfg.FDInterval,
+		SuspectAfterMisses: n.cfg.FDSuspectAfterMisses,
+	})
 	fdC := ctx.Create("fd", n.FD)
 	n.Cyclon = cyclon.New(cyclon.Config{Self: self, Period: n.cfg.CyclonPeriod})
 	cyC := ctx.Create("cyclon", n.Cyclon)

@@ -2,6 +2,7 @@ package cats
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -131,8 +132,23 @@ type peerHandle struct {
 // pendingOp correlates an issued operation with its response.
 type pendingOp struct {
 	kind  string
+	key   string
+	value string
 	start time.Time
 	load  bool // part of a closed-loop StartLoad workload
+}
+
+// OpRecord is one recorded client operation (RecordOps mode) with
+// invocation/response timestamps from the environment clock — virtual
+// time under simulation — in the form the linearizability checker wants.
+type OpRecord struct {
+	Kind  string // "put" | "get"
+	Key   string
+	Value string // value written, or value a get returned
+	OK    bool   // response carried no error
+	Found bool   // get only: key existed
+	Start time.Time
+	End   time.Time
 }
 
 // Simulator is the paper's "CATS Simulator" host component: it provides
@@ -146,6 +162,9 @@ type Simulator struct {
 	Defaults NodeConfig
 	// MaxSeeds bounds how many existing nodes a joiner learns (default 3).
 	MaxSeeds int
+	// RecordOps captures every explicit put/get (not closed-loop load ops)
+	// as an OpRecord for post-run linearizability checking.
+	RecordOps bool
 
 	ctx *core.Ctx
 	exp *core.Port
@@ -157,6 +176,7 @@ type Simulator struct {
 	mu      sync.Mutex
 	peers   map[ident.Key]*peerHandle
 	metrics Metrics
+	history []OpRecord
 
 	pending map[uint64]*pendingOp
 
@@ -209,6 +229,52 @@ func (s *Simulator) Metrics() Metrics {
 func (s *Simulator) bump(f func(m *Metrics)) {
 	s.mu.Lock()
 	f(&s.metrics)
+	s.mu.Unlock()
+}
+
+// OpHistory returns the completed operations captured under RecordOps, in
+// completion order.
+func (s *Simulator) OpHistory() []OpRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]OpRecord(nil), s.history...)
+}
+
+// UnresolvedOps returns the recorded operations still awaiting a response
+// (e.g. their coordinator crashed). Their End is zero: a write among them
+// may or may not have taken effect, so a linearizability caller must treat
+// it as unconstrained in time.
+func (s *Simulator) UnresolvedOps() []OpRecord {
+	if !s.RecordOps {
+		return nil
+	}
+	out := []OpRecord{}
+	for _, op := range s.pending {
+		if op.load || (op.kind != "put" && op.kind != "get") {
+			continue
+		}
+		out = append(out, OpRecord{Kind: op.kind, Key: op.key, Value: op.value, Start: op.start})
+	}
+	// Map iteration order is random; sort so callers see a stable history.
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// record appends one completed operation under RecordOps.
+func (s *Simulator) record(r OpRecord) {
+	if !s.RecordOps {
+		return
+	}
+	s.mu.Lock()
+	s.history = append(s.history, r)
 	s.mu.Unlock()
 }
 
@@ -345,7 +411,7 @@ func (s *Simulator) handlePut(p OpPut) {
 		return
 	}
 	id := simReqBase + NextReqID()
-	s.pending[id] = &pendingOp{kind: "put", start: s.ctx.Now()}
+	s.pending[id] = &pendingOp{kind: "put", key: p.Key, value: string(p.Value), start: s.ctx.Now()}
 	s.ctx.Trigger(abd.PutRequest{ReqID: id, Key: p.Key, Value: p.Value}, h.putget)
 }
 
@@ -356,7 +422,7 @@ func (s *Simulator) handleGet(g OpGet) {
 		return
 	}
 	id := simReqBase + NextReqID()
-	s.pending[id] = &pendingOp{kind: "get", start: s.ctx.Now()}
+	s.pending[id] = &pendingOp{kind: "get", key: g.Key, start: s.ctx.Now()}
 	s.ctx.Trigger(abd.GetRequest{ReqID: id, Key: g.Key}, h.putget)
 }
 
@@ -457,6 +523,8 @@ func (s *Simulator) handleGetResponse(g abd.GetResponse) {
 		return
 	}
 	now := s.ctx.Now()
+	s.record(OpRecord{Kind: "get", Key: op.key, Value: string(g.Value), OK: g.Err == "",
+		Found: g.Found, Start: op.start, End: now})
 	s.bump(func(m *Metrics) { m.OpLatencies = append(m.OpLatencies, now.Sub(op.start)) })
 }
 
@@ -478,5 +546,7 @@ func (s *Simulator) handlePutResponse(p abd.PutResponse) {
 		return
 	}
 	now := s.ctx.Now()
+	s.record(OpRecord{Kind: "put", Key: op.key, Value: op.value, OK: p.Err == "",
+		Start: op.start, End: now})
 	s.bump(func(m *Metrics) { m.OpLatencies = append(m.OpLatencies, now.Sub(op.start)) })
 }

@@ -50,6 +50,12 @@ type Supervisor struct {
 	Policy RestartPolicy
 	Specs  []ChildSpec
 
+	// Clock supplies the timestamps the sliding restart window is measured
+	// against. Nil means the runtime clock (Ctx.Now — wall time in real
+	// execution, virtual time under simulation); inject a fake to test
+	// budget expiry without sleeping.
+	Clock func() time.Time
+
 	ctx      *Ctx
 	children map[string]*Component
 	restarts map[string][]time.Time
@@ -103,10 +109,18 @@ func (s *Supervisor) Generation(name string) int {
 	return s.generations[name]
 }
 
+// now reads the restart-window clock (injected Clock or the runtime's).
+func (s *Supervisor) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return s.ctx.Now()
+}
+
 // handleChildFault restarts the faulty child or escalates when the budget
 // is exhausted.
 func (s *Supervisor) handleChildFault(spec ChildSpec, f Fault) {
-	now := s.ctx.Now()
+	now := s.now()
 	cutoff := now.Add(-s.Policy.Window)
 	recent := s.restarts[spec.Name][:0]
 	for _, t := range s.restarts[spec.Name] {

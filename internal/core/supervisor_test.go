@@ -150,6 +150,41 @@ func TestSupervisorRestartBudgetEscalates(t *testing.T) {
 	}
 }
 
+// TestSupervisorInjectedClockSlidesWindow pins that the restart budget is
+// measured against the injected Clock: faults that exhaust the budget at
+// one instant are forgiven once the (fake) clock moves past the window, so
+// budget expiry is testable deterministically, with no sleeping.
+func TestSupervisorInjectedClockSlidesWindow(t *testing.T) {
+	var fake atomic.Int64 // unix nanos
+	base := time.Unix(1000, 0)
+	fake.Store(int64(0))
+	var escalated atomic.Int64
+	w := newSupWorld(t,
+		RestartPolicy{MaxRestarts: 2, Window: time.Minute},
+		func(rt *Runtime, f Fault) { escalated.Add(1) },
+	)
+	w.sup.Clock = func() time.Time { return base.Add(time.Duration(fake.Load())) }
+
+	// Two faults at t=0 use up the budget.
+	for i := 0; i < 2; i++ {
+		w.col.ctx.Trigger(ping{N: -1}, w.col.port)
+		w.waitGeneration(t, i+1)
+		waitQuiet(t, w.rt)
+	}
+	// Slide the clock past the window: the old restarts fall out of the
+	// budget and a third fault restarts instead of escalating.
+	fake.Store(int64(2 * time.Minute))
+	w.col.ctx.Trigger(ping{N: -1}, w.col.port)
+	w.waitGeneration(t, 3)
+	waitQuiet(t, w.rt)
+	if escalated.Load() != 0 {
+		t.Fatalf("escalated although the window had slid past the old restarts")
+	}
+	if w.sup.Generation("worker") != 3 {
+		t.Fatalf("generation %d, want 3", w.sup.Generation("worker"))
+	}
+}
+
 func TestSupervisorMultipleChildren(t *testing.T) {
 	sup := NewSupervisor(RestartPolicy{},
 		ChildSpec{Name: "a", Factory: func() Definition { return &crashable{} }},

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/cats"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/linear"
+	"repro/internal/simulation"
+)
+
+// ChurnConfig parameterizes the chaos scenario: a simulated CATS cluster
+// serving quorum reads and writes while nodes crash and restart and links
+// flap and heal underneath it.
+type ChurnConfig struct {
+	Nodes     int           // cluster size (default 6)
+	Keys      int           // distinct data keys under test (default 6)
+	OpsPerKey int           // put/get operations per key, excluding the final audit read (default 10)
+	Crashes   int           // sequential crash→restart cycles (default 4)
+	Flaps     int           // symmetric link flaps (default 4)
+	CrashDown time.Duration // how long a crashed node stays off the network (default 1200ms)
+	FlapDown  time.Duration // how long a flapped link stays down (default 900ms)
+	OpWindow  time.Duration // virtual-time window the workload and churn are spread over (default 40s)
+	Tail      time.Duration // settle time after the window before the audit reads (default 20s)
+}
+
+func (c *ChurnConfig) applyDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 6
+	}
+	if c.Keys <= 0 {
+		c.Keys = 6
+	}
+	if c.OpsPerKey <= 0 {
+		c.OpsPerKey = 10
+	}
+	if c.Crashes <= 0 {
+		c.Crashes = 4
+	}
+	if c.Flaps <= 0 {
+		c.Flaps = 4
+	}
+	if c.CrashDown <= 0 {
+		c.CrashDown = 1200 * time.Millisecond
+	}
+	if c.FlapDown <= 0 {
+		c.FlapDown = 900 * time.Millisecond
+	}
+	if c.OpWindow <= 0 {
+		c.OpWindow = 40 * time.Second
+	}
+	if c.Tail <= 0 {
+		c.Tail = 20 * time.Second
+	}
+}
+
+// ChurnResult reports the scenario outcome.
+type ChurnResult struct {
+	Nodes, Keys int
+
+	AckedPuts, FailedPuts int
+	OKGets, FailedGets    int
+	UnresolvedOps         int
+	Crashes, Restarts     uint64
+	Flaps, ChurnDropped   uint64
+	Linearizable          bool
+	NonLinearizableKey    string
+	LostAckedWrites       int // keys whose acked writes the final audit read could not observe
+	SimulatedDuration     time.Duration
+	DiscreteEvents        uint64
+	HandlerExecutions     uint64
+}
+
+// Churn runs the chaos scenario: quorum puts/gets over a simulated CATS
+// cluster while the network emulator injects crash-restart churn and link
+// flaps, all in virtual time from one seed. It returns the recorded
+// history's linearizability verdict and an explicit lost-acknowledged-write
+// audit (after every fault heals, a final read per key must observe some
+// acknowledged value).
+//
+// Fault windows are deliberately kept below the failure detector's
+// suspicion threshold (FDInterval × SuspectAfterMisses): the ring evicts a
+// suspected node immediately and replica groups reconfigure without state
+// handoff, so longer outages trade durability for availability by design.
+// The scenario proves the claim the transport stack can make — no
+// acknowledged write is lost while quorums survive — and the handoff gap
+// is tracked in ROADMAP.md.
+func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnResult {
+	cfg.applyDefaults()
+
+	nodeCfg := simNodeConfig()
+	// Suspicion needs 3 consecutive silent 2s rounds; fault windows
+	// (≤1.5s) can cover at most one round start each, so even adjacent
+	// faults on one node cannot evict it and replica groups stay intact.
+	nodeCfg.FDInterval = 2 * time.Second
+	nodeCfg.FDSuspectAfterMisses = 3
+
+	sim, emu, host, exp := buildSimCluster(seed, cfg.Nodes, nodeCfg, simOpts...)
+	host.RecordOps = true
+
+	refs := host.AliveNodes()
+	rng := rand.New(rand.NewSource(seed ^ 0x6368726e)) // "chrn"
+
+	// Workload: OpsPerKey operations per key (first is always a put so
+	// every key exists), issued at coordinators drawn at random, spread
+	// uniformly over the window. Ops can land mid-fault: coordinators may
+	// be isolated, quorum members unreachable — that is the point.
+	type schedOp struct {
+		at time.Duration
+		ev core.Event
+	}
+	var ops []schedOp
+	keyName := func(i int) string { return "churn-" + string(rune('a'+i%26)) + "-" + strconv.Itoa(i) }
+	for k := 0; k < cfg.Keys; k++ {
+		key := keyName(k)
+		for i := 0; i < cfg.OpsPerKey; i++ {
+			at := time.Duration(rng.Int63n(int64(cfg.OpWindow)))
+			if i == 0 {
+				at = time.Duration(rng.Int63n(int64(cfg.OpWindow) / 4)) // seed write early
+			}
+			node := ident.Key(rng.Uint64())
+			if i == 0 || rng.Float64() < 0.5 {
+				val := []byte("v-" + strconv.Itoa(k) + "-" + strconv.Itoa(i))
+				ops = append(ops, schedOp{at, cats.OpPut{NodeKey: node, Key: key, Value: val}})
+			} else {
+				ops = append(ops, schedOp{at, cats.OpGet{NodeKey: node, Key: key}})
+			}
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })
+	for _, op := range ops {
+		ev := op.ev
+		sim.ScheduleAt(op.at, "churn:op", func() { _ = core.TriggerOn(exp, ev) })
+	}
+
+	// Crash-restart churn: sequential, non-overlapping windows so at most
+	// one replica per group is dark at a time (replication 3 tolerates 1).
+	spacing := cfg.OpWindow / time.Duration(cfg.Crashes+1)
+	for i := 0; i < cfg.Crashes; i++ {
+		at := spacing*time.Duration(i+1) + time.Duration(rng.Int63n(int64(spacing)/4))
+		victim := refs[rng.Intn(len(refs))].Addr
+		sim.ScheduleAt(at, "churn:crash", func() { emu.Crash(victim) })
+		sim.ScheduleAt(at+cfg.CrashDown, "churn:restart", func() { emu.Restart(victim) })
+	}
+
+	// Link flaps: symmetric src↔dst outages that heal by virtual-time
+	// expiry, plus one partition that is explicitly healed.
+	for i := 0; i < cfg.Flaps; i++ {
+		at := time.Duration(rng.Int63n(int64(cfg.OpWindow)))
+		a := refs[rng.Intn(len(refs))].Addr
+		b := refs[rng.Intn(len(refs))].Addr
+		if a == b {
+			continue
+		}
+		down := cfg.FlapDown
+		sim.ScheduleAt(at, "churn:flap", func() {
+			emu.FlapLink(a, b, down)
+			emu.FlapLink(b, a, down)
+		})
+	}
+	partAt := cfg.OpWindow / 2
+	isolated := refs[rng.Intn(len(refs))].Addr
+	sim.ScheduleAt(partAt, "churn:partition", func() { emu.Partition(1, isolated) })
+	sim.ScheduleAt(partAt+cfg.FlapDown, "churn:heal", func() { emu.Heal() })
+
+	mainStats := sim.Run(cfg.OpWindow + cfg.Tail)
+
+	// Audit phase: every fault has healed and in-flight ops have resolved
+	// or timed out; one read per key must observe some acknowledged value.
+	preAudit := len(host.OpHistory())
+	keys := make([]string, 0, cfg.Keys)
+	for k := 0; k < cfg.Keys; k++ {
+		keys = append(keys, keyName(k))
+	}
+	for _, key := range keys {
+		k := key
+		sim.ScheduleAt(0, "churn:audit", func() {
+			_ = core.TriggerOn(exp, cats.OpGet{NodeKey: ident.Key(rng.Uint64()), Key: k})
+		})
+	}
+	auditStats := sim.Run(nodeCfg.OpTimeout * 3)
+
+	history := host.OpHistory()
+	unresolved := host.UnresolvedOps()
+	res := ChurnResult{
+		Nodes:             cfg.Nodes,
+		Keys:              cfg.Keys,
+		UnresolvedOps:     len(unresolved),
+		SimulatedDuration: mainStats.SimulatedDuration + auditStats.SimulatedDuration,
+		DiscreteEvents:    mainStats.DiscreteEvents + auditStats.DiscreteEvents,
+		HandlerExecutions: mainStats.HandlerExecutions + auditStats.HandlerExecutions,
+	}
+	res.Crashes, res.Restarts, res.Flaps, res.ChurnDropped = emu.ChurnStats()
+
+	// Build the per-key linearizability history. Failed or unresolved puts
+	// may or may not have taken effect, so they enter as writes with an
+	// unconstrained response time; failed gets observed nothing and are
+	// excluded.
+	hist := make(map[string][]linear.Op)
+	ackedVals := make(map[string]map[string]bool)
+	addPut := func(r cats.OpRecord, end int64) {
+		hist[r.Key] = append(hist[r.Key], linear.Op{
+			Kind: linear.Write, Value: r.Value, Start: r.Start.UnixNano(), End: end,
+		})
+	}
+	for _, r := range history {
+		switch r.Kind {
+		case "put":
+			if r.OK {
+				res.AckedPuts++
+				if ackedVals[r.Key] == nil {
+					ackedVals[r.Key] = make(map[string]bool)
+				}
+				ackedVals[r.Key][r.Value] = true
+				addPut(r, r.End.UnixNano())
+			} else {
+				res.FailedPuts++
+				addPut(r, math.MaxInt64)
+			}
+		case "get":
+			if r.OK {
+				res.OKGets++
+				hist[r.Key] = append(hist[r.Key], linear.Op{
+					Kind: linear.Read, Value: r.Value, Found: r.Found,
+					Start: r.Start.UnixNano(), End: r.End.UnixNano(),
+				})
+			} else {
+				res.FailedGets++
+			}
+		}
+	}
+	for _, r := range unresolved {
+		if r.Kind == "put" {
+			addPut(r, math.MaxInt64)
+		}
+	}
+	res.Linearizable, res.NonLinearizableKey = linear.CheckPerKey(hist)
+
+	// Lost-acked-write audit: per key with acknowledged writes, the final
+	// read must succeed and find one of them (or a later unacked write's
+	// value — still not a loss).
+	finalRead := make(map[string]cats.OpRecord)
+	for _, r := range history[preAudit:] {
+		if r.Kind == "get" {
+			finalRead[r.Key] = r
+		}
+	}
+	for _, key := range keys {
+		if len(ackedVals[key]) == 0 {
+			continue
+		}
+		r, ok := finalRead[key]
+		if !ok || !r.OK || !r.Found {
+			res.LostAckedWrites++
+		}
+	}
+	return res
+}

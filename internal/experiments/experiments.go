@@ -50,9 +50,10 @@ func spreadKeys(n int) []ident.Key {
 }
 
 // buildSimCluster boots a simulated CATS deployment of n nodes and runs it
-// to convergence. It returns the simulation and simulator host.
-func buildSimCluster(seed int64, n int, cfg cats.NodeConfig) (*simulation.Simulation, *cats.Simulator, *core.Port) {
-	sim := simulation.New(seed)
+// to convergence. It returns the simulation, the network emulator (for
+// fault injection), and the simulator host.
+func buildSimCluster(seed int64, n int, cfg cats.NodeConfig, opts ...simulation.SimOption) (*simulation.Simulation, *simulation.NetworkEmulator, *cats.Simulator, *core.Port) {
+	sim := simulation.New(seed, opts...)
 	emu := simulation.NewNetworkEmulator(sim,
 		simulation.WithLatency(simulation.UniformLatency(500*time.Microsecond, 2*time.Millisecond)))
 	host := cats.NewSimulator(cats.SimEnv{Sim: sim, Emu: emu}, cfg)
@@ -68,7 +69,7 @@ func buildSimCluster(seed int64, n int, cfg cats.NodeConfig) (*simulation.Simula
 		sim.Run(50 * time.Millisecond)
 	}
 	sim.Run(60 * time.Second) // converge: stabilization + gossip rounds
-	return sim, host, exp
+	return sim, emu, host, exp
 }
 
 // Table1Result is one row of the paper's Table 1 reproduction.
@@ -87,7 +88,7 @@ type Table1Result struct {
 // The setup phase (boot + convergence) is excluded from the measurement,
 // as the paper reports steady-state simulation.
 func Table1(seed int64, peers int, simTime time.Duration) Table1Result {
-	sim, host, exp := buildSimCluster(seed, peers, simNodeConfig())
+	sim, _, host, exp := buildSimCluster(seed, peers, simNodeConfig())
 
 	// Lookup workload: `peers` lookups per simulated second in aggregate.
 	lookups := scenario.NewProcess("lookups").
@@ -276,7 +277,7 @@ type ScalingResult struct {
 // Each node contributes independent capacity in the emulated network, so
 // the measured shape isolates the protocol stack's scalability.
 func Scaling(seed int64, n, clientsPerNode, opsPerNode int) ScalingResult {
-	sim, host, exp := buildSimCluster(seed, n, simNodeConfig())
+	sim, _, host, exp := buildSimCluster(seed, n, simNodeConfig())
 	target := uint64(opsPerNode * n)
 	_ = core.TriggerOn(exp, cats.StartLoad{
 		Clients:      clientsPerNode * n,

@@ -107,6 +107,7 @@ type Ping struct {
 	mon  map[network.Address]*monitorState
 	stat struct {
 		pingsSent, pongsSent, suspects, restores uint64
+		downHints, upHints                       uint64
 	}
 }
 
@@ -128,11 +129,13 @@ func (p *Ping) Setup(ctx *core.Ctx) {
 	st := ctx.Provides(status.PortType)
 	core.Subscribe(ctx, st, func(q status.Request) {
 		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "ping-fd", Metrics: map[string]int64{
-			"monitored": int64(len(p.mon)),
-			"pings":     int64(p.stat.pingsSent),
-			"pongs":     int64(p.stat.pongsSent),
-			"suspects":  int64(p.stat.suspects),
-			"restores":  int64(p.stat.restores),
+			"monitored":  int64(len(p.mon)),
+			"pings":      int64(p.stat.pingsSent),
+			"pongs":      int64(p.stat.pongsSent),
+			"suspects":   int64(p.stat.suspects),
+			"restores":   int64(p.stat.restores),
+			"down_hints": int64(p.stat.downHints),
+			"up_hints":   int64(p.stat.upHints),
 		}}, st)
 	})
 
@@ -140,6 +143,7 @@ func (p *Ping) Setup(ctx *core.Ctx) {
 	core.Subscribe(ctx, p.fd, p.handleStopMonitor)
 	core.Subscribe(ctx, p.net, p.handlePing)
 	core.Subscribe(ctx, p.net, p.handlePong)
+	core.Subscribe(ctx, p.net, p.handlePeerStatus)
 	core.Subscribe(ctx, p.tmr, p.handleInterval)
 	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
 		p.tid = timer.NextID()
@@ -219,6 +223,33 @@ func (p *Ping) handlePong(m pongMsg) {
 		st.suspected = false
 		p.stat.restores++
 		p.ctx.Trigger(Restore{Node: m.Source()}, p.fd)
+	}
+}
+
+// handlePeerStatus folds transport liveness hints into the miss counters.
+// A Down hint for a monitored node counts as one missed round — the
+// transport's view of a single connection is a strong but not decisive
+// signal, so suspicion still needs SuspectAfterMisses worth of evidence
+// (an idle-reaped connection must not defame a healthy peer). An Up hint
+// triggers an immediate out-of-band ping: the answering pong is what
+// clears the suspicion, keeping Restore on the single pong-driven path.
+func (p *Ping) handlePeerStatus(s network.PeerStatus) {
+	st, ok := p.mon[s.Peer]
+	if !ok {
+		return
+	}
+	if s.Up {
+		p.stat.upHints++
+		p.sendPing(s.Peer, st)
+		return
+	}
+	p.stat.downHints++
+	st.misses++
+	st.outstanding = true
+	if !st.suspected && st.misses >= p.cfg.SuspectAfterMisses {
+		st.suspected = true
+		p.stat.suspects++
+		p.ctx.Trigger(Suspect{Node: s.Peer}, p.fd)
 	}
 }
 

@@ -21,6 +21,7 @@ type fdNode struct {
 	ctx       *core.Ctx
 	FD        *Ping
 	fdOuter   *core.Port
+	tr        *simulation.EmulatedTransport
 	statOuter *core.Port
 	suspects  []network.Address
 	restores  []network.Address
@@ -29,7 +30,8 @@ type fdNode struct {
 
 func (n *fdNode) Setup(ctx *core.Ctx) {
 	n.ctx = ctx
-	tr := ctx.Create("net", n.emu.Transport(n.self))
+	n.tr = n.emu.Transport(n.self)
+	tr := ctx.Create("net", n.tr)
 	tm := ctx.Create("timer", simulation.NewTimer(n.sim))
 	n.FD = NewPing(Config{Self: n.self, Interval: 100 * time.Millisecond})
 	fdC := ctx.Create("fd", n.FD)
@@ -140,6 +142,53 @@ func TestMonitorIdempotent(t *testing.T) {
 	sim.Run(time.Second)
 	if a.FD.Monitored() != 1 {
 		t.Fatalf("monitored %d, want 1", a.FD.Monitored())
+	}
+}
+
+// TestPeerStatusHintsAccelerateDetection pins the transport-hint fast
+// path: Down hints count as missed rounds so suspicion lands well before
+// the periodic ping rounds could accumulate the evidence, and an Up hint
+// triggers an immediate out-of-band ping whose pong drives Restore — both
+// far inside one detector interval.
+func TestPeerStatusHintsAccelerateDetection(t *testing.T) {
+	sim, emu, a, b := newFDPair(t)
+	a.ctx.Trigger(Monitor{Node: b.self}, a.fdOuter)
+	sim.Run(time.Second)
+	if len(a.suspects) != 0 {
+		t.Fatalf("false suspicion before faults: %v", a.suspects)
+	}
+
+	// Two transport Down hints supply SuspectAfterMisses (2) worth of
+	// evidence at once; the pure ping path would need two 100ms rounds.
+	emu.Partition(1, b.self)
+	a.tr.EmitPeerStatus(network.PeerStatus{Peer: b.self, Up: false})
+	a.tr.EmitPeerStatus(network.PeerStatus{Peer: b.self, Up: false})
+	sim.Run(50 * time.Millisecond)
+	if len(a.suspects) != 1 || a.suspects[0] != b.self {
+		t.Fatalf("down hints did not accelerate suspicion: %v", a.suspects)
+	}
+
+	// An Up hint after the heal pings immediately; the pong restores within
+	// a round trip instead of waiting for the next round.
+	emu.Heal()
+	a.tr.EmitPeerStatus(network.PeerStatus{Peer: b.self, Up: true})
+	sim.Run(50 * time.Millisecond)
+	if len(a.restores) != 1 || a.restores[0] != b.self {
+		t.Fatalf("up hint did not accelerate restore: %v", a.restores)
+	}
+
+	// Hints for unmonitored peers are ignored.
+	a.tr.EmitPeerStatus(network.PeerStatus{Peer: addr(99), Up: false})
+	sim.Run(50 * time.Millisecond)
+	if len(a.suspects) != 1 {
+		t.Fatalf("hint for unmonitored peer raised suspicion: %v", a.suspects)
+	}
+
+	a.ctx.Trigger(status.Request{ReqID: 1}, a.statOuter)
+	sim.Run(10 * time.Millisecond)
+	m := a.statuses[len(a.statuses)-1].Metrics
+	if m["down_hints"] != 2 || m["up_hints"] != 1 {
+		t.Fatalf("hint counters: %+v", m)
 	}
 }
 

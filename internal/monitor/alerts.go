@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/web"
+)
+
+// Alerting over the monitor rollups: the server compares each node's
+// consecutive "runtime" snapshots and fires rules on the deltas. The rules
+// are deliberately minimal — growth-style conditions over the flattened
+// counters the nodes already report — and the result is a plain-text
+// /alerts view next to the global HTML page, cheap enough to curl from a
+// smoke test or a CI probe.
+
+// alertReconnectStormThreshold is how many peer reconnects within one
+// reporting period count as a storm rather than routine churn.
+const alertReconnectStormThreshold = 5
+
+// Alert is one firing rule instance for one node.
+type Alert struct {
+	Node   string
+	Rule   string
+	Detail string
+}
+
+// AlertRule evaluates the delta between two consecutive runtime rollups of
+// one node. Fire returns a human-readable detail when the rule fires and
+// "" otherwise.
+type AlertRule struct {
+	Name string
+	Fire func(prev, cur map[string]int64) string
+}
+
+// DefaultAlertRules returns the built-in rule set: send-queue overflow
+// growth, handler fault spikes, and peer reconnect storms.
+func DefaultAlertRules() []AlertRule {
+	return []AlertRule{
+		{Name: "dropped-full-growth", Fire: func(prev, cur map[string]int64) string {
+			if d := cur["net.dropped"] - prev["net.dropped"]; d > 0 {
+				return fmt.Sprintf("%d messages dropped on full send queues in the last period", d)
+			}
+			return ""
+		}},
+		{Name: "fault-spike", Fire: func(prev, cur map[string]int64) string {
+			if d := cur["faults"] - prev["faults"]; d > 0 {
+				return fmt.Sprintf("%d handler faults in the last period", d)
+			}
+			return ""
+		}},
+		{Name: "reconnect-storm", Fire: func(prev, cur map[string]int64) string {
+			if d := cur["net.reconnects"] - prev["net.reconnects"]; d >= alertReconnectStormThreshold {
+				return fmt.Sprintf("%d peer reconnects in the last period", d)
+			}
+			return ""
+		}},
+	}
+}
+
+// EvaluateAlerts runs every rule over one node's consecutive runtime
+// rollups, returning the firing alerts in rule order.
+func EvaluateAlerts(rules []AlertRule, node string, prev, cur map[string]int64) []Alert {
+	var out []Alert
+	for _, r := range rules {
+		if detail := r.Fire(prev, cur); detail != "" {
+			out = append(out, Alert{Node: node, Rule: r.Name, Detail: detail})
+		}
+	}
+	return out
+}
+
+// observeRuntime folds a node's fresh runtime rollup into the alert state:
+// rules fire against the previous rollup (a node's first report only seeds
+// the baseline), and the node's firing set is replaced each round so healed
+// conditions clear.
+func (s *Server) observeRuntime(node string, cur map[string]int64) {
+	if prev, ok := s.prevRuntime[node]; ok {
+		s.alerts[node] = EvaluateAlerts(s.rules, node, prev, cur)
+	}
+	s.prevRuntime[node] = cur
+}
+
+// Alerts returns every firing alert, sorted by node then rule order.
+func (s *Server) Alerts() []Alert {
+	var out []Alert
+	for _, node := range s.nodeNames() {
+		out = append(out, s.alerts[node]...)
+	}
+	return out
+}
+
+// renderAlerts serves the plain-text /alerts view.
+func (s *Server) renderAlerts(r web.Request) {
+	s.expire()
+	alerts := s.Alerts()
+	var b strings.Builder
+	if len(alerts) == 0 {
+		b.WriteString("CATS alerts: none firing\n")
+	} else {
+		fmt.Fprintf(&b, "CATS alerts: %d firing\n\n", len(alerts))
+		for _, a := range alerts {
+			fmt.Fprintf(&b, "%s %s: %s\n", a.Node, a.Rule, a.Detail)
+		}
+	}
+	s.ctx.Trigger(web.Response{
+		ReqID:       r.ReqID,
+		Status:      200,
+		ContentType: "text/plain; charset=utf-8",
+		Body:        b.String(),
+	}, s.webP)
+}

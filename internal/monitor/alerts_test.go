@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/simulation"
+	"repro/internal/status"
+	"repro/internal/timer"
+	"repro/internal/web"
+)
+
+// mutableRuntime answers Status requests as the "runtime" component with
+// whatever metrics the test currently holds, so consecutive monitor rounds
+// can observe controlled counter growth.
+type mutableRuntime struct {
+	metrics map[string]int64
+}
+
+func (f *mutableRuntime) Setup(ctx *core.Ctx) {
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		m := make(map[string]int64, len(f.metrics))
+		for k, v := range f.metrics {
+			m[k] = v
+		}
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "runtime", Metrics: m}, st)
+	})
+}
+
+// alertWorld wires one reporting node with a mutable runtime rollup to a
+// monitor server.
+type alertWorld struct {
+	sim *simulation.Simulation
+	rtm *mutableRuntime
+	srv *serverNode
+}
+
+func newAlertWorld(t *testing.T) *alertWorld {
+	t.Helper()
+	sim := simulation.New(11)
+	emu := simulation.NewNetworkEmulator(sim,
+		simulation.WithLatency(simulation.ConstantLatency(2*time.Millisecond)))
+	w := &alertWorld{
+		sim: sim,
+		rtm: &mutableRuntime{metrics: map[string]int64{
+			"net.dropped": 0, "faults": 0, "net.reconnects": 0,
+		}},
+		srv: &serverNode{self: addr(0), sim: sim, emu: emu},
+	}
+	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("server", w.srv)
+		ctx.Create("client", core.SetupFunc(func(ctx *core.Ctx) {
+			tr := ctx.Create("net", emu.Transport(addr(1)))
+			tm := ctx.Create("timer", simulation.NewTimer(sim))
+			rt := ctx.Create("runtime", w.rtm)
+			clC := ctx.Create("client", NewClient(ClientConfig{
+				Self:     addr(1),
+				Server:   addr(0),
+				NodeName: "node-1",
+				Period:   500 * time.Millisecond,
+			}))
+			ctx.Connect(clC.Required(network.PortType), tr.Provided(network.PortType))
+			ctx.Connect(clC.Required(timer.PortType), tm.Provided(timer.PortType))
+			ctx.Connect(clC.Required(status.PortType), rt.Provided(status.PortType))
+		}))
+	}))
+	sim.Settle()
+	return w
+}
+
+// alertsPage requests /alerts and returns the rendered body.
+func (w *alertWorld) alertsPage(t *testing.T, reqID uint64) web.Response {
+	t.Helper()
+	w.srv.ctx.Trigger(web.Request{ReqID: reqID, Path: "/alerts"}, w.srv.webOuter)
+	w.sim.Run(10 * time.Millisecond)
+	for _, p := range w.srv.pages {
+		if p.ReqID == reqID {
+			return p
+		}
+	}
+	t.Fatalf("no /alerts response for req %d", reqID)
+	return web.Response{}
+}
+
+// TestAlertsGolden pins the /alerts view end to end: baseline report, a
+// round of counter growth fires all three default rules with exact output,
+// and a quiet round clears them again.
+func TestAlertsGolden(t *testing.T) {
+	w := newAlertWorld(t)
+
+	// Two rounds establish the baseline (first report only seeds state).
+	w.sim.Run(1100 * time.Millisecond)
+	if got := w.alertsPage(t, 1); got.Body != "CATS alerts: none firing\n" {
+		t.Fatalf("baseline alerts page:\n%q", got.Body)
+	}
+
+	// One period of growth: queue drops, handler faults, a reconnect storm.
+	w.rtm.metrics["net.dropped"] = 12
+	w.rtm.metrics["faults"] = 4
+	w.rtm.metrics["net.reconnects"] = 7
+	w.sim.Run(time.Second)
+
+	got := w.alertsPage(t, 2)
+	if got.ContentType != "text/plain; charset=utf-8" || got.Status != 200 {
+		t.Fatalf("alerts response meta: %+v", got)
+	}
+	want := "CATS alerts: 3 firing\n" +
+		"\n" +
+		"node-1 dropped-full-growth: 12 messages dropped on full send queues in the last period\n" +
+		"node-1 fault-spike: 4 handler faults in the last period\n" +
+		"node-1 reconnect-storm: 7 peer reconnects in the last period\n"
+	if got.Body != want {
+		t.Fatalf("alerts page mismatch:\ngot:\n%s\nwant:\n%s", got.Body, want)
+	}
+
+	// Counters stop moving: the next round clears every alert.
+	w.sim.Run(time.Second)
+	if got := w.alertsPage(t, 3); got.Body != "CATS alerts: none firing\n" {
+		t.Fatalf("alerts did not clear:\n%q", got.Body)
+	}
+}
+
+// TestAlertThresholds pins the rule edges: a reconnect delta below the
+// storm threshold stays silent while drops and faults fire on any growth.
+func TestAlertThresholds(t *testing.T) {
+	rules := DefaultAlertRules()
+	prev := map[string]int64{"net.dropped": 5, "faults": 2, "net.reconnects": 10}
+
+	quiet := map[string]int64{"net.dropped": 5, "faults": 2, "net.reconnects": 14}
+	if got := EvaluateAlerts(rules, "n", prev, quiet); len(got) != 0 {
+		t.Fatalf("sub-threshold deltas fired: %+v", got)
+	}
+	noisy := map[string]int64{"net.dropped": 6, "faults": 3, "net.reconnects": 15}
+	got := EvaluateAlerts(rules, "n", prev, noisy)
+	if len(got) != 3 {
+		t.Fatalf("want all three rules firing, got %+v", got)
+	}
+	for i, rule := range []string{"dropped-full-growth", "fault-spike", "reconnect-storm"} {
+		if got[i].Rule != rule || got[i].Node != "n" {
+			t.Fatalf("alert %d = %+v, want rule %s", i, got[i], rule)
+		}
+	}
+}

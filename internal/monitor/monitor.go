@@ -142,6 +142,9 @@ type ServerConfig struct {
 	// ExpireAfter drops node views not refreshed in this window
 	// (default 10s).
 	ExpireAfter time.Duration
+	// AlertRules evaluated over each node's consecutive runtime rollups
+	// (nil: DefaultAlertRules).
+	AlertRules []AlertRule
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -151,7 +154,7 @@ func (c *ServerConfig) applyDefaults() {
 }
 
 // Server is the MonitorServer component: requires Network, provides Web
-// (the global system view page).
+// (the global view page at any path, the firing alerts at /alerts).
 type Server struct {
 	cfg ServerConfig
 
@@ -159,12 +162,26 @@ type Server struct {
 	net   *core.Port
 	webP  *core.Port
 	views map[string]NodeView
+
+	rules       []AlertRule
+	prevRuntime map[string]map[string]int64
+	alerts      map[string][]Alert
 }
 
 // NewServer creates a monitor server component definition.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.applyDefaults()
-	return &Server{cfg: cfg, views: make(map[string]NodeView)}
+	rules := cfg.AlertRules
+	if rules == nil {
+		rules = DefaultAlertRules()
+	}
+	return &Server{
+		cfg:         cfg,
+		views:       make(map[string]NodeView),
+		rules:       rules,
+		prevRuntime: make(map[string]map[string]int64),
+		alerts:      make(map[string][]Alert),
+	}
 }
 
 var _ core.Definition = (*Server)(nil)
@@ -181,10 +198,21 @@ func (s *Server) Setup(ctx *core.Ctx) {
 
 func (s *Server) handleReport(m reportMsg) {
 	s.views[m.Node] = NodeView{Node: m.Node, Received: s.ctx.Now(), Snapshots: m.Snapshots}
+	for _, snap := range m.Snapshots {
+		if snap.Component == "runtime" {
+			s.observeRuntime(m.Node, snap.Metrics)
+			break
+		}
+	}
 }
 
-// handleWeb renders the global view as a plain HTML page.
+// handleWeb renders the global view as a plain HTML page; /alerts serves
+// the firing alert list instead.
 func (s *Server) handleWeb(r web.Request) {
+	if r.Path == "/alerts" {
+		s.renderAlerts(r)
+		return
+	}
 	s.expire()
 	var b strings.Builder
 	b.WriteString("<html><head><title>CATS global view</title></head><body>")
@@ -217,12 +245,14 @@ func (s *Server) handleWeb(r web.Request) {
 	}, s.webP)
 }
 
-// expire drops stale node views.
+// expire drops stale node views along with their alert state.
 func (s *Server) expire() {
 	cutoff := s.ctx.Now().Add(-s.cfg.ExpireAfter)
 	for n, v := range s.views {
 		if v.Received.Before(cutoff) {
 			delete(s.views, n)
+			delete(s.prevRuntime, n)
+			delete(s.alerts, n)
 		}
 	}
 }

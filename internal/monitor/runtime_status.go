@@ -66,6 +66,11 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 		"net.zlib_msgs":     int64(n.CompressedMsgs),
 		"net.zlib_in":       int64(n.CompressedIn),
 		"net.zlib_out":      int64(n.CompressedOut),
+		"net.reconnects":    int64(n.Reconnects),
+		"net.requeued":      int64(n.Requeued),
+		"net.abandoned":     int64(n.Abandoned),
+		"net.peers_up":      n.PeersUp,
+		"net.peers_backoff": n.PeersBackoff,
 	}
 	var handled, triggers int64
 	for _, c := range s.Components {

@@ -19,7 +19,22 @@ var (
 	gReceived    atomic.Uint64 // messages delivered to the Network port
 	gDroppedFull atomic.Uint64 // messages dropped on full send queues
 	gSendErrors  atomic.Uint64 // encode/dial/write failures
+
+	gReconnects atomic.Uint64 // successful dials after a failure or broken connection
+	gRequeued   atomic.Uint64 // frames preserved across a broken write for redelivery
+	gAbandoned  atomic.Uint64 // queued frames dropped when a peer's retry budget ran out
 )
+
+// gPeerStates counts live outbound peer connections per PeerState
+// (connecting/up/backoff/down). Indexed by PeerState; a retired peer leaves
+// every bucket.
+var gPeerStates [4]atomic.Int64
+
+func peerGaugeAdd(s PeerState, delta int64) {
+	if s >= 0 && int(s) < len(gPeerStates) {
+		gPeerStates[s].Add(delta)
+	}
+}
 
 // Metrics is a snapshot of the process-wide network counters.
 type Metrics struct {
@@ -34,6 +49,13 @@ type Metrics struct {
 	Received         uint64 `json:"received"`
 	DroppedFull      uint64 `json:"dropped_full"`
 	SendErrors       uint64 `json:"send_errors"`
+	Reconnects       uint64 `json:"reconnects"`
+	Requeued         uint64 `json:"requeued"`
+	Abandoned        uint64 `json:"abandoned"`
+	PeersConnecting  int64  `json:"peers_connecting"`
+	PeersUp          int64  `json:"peers_up"`
+	PeersBackoff     int64  `json:"peers_backoff"`
+	PeersDown        int64  `json:"peers_down"`
 }
 
 // GlobalMetrics snapshots the process-wide network counters.
@@ -50,6 +72,13 @@ func GlobalMetrics() Metrics {
 		Received:         gReceived.Load(),
 		DroppedFull:      gDroppedFull.Load(),
 		SendErrors:       gSendErrors.Load(),
+		Reconnects:       gReconnects.Load(),
+		Requeued:         gRequeued.Load(),
+		Abandoned:        gAbandoned.Load(),
+		PeersConnecting:  gPeerStates[PeerConnecting].Load(),
+		PeersUp:          gPeerStates[PeerUp].Load(),
+		PeersBackoff:     gPeerStates[PeerBackoff].Load(),
+		PeersDown:        gPeerStates[PeerDown].Load(),
 	}
 }
 

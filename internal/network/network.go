@@ -79,9 +79,53 @@ var _ Message = Header{}
 // Reply builds a header answering a received message.
 func Reply(m Message) Header { return Header{Src: m.Destination(), Dst: m.Source()} }
 
+// PeerStatus is a transport-level liveness indication: Up when a
+// connection to the peer is (re-)established, Down when an established
+// connection is lost or the transport gives up reaching the peer. It is
+// delivered on the Network port alongside Message indications but is NOT a
+// Message (it has no source/destination and never crosses the wire), so
+// handlers subscribed for Message do not receive it. Consumers — notably
+// the failure detector — treat it as a hint: the transport's view of a
+// single TCP connection, not an authoritative failure verdict.
+type PeerStatus struct {
+	Peer Address
+	Up   bool
+}
+
+// PeerState is the circuit-breaker state of one outbound peer connection.
+type PeerState int32
+
+// Peer connection states, in the order a healthy connection traverses
+// them. Down is terminal for one connection manager; the next send to the
+// peer starts a fresh one.
+const (
+	PeerConnecting PeerState = iota // dial in flight
+	PeerUp                          // connection established, frames flowing
+	PeerBackoff                     // dial or write failed, waiting to retry
+	PeerDown                        // retry budget exhausted, peer given up
+)
+
+// String renders the state for logs and the per-state metrics gauge.
+func (s PeerState) String() string {
+	switch s {
+	case PeerConnecting:
+		return "connecting"
+	case PeerUp:
+		return "up"
+	case PeerBackoff:
+		return "backoff"
+	case PeerDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
 // PortType is the Network service abstraction: Message events pass in both
-// directions — requests to send, indications of delivery.
+// directions — requests to send, indications of delivery — plus PeerStatus
+// liveness indications from transports that track per-peer connections.
 var PortType = core.NewPortType("Network",
 	core.Request[Message](),
 	core.Indication[Message](),
+	core.Indication[PeerStatus](),
 )

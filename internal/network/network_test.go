@@ -328,16 +328,18 @@ func TestLoopbackStopUnregisters(t *testing.T) {
 
 // --- TCP -----------------------------------------------------------------------
 
-// tcpNode wires a TCP transport under a counting client.
+// tcpNode wires a TCP transport under a counting client. It also records
+// every PeerStatus indication so tests can assert liveness transitions.
 type tcpNode struct {
-	self Address
-	opts []TCPOption
-	ctx  *core.Ctx
-	port *core.Port
-	tcp  *TCP
-	got  atomic.Int64
-	mu   sync.Mutex
-	msgs []Message
+	self     Address
+	opts     []TCPOption
+	ctx      *core.Ctx
+	port     *core.Port
+	tcp      *TCP
+	got      atomic.Int64
+	mu       sync.Mutex
+	msgs     []Message
+	statuses []PeerStatus
 }
 
 func (n *tcpNode) Setup(ctx *core.Ctx) {
@@ -351,6 +353,18 @@ func (n *tcpNode) Setup(ctx *core.Ctx) {
 		n.msgs = append(n.msgs, m)
 		n.mu.Unlock()
 	})
+	core.Subscribe(ctx, n.port, func(s PeerStatus) {
+		n.mu.Lock()
+		n.statuses = append(n.statuses, s)
+		n.mu.Unlock()
+	})
+}
+
+// peerStatuses snapshots the recorded PeerStatus transitions.
+func (n *tcpNode) peerStatuses() []PeerStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]PeerStatus(nil), n.statuses...)
 }
 
 // testTCPAddr reserves a free loopback port from the OS.

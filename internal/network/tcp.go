@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -18,27 +19,62 @@ import (
 // from malformed or hostile length prefixes.
 const maxFrame = 16 << 20
 
+// keepaliveMagic is the length prefix of a keepalive frame: a 4-byte probe
+// with no payload, written on idle connections so both sides learn the
+// link is alive (the writer exercises the socket, the reader refreshes its
+// idle deadline). The value is far above maxFrame so it can never collide
+// with a real frame length, and deliberately not zero — a zero length
+// prefix remains a protocol violation that closes the connection.
+const keepaliveMagic = 0xFFFF_FFFF
+
 // sendQueueLen bounds the per-peer outbound queue. Handlers must never
 // block, so an overflowing queue drops the newest message (the Network
 // abstraction is fair-lossy; protocols above it retransmit).
 const sendQueueLen = 4096
 
-// dialTimeout bounds connection establishment to a peer.
+// dialTimeout bounds one connection-establishment attempt to a peer.
 const dialTimeout = 3 * time.Second
+
+// Resilience defaults; see the corresponding TCPOptions.
+const (
+	defaultKeepalive    = 10 * time.Second
+	defaultIdleTimeout  = 45 * time.Second
+	defaultWriteTimeout = 10 * time.Second
+	defaultBackoffBase  = 100 * time.Millisecond
+	defaultBackoffMax   = 5 * time.Second
+	defaultDialAttempts = 8
+)
 
 // TCP is the production Network provider: a from-scratch equivalent of the
 // paper's pluggable NIO frameworks (Grizzly/Netty/MINA) built on net. It
 // performs automatic connection management (dial on demand, reuse,
-// teardown on error), message serialization via the gob codec, and
-// optional zlib compression.
+// reconnect with capped exponential backoff, teardown on error), message
+// serialization via the gob codec, and optional zlib compression.
 //
 // Wire format: 4-byte big-endian length prefix, then the codec payload.
 // Outbound connections are used for sending only; peers dial back for
 // their own sends, so each direction has a dedicated connection.
+//
+// Each outbound peer is managed by a small circuit-breaker state machine
+// (connecting → up → backoff → … → down). The pending send queue belongs
+// to the peer, not the connection: frames queued while a connection is
+// broken survive the redial and flow once it heals. Only when the retry
+// budget is exhausted is the peer retired and its queue drained (counted
+// in the abandoned counter); the next send starts a fresh manager, so
+// unreachable peers are re-probed on demand forever. Up/Down transitions
+// are published as PeerStatus indications on the Network port.
 type TCP struct {
 	self  Address
 	codec Codec
 	log   *slog.Logger
+
+	keepalive    time.Duration
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	dialAttempts int
+	queueLen     int
 
 	ctx  *core.Ctx
 	port *core.Port
@@ -51,14 +87,17 @@ type TCP struct {
 	wg      sync.WaitGroup
 
 	sent, received, droppedFull, sendErrors atomic.Uint64
+	reconnects, requeued, abandoned         atomic.Uint64
 }
 
-// peerConn is one outbound connection with its writer goroutine.
+// peerConn is one outbound peer: its send queue and the connection
+// manager goroutine that owns dialing, backoff, and writing.
 type peerConn struct {
 	addr  Address
 	ch    chan []byte
 	close chan struct{}
 	once  sync.Once
+	state atomic.Int32 // PeerState; gauge updates go through TCP.setState
 }
 
 func (p *peerConn) shutdown() { p.once.Do(func() { close(p.close) }) }
@@ -71,12 +110,55 @@ func WithCompression() TCPOption {
 	return func(t *TCP) { t.codec.Compress = true }
 }
 
+// WithKeepalive sets the idle keepalive probe period (0 disables probes).
+func WithKeepalive(d time.Duration) TCPOption {
+	return func(t *TCP) { t.keepalive = d }
+}
+
+// WithIdleTimeout sets how long an inbound connection may stay silent
+// before it is reaped (0 disables the read deadline). Must exceed the
+// peers' keepalive period or healthy idle links get cut.
+func WithIdleTimeout(d time.Duration) TCPOption {
+	return func(t *TCP) { t.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds a single frame write (0 disables the deadline);
+// it is what unwedges a writer stalled on a dead or unreading peer.
+func WithWriteTimeout(d time.Duration) TCPOption {
+	return func(t *TCP) { t.writeTimeout = d }
+}
+
+// WithBackoff sets the reconnect backoff: base doubles per consecutive
+// failure up to max, with ±50% jitter.
+func WithBackoff(base, max time.Duration) TCPOption {
+	return func(t *TCP) { t.backoffBase = base; t.backoffMax = max }
+}
+
+// WithDialAttempts sets how many consecutive dial failures retire a peer
+// (its queue is then drained into the abandoned counter; the next send
+// starts over).
+func WithDialAttempts(n int) TCPOption {
+	return func(t *TCP) { t.dialAttempts = n }
+}
+
+// WithSendQueueLen overrides the per-peer outbound queue capacity.
+func WithSendQueueLen(n int) TCPOption {
+	return func(t *TCP) { t.queueLen = n }
+}
+
 // NewTCP creates a TCP transport component bound to self.
 func NewTCP(self Address, opts ...TCPOption) *TCP {
 	t := &TCP{
-		self:    self,
-		conns:   make(map[Address]*peerConn),
-		inbound: make(map[net.Conn]struct{}),
+		self:         self,
+		conns:        make(map[Address]*peerConn),
+		inbound:      make(map[net.Conn]struct{}),
+		keepalive:    defaultKeepalive,
+		idleTimeout:  defaultIdleTimeout,
+		writeTimeout: defaultWriteTimeout,
+		backoffBase:  defaultBackoffBase,
+		backoffMax:   defaultBackoffMax,
+		dialAttempts: defaultDialAttempts,
+		queueLen:     sendQueueLen,
 	}
 	for _, o := range opts {
 		o(t)
@@ -107,6 +189,25 @@ func (t *TCP) Self() Address { return t.self }
 // full queues, and send errors.
 func (t *TCP) Stats() (sent, received, droppedFull, sendErrors uint64) {
 	return t.sent.Load(), t.received.Load(), t.droppedFull.Load(), t.sendErrors.Load()
+}
+
+// ResilienceStats returns the reconnect counters: successful redials after
+// a failure, frames carried across a broken write, and frames abandoned
+// when a peer's retry budget ran out.
+func (t *TCP) ResilienceStats() (reconnects, requeued, abandoned uint64) {
+	return t.reconnects.Load(), t.requeued.Load(), t.abandoned.Load()
+}
+
+// PeerStates snapshots the circuit-breaker state of every live outbound
+// peer.
+func (t *TCP) PeerStates() map[Address]PeerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[Address]PeerState, len(t.conns))
+	for a, pc := range t.conns {
+		m[a] = PeerState(pc.state.Load())
+	}
+	return m
 }
 
 // listen binds the listener and starts the accept loop.
@@ -141,7 +242,6 @@ func (t *TCP) shutdown() {
 	for _, pc := range t.conns {
 		conns = append(conns, pc)
 	}
-	t.conns = make(map[Address]*peerConn)
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
@@ -179,64 +279,239 @@ func (t *TCP) handleSend(m Message) {
 		t.log.Warn("tcp: encode failed", "type", fmt.Sprintf("%T", m), "err", err)
 		return
 	}
-	pc := t.peer(m.Destination())
-	if pc == nil {
-		return // transport stopped
+	t.enqueue(m.Destination(), payload)
+}
+
+// enqueue places one encoded frame on dst's queue, creating the peer's
+// connection manager on first use. Lookup and push happen under the
+// transport lock so a frame can never slip onto a queue after its manager
+// has drained it: retirement also removes the peer under the lock, and a
+// later send simply starts a fresh manager.
+func (t *TCP) enqueue(dst Address, payload []byte) {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	pc, ok := t.conns[dst]
+	if !ok {
+		pc = &peerConn{
+			addr:  dst,
+			ch:    make(chan []byte, t.queueLen),
+			close: make(chan struct{}),
+		}
+		pc.state.Store(int32(PeerConnecting))
+		peerGaugeAdd(PeerConnecting, 1)
+		t.conns[dst] = pc
+		t.wg.Add(1)
+		go t.writeLoop(pc)
 	}
 	select {
 	case pc.ch <- payload:
+		t.mu.Unlock()
 		t.sent.Add(1)
 		gSent.Add(1)
 	default:
+		t.mu.Unlock()
 		t.droppedFull.Add(1)
 		gDroppedFull.Add(1)
 	}
 }
 
-// peer returns (creating if needed) the outbound connection state for dst.
-func (t *TCP) peer(dst Address) *peerConn {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.stopped {
-		return nil
+// setState transitions a peer's circuit-breaker state, keeping the
+// process-wide per-state gauge in step.
+func (t *TCP) setState(pc *peerConn, s PeerState) {
+	old := PeerState(pc.state.Swap(int32(s)))
+	if old != s {
+		peerGaugeAdd(old, -1)
+		peerGaugeAdd(s, 1)
 	}
-	if pc, ok := t.conns[dst]; ok {
-		return pc
-	}
-	pc := &peerConn{
-		addr:  dst,
-		ch:    make(chan []byte, sendQueueLen),
-		close: make(chan struct{}),
-	}
-	t.conns[dst] = pc
-	t.wg.Add(1)
-	go t.writeLoop(pc)
-	return pc
 }
 
-// dropPeer removes a broken connection so the next send redials.
-func (t *TCP) dropPeer(pc *peerConn) {
+// retirePeer removes the peer from the routing map (under the lock, so no
+// new frame can be queued afterwards) and releases its gauge bucket. The
+// queue is drained by the caller after this returns.
+func (t *TCP) retirePeer(pc *peerConn) {
 	t.mu.Lock()
 	if t.conns[pc.addr] == pc {
 		delete(t.conns, pc.addr)
 	}
 	t.mu.Unlock()
 	pc.shutdown()
+	peerGaugeAdd(PeerState(pc.state.Load()), -1)
 }
 
-// writeLoop dials the peer and writes framed payloads from the queue.
-func (t *TCP) writeLoop(pc *peerConn) {
-	defer t.wg.Done()
-	conn, err := net.DialTimeout("tcp", pc.addr.String(), dialTimeout)
-	if err != nil {
-		t.sendErrors.Add(1)
-		gSendErrors.Add(1)
-		t.log.Debug("tcp: dial failed", "peer", pc.addr.String(), "err", err)
-		t.dropPeer(pc)
+// abandonQueue drains whatever is still queued for a retired peer and
+// counts every frame. Called after retirePeer, so nothing can race new
+// frames in: the silent-loss hole this replaces stranded up to a full
+// queue with no counter.
+func (t *TCP) abandonQueue(pc *peerConn, pending []byte) {
+	var n uint64
+	if pending != nil {
+		n++
+	}
+	for {
+		select {
+		case <-pc.ch:
+			n++
+		default:
+			if n > 0 {
+				t.abandoned.Add(n)
+				gAbandoned.Add(n)
+				t.log.Warn("tcp: abandoned queued frames", "peer", pc.addr.String(), "frames", n)
+			}
+			return
+		}
+	}
+}
+
+// emitStatus publishes a PeerStatus transition on the Network port.
+// Suppressed once the transport is stopped: a shutdown is not peer news.
+func (t *TCP) emitStatus(peer Address, up bool) {
+	t.mu.Lock()
+	stopped := t.stopped
+	t.mu.Unlock()
+	if stopped {
 		return
 	}
-	defer conn.Close()
+	if err := core.TriggerOn(t.port, PeerStatus{Peer: peer, Up: up}); err != nil {
+		t.log.Debug("tcp: peer status dropped", "err", err)
+	}
+}
+
+// errPeerClosed distinguishes an intentional peer shutdown from a broken
+// connection inside the write loop.
+var errPeerClosed = errors.New("peer closed")
+
+// writeLoop is the per-peer connection manager: dial (with backoff),
+// serve the connection until it breaks, redial. Frames stay on pc.ch
+// across redials; a frame caught mid-write rides in pending and is
+// retransmitted first on the next connection.
+func (t *TCP) writeLoop(pc *peerConn) {
+	defer t.wg.Done()
+	var pending []byte
+	everUp := false
+	for {
+		conn, retried := t.dialWithBackoff(pc)
+		if conn == nil {
+			// Retry budget exhausted or peer shut down: retire and account
+			// for every frame left behind.
+			t.setState(pc, PeerDown)
+			down := everUp
+			t.retirePeer(pc)
+			t.abandonQueue(pc, pending)
+			if down || retried {
+				t.emitStatus(pc.addr, false)
+			}
+			return
+		}
+		if everUp || retried {
+			t.reconnects.Add(1)
+			gReconnects.Add(1)
+			t.log.Info("tcp: peer reconnected", "peer", pc.addr.String())
+		}
+		everUp = true
+		t.setState(pc, PeerUp)
+		t.emitStatus(pc.addr, true)
+		err := t.serveConn(pc, conn, &pending)
+		_ = conn.Close()
+		if errors.Is(err, errPeerClosed) {
+			t.retirePeer(pc)
+			t.abandonQueue(pc, pending)
+			return
+		}
+		t.log.Debug("tcp: connection broke", "peer", pc.addr.String(), "err", err)
+		t.setState(pc, PeerBackoff)
+		t.emitStatus(pc.addr, false)
+	}
+}
+
+// dialWithBackoff tries to establish the peer connection, sleeping a
+// capped exponential backoff (±50% jitter) between attempts. Returns the
+// connection and whether any attempt failed first; (nil, _) when the peer
+// was closed or the attempt budget ran out.
+func (t *TCP) dialWithBackoff(pc *peerConn) (net.Conn, bool) {
+	for attempt := 0; attempt < t.dialAttempts; attempt++ {
+		select {
+		case <-pc.close:
+			return nil, attempt > 0
+		default:
+		}
+		t.setState(pc, PeerConnecting)
+		conn, err := net.DialTimeout("tcp", pc.addr.String(), dialTimeout)
+		if err == nil {
+			return conn, attempt > 0
+		}
+		t.sendErrors.Add(1)
+		gSendErrors.Add(1)
+		t.log.Debug("tcp: dial failed", "peer", pc.addr.String(), "attempt", attempt+1, "err", err)
+		t.setState(pc, PeerBackoff)
+		select {
+		case <-pc.close:
+			return nil, true
+		case <-time.After(t.backoff(attempt)):
+		}
+	}
+	return nil, true
+}
+
+// backoff computes the sleep before retry attempt+1: base doubled per
+// failure, capped, with ±50% jitter so peers dialing a recovered node
+// don't stampede in lockstep.
+func (t *TCP) backoff(attempt int) time.Duration {
+	d := t.backoffBase
+	for i := 0; i < attempt && d < t.backoffMax; i++ {
+		d *= 2
+	}
+	if d > t.backoffMax {
+		d = t.backoffMax
+	}
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half*2)) //nolint:gosec // jitter, not crypto
+}
+
+// serveConn writes framed payloads (and idle keepalives) until the
+// connection breaks or the peer is closed. A frame whose write fails is
+// stored in *pending — counted as requeued — so the reconnected peer
+// transmits it first.
+func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *[]byte) error {
 	var lenBuf [4]byte
+	writeFrame := func(payload []byte) error {
+		if t.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		if _, err := conn.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := conn.Write(payload)
+		return err
+	}
+	fail := func(payload []byte, err error) error {
+		*pending = payload
+		t.requeued.Add(1)
+		gRequeued.Add(1)
+		t.sendErrors.Add(1)
+		gSendErrors.Add(1)
+		return err
+	}
+	if p := *pending; p != nil {
+		if err := writeFrame(p); err != nil {
+			t.sendErrors.Add(1)
+			gSendErrors.Add(1)
+			return err // already counted as requeued when first preserved
+		}
+		*pending = nil
+	}
+	var ka <-chan time.Time
+	if t.keepalive > 0 {
+		ticker := time.NewTicker(t.keepalive)
+		defer ticker.Stop()
+		ka = ticker.C
+	}
 	for {
 		select {
 		case payload := <-pc.ch:
@@ -245,21 +520,21 @@ func (t *TCP) writeLoop(pc *peerConn) {
 				gSendErrors.Add(1)
 				continue
 			}
-			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+			if err := writeFrame(payload); err != nil {
+				return fail(payload, err)
+			}
+		case <-ka:
+			if t.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+			}
+			binary.BigEndian.PutUint32(lenBuf[:], keepaliveMagic)
 			if _, err := conn.Write(lenBuf[:]); err != nil {
 				t.sendErrors.Add(1)
 				gSendErrors.Add(1)
-				t.dropPeer(pc)
-				return
-			}
-			if _, err := conn.Write(payload); err != nil {
-				t.sendErrors.Add(1)
-				gSendErrors.Add(1)
-				t.dropPeer(pc)
-				return
+				return err
 			}
 		case <-pc.close:
-			return
+			return errPeerClosed
 		}
 	}
 }
@@ -288,7 +563,8 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 }
 
 // readLoop decodes frames from one inbound connection and delivers them on
-// the Network port.
+// the Network port. Keepalive frames only refresh the idle deadline; a
+// connection silent past the idle timeout is reaped.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -299,6 +575,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}()
 	var lenBuf [4]byte
 	for {
+		if t.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t.idleTimeout))
+		}
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			if !errors.Is(err, io.EOF) {
 				t.log.Debug("tcp: read header", "err", err)
@@ -306,6 +585,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == keepaliveMagic {
+			continue
+		}
 		if n == 0 || n > maxFrame {
 			t.log.Warn("tcp: bad frame length", "len", n)
 			return

@@ -76,6 +76,173 @@ func TestTCPSurvivesGarbagePayload(t *testing.T) {
 	waitCount(t, &n1.got, 1, 5*time.Second)
 }
 
+// TestTCPQueuedFramesSurviveReconnect is the resilience acceptance test: a
+// peer is killed mid-conversation, frames sent while it is down queue on
+// the peer's connection manager, and when the peer restarts on the same
+// address every queued frame is delivered with no application retransmit.
+// The subscriber must also see the PeerStatus Down→Up transition and the
+// reconnect counter must move.
+func TestTCPQueuedFramesSurviveReconnect(t *testing.T) {
+	_, n1, n2 := newTCPPair(t,
+		WithKeepalive(25*time.Millisecond),
+		WithBackoff(20*time.Millisecond, 100*time.Millisecond),
+		WithDialAttempts(500),
+	)
+	n1.ctx.Trigger(hello{Header: NewHeader(n1.self, n2.self), Greeting: "warmup"}, n1.port)
+	waitCount(t, &n2.got, 1, 5*time.Second)
+
+	// Kill the peer and wait until n1's keepalive notices the broken link
+	// (state leaves Up) so the frames below queue rather than vanish into a
+	// half-closed socket.
+	n2.tcp.shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := n1.tcp.PeerStates()[n2.self]; ok && st != PeerUp {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := n1.tcp.PeerStates()[n2.self]; st == PeerUp {
+		t.Fatalf("keepalive never detected the dead peer")
+	}
+
+	const k = 5
+	for i := 0; i < k; i++ {
+		n1.ctx.Trigger(data{Header: NewHeader(n1.self, n2.self), Seq: i}, n1.port)
+	}
+
+	// Restart the peer on the same address; the queued frames must flow
+	// with no re-send from the application.
+	n3 := &tcpNode{self: n2.self}
+	rt2 := core.New(core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue))
+	defer rt2.Shutdown()
+	rt2.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("n3", n3)
+	}))
+	if !rt2.WaitQuiescence(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	t.Cleanup(n3.tcp.shutdown)
+
+	waitCount(t, &n3.got, k, 10*time.Second)
+	n3.mu.Lock()
+	for i, m := range n3.msgs {
+		if m.(data).Seq != i {
+			t.Errorf("frame order violated at %d: got seq %d", i, m.(data).Seq)
+		}
+	}
+	n3.mu.Unlock()
+
+	if reconnects, _, _ := n1.tcp.ResilienceStats(); reconnects == 0 {
+		t.Fatalf("reconnect counter did not move")
+	}
+	statuses := n1.peerStatuses()
+	downAt, upAfterDown := -1, false
+	for i, s := range statuses {
+		if s.Peer != n2.self {
+			continue
+		}
+		if !s.Up {
+			downAt = i
+		} else if downAt >= 0 && i > downAt {
+			upAfterDown = true
+		}
+	}
+	if downAt < 0 || !upAfterDown {
+		t.Fatalf("PeerStatus Down→Up not observed: %+v", statuses)
+	}
+}
+
+// TestTCPAbandonedFramesAreCounted pins the silent-loss fix: when a peer's
+// retry budget runs out, every frame stranded on its queue is accounted for
+// in the abandoned counter (previously they vanished without a trace).
+func TestTCPAbandonedFramesAreCounted(t *testing.T) {
+	_, n1, _ := newTCPPair(t,
+		WithBackoff(5*time.Millisecond, 10*time.Millisecond),
+		WithDialAttempts(2),
+	)
+	dead := Address{Host: "127.0.0.1", Port: 1} // nothing listens
+	const k = 3
+	for i := 0; i < k; i++ {
+		n1.ctx.Trigger(data{Header: NewHeader(n1.self, dead), Seq: i}, n1.port)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, abandoned := n1.tcp.ResilienceStats(); abandoned >= k {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, _, abandoned := n1.tcp.ResilienceStats()
+	t.Fatalf("abandoned %d frames, want >= %d", abandoned, k)
+}
+
+// TestTCPSlowReaderBackpressureDrops pins the fair-lossy contract under
+// backpressure: a peer that accepts but never reads stalls the writer, the
+// bounded send queue fills, and the newest frames are dropped and counted
+// rather than blocking the sender's handlers.
+func TestTCPSlowReaderBackpressureDrops(t *testing.T) {
+	_, n1, _ := newTCPPair(t,
+		WithSendQueueLen(2),
+		WithWriteTimeout(100*time.Millisecond),
+		WithKeepalive(0),
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // accept and hold connections without ever reading
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	slow := Address{Host: "127.0.0.1", Port: uint16(ln.Addr().(*net.TCPAddr).Port)}
+
+	payload := make([]byte, 1<<20)
+	for i := 0; i < 32; i++ {
+		n1.ctx.Trigger(data{Header: NewHeader(n1.self, slow), Seq: i, Payload: payload}, n1.port)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, droppedFull, _ := n1.tcp.Stats(); droppedFull > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("slow reader never caused a counted drop")
+}
+
+// TestTCPMidFrameDisconnect pins that a peer dying mid-frame (header
+// promised more bytes than arrived) neither delivers a truncated message
+// nor wedges the transport for healthy peers.
+func TestTCPMidFrameDisconnect(t *testing.T) {
+	_, n1, n2 := newTCPPair(t)
+	conn := dialRaw(t, n1.self)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("only ten b")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	n2.ctx.Trigger(hello{Header: NewHeader(n2.self, n1.self), Greeting: "still serving"}, n2.port)
+	waitCount(t, &n1.got, 1, 5*time.Second)
+	n1.mu.Lock()
+	defer n1.mu.Unlock()
+	if len(n1.msgs) != 1 || n1.msgs[0].(hello).Greeting != "still serving" {
+		t.Fatalf("unexpected deliveries: %+v", n1.msgs)
+	}
+}
+
 func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	rt, n1, n2 := newTCPPair(t)
 	_ = rt

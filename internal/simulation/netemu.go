@@ -50,7 +50,14 @@ type NetworkEmulator struct {
 	nodes      map[network.Address]*EmulatedTransport
 	partitions map[network.Address]int // address → partition group; absent = group 0
 
+	// Churn state: crashed nodes drop all traffic (including messages
+	// already in flight toward them), flapped links drop traffic until a
+	// virtual-time deadline passes.
+	down     map[network.Address]bool
+	linkDown map[[2]network.Address]time.Time // directed link → down-until (virtual)
+
 	delivered, dropped, blocked, unroutable uint64
+	crashes, restarts, flaps, churnDropped  uint64
 }
 
 // EmulatorOption configures a NetworkEmulator.
@@ -75,6 +82,8 @@ func NewNetworkEmulator(sim *Simulation, opts ...EmulatorOption) *NetworkEmulato
 		latency:    ConstantLatency(time.Millisecond),
 		nodes:      make(map[network.Address]*EmulatedTransport),
 		partitions: make(map[network.Address]int),
+		down:       make(map[network.Address]bool),
+		linkDown:   make(map[[2]network.Address]time.Time),
 	}
 	for _, o := range opts {
 		o(e)
@@ -95,9 +104,58 @@ func (e *NetworkEmulator) Partition(group int, addrs ...network.Address) {
 	}
 }
 
-// Heal removes all partitions.
+// Heal removes all partitions and expired-or-not link flaps; crashed
+// nodes stay crashed until Restart.
 func (e *NetworkEmulator) Heal() {
 	e.partitions = make(map[network.Address]int)
+	e.linkDown = make(map[[2]network.Address]time.Time)
+}
+
+// Crash takes a node off the network: every message to or from it —
+// including messages already in flight toward it — is dropped until
+// Restart. The node's components keep running (a crashed process can't
+// tell it is isolated); this emulates the process-kill half of churn.
+func (e *NetworkEmulator) Crash(addr network.Address) {
+	if !e.down[addr] {
+		e.down[addr] = true
+		e.crashes++
+	}
+}
+
+// Restart reconnects a crashed node. Messages dropped while it was down
+// stay dropped — exactly what a rebooted process observes.
+func (e *NetworkEmulator) Restart(addr network.Address) {
+	if e.down[addr] {
+		delete(e.down, addr)
+		e.restarts++
+	}
+}
+
+// Crashed reports whether addr is currently crashed.
+func (e *NetworkEmulator) Crashed(addr network.Address) bool { return e.down[addr] }
+
+// FlapLink takes the directed src→dst link down for downFor of virtual
+// time (both directions: call twice for a symmetric flap). The link heals
+// itself when the deadline passes — no event needed, expiry is checked
+// lazily at send time.
+func (e *NetworkEmulator) FlapLink(src, dst network.Address, downFor time.Duration) {
+	e.linkDown[[2]network.Address{src, dst}] = e.sim.Now().Add(downFor)
+	e.flaps++
+}
+
+// linkFlapped reports whether src→dst is inside a flap window, expiring
+// stale entries as a side effect.
+func (e *NetworkEmulator) linkFlapped(src, dst network.Address) bool {
+	key := [2]network.Address{src, dst}
+	until, ok := e.linkDown[key]
+	if !ok {
+		return false
+	}
+	if e.sim.Now().Before(until) {
+		return true
+	}
+	delete(e.linkDown, key)
+	return false
 }
 
 // Stats returns delivery counters: delivered, dropped by loss, blocked by
@@ -106,9 +164,20 @@ func (e *NetworkEmulator) Stats() (delivered, dropped, blocked, unroutable uint6
 	return e.delivered, e.dropped, e.blocked, e.unroutable
 }
 
+// ChurnStats returns fault-injection counters: crashes and restarts
+// applied, link flaps injected, and messages dropped by churn (crashed
+// endpoints or flapped links).
+func (e *NetworkEmulator) ChurnStats() (crashes, restarts, flaps, churnDropped uint64) {
+	return e.crashes, e.restarts, e.flaps, e.churnDropped
+}
+
 // send routes one message through the emulated network.
 func (e *NetworkEmulator) send(m network.Message) {
 	src, dst := m.Source(), m.Destination()
+	if e.down[src] || e.down[dst] || e.linkFlapped(src, dst) {
+		e.churnDropped++
+		return
+	}
 	if e.partitions[src] != e.partitions[dst] {
 		e.blocked++
 		return
@@ -119,6 +188,10 @@ func (e *NetworkEmulator) send(m network.Message) {
 	}
 	d := e.latency(e.rng, src, dst)
 	e.sim.ScheduleAt(d, fmt.Sprintf("net:%s->%s", src, dst), func() {
+		if e.down[dst] {
+			e.churnDropped++ // crashed while the message was in flight
+			return
+		}
 		t, ok := e.nodes[dst]
 		if !ok {
 			e.unroutable++
@@ -161,3 +234,11 @@ func (t *EmulatedTransport) Setup(ctx *core.Ctx) {
 
 // Self returns the transport's address.
 func (t *EmulatedTransport) Self() network.Address { return t.self }
+
+// EmitPeerStatus publishes a transport liveness hint on this node's
+// Network port, mirroring the PeerStatus indications the TCP transport
+// emits on reconnect state transitions. Tests and chaos scenarios use it
+// to exercise PeerStatus consumers deterministically.
+func (t *EmulatedTransport) EmitPeerStatus(s network.PeerStatus) {
+	_ = core.TriggerOn(t.port, s)
+}

@@ -218,5 +218,16 @@ func WriteNetworkMetrics(w io.Writer, n network.Metrics) error {
 	m.Counter("cats_network_compressed_bytes_out_total", n.CompressedOut)
 	m.Header("cats_network_decompressed_msgs_total", "counter", "Messages zlib-decompressed on decode.")
 	m.Counter("cats_network_decompressed_msgs_total", n.DecompressedMsgs)
+	m.Header("cats_network_reconnects_total", "counter", "Successful redials of a peer after a failure.")
+	m.Counter("cats_network_reconnects_total", n.Reconnects)
+	m.Header("cats_network_requeued_total", "counter", "Frames carried across a broken write for redelivery.")
+	m.Counter("cats_network_requeued_total", n.Requeued)
+	m.Header("cats_network_abandoned_total", "counter", "Queued frames dropped when a peer's retry budget ran out.")
+	m.Counter("cats_network_abandoned_total", n.Abandoned)
+	m.Header("cats_network_peers", "gauge", "Outbound peer connections by circuit-breaker state.")
+	m.Gauge("cats_network_peers", float64(n.PeersConnecting), "state", "connecting")
+	m.Gauge("cats_network_peers", float64(n.PeersUp), "state", "up")
+	m.Gauge("cats_network_peers", float64(n.PeersBackoff), "state", "backoff")
+	m.Gauge("cats_network_peers", float64(n.PeersDown), "state", "down")
 	return m.Err()
 }

@@ -49,6 +49,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"cats_routecache_resets_total",
 		"cats_network_sent_total",
 		"cats_network_compressed_bytes_out_total",
+		"cats_network_reconnects_total",
+		"cats_network_requeued_total",
+		"cats_network_abandoned_total",
+		`cats_network_peers{state="backoff"}`,
 		"cats_runtime_components_live",
 	} {
 		if !strings.Contains(body, series) {
