@@ -60,11 +60,18 @@ determinism:
 # Local mirror of the CI chaos job: the churn scenario under the race
 # detector, then one seed's chaos report (with trace digest) run twice and
 # diffed — crash-restart churn must be deterministic and lose nothing.
+# Both the default and the long-outage (eviction + rejoin) variants run,
+# and each must have completed handoff sync rounds.
 chaos:
 	$(GO) test -race -count=1 -run 'Churn' ./internal/experiments/
 	$(GO) build -o /tmp/catssim ./cmd/catssim
 	/tmp/catssim -mode chaos -seed 3 -trace > /tmp/chaos-a.txt
 	/tmp/catssim -mode chaos -seed 3 -trace > /tmp/chaos-b.txt
 	diff -u /tmp/chaos-a.txt /tmp/chaos-b.txt && cat /tmp/chaos-a.txt
+	@! grep -q 'handoff_transfers=0 ' /tmp/chaos-a.txt || { echo "no handoff sync rounds completed"; exit 1; }
+	/tmp/catssim -mode chaos -seed 11 -long -trace > /tmp/chaos-long-a.txt
+	/tmp/catssim -mode chaos -seed 11 -long -trace > /tmp/chaos-long-b.txt
+	diff -u /tmp/chaos-long-a.txt /tmp/chaos-long-b.txt && cat /tmp/chaos-long-a.txt
+	@! grep -q 'handoff_transfers=0 ' /tmp/chaos-long-a.txt || { echo "no handoff sync rounds completed (long)"; exit 1; }
 
 ci: vet build test-race

@@ -71,6 +71,9 @@ func main() {
 		if cfg.MonitorServer, err = network.ParseAddress(*monitorS); err != nil {
 			fatal(err)
 		}
+		// Advertise the web listener so the monitor's /federate endpoint
+		// can scrape this node's /metrics.
+		cfg.MetricsURL = *webS
 	}
 
 	env := cats.TCPEnv{Compress: *compress}

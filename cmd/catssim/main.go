@@ -44,11 +44,12 @@ func main() {
 		ops     = flag.Int("ops", 200, "put/get operations issued (half each)")
 		tail    = flag.Duration("tail", 30*time.Second, "extra run time after the scenario ends")
 		trace   = flag.Bool("trace", false, "sim mode: digest every handler execution and print it (determinism check)")
+		long    = flag.Bool("long", false, "chaos mode: long-outage variant (crash windows double the suspicion threshold)")
 	)
 	flag.Parse()
 
 	if *mode == "chaos" {
-		runChaos(*seed, *trace)
+		runChaos(*seed, *trace, *long)
 		return
 	}
 
@@ -87,20 +88,28 @@ func main() {
 // lost acknowledged writes. Output is purely virtual-time derived, so two
 // runs with one seed must print byte-identical reports — the CI chaos job
 // diffs them (plus the trace digest under -trace).
-func runChaos(seed int64, trace bool) {
+func runChaos(seed int64, trace, long bool) {
 	var digest *traceDigest
 	simOpts := []simulation.SimOption{}
 	if trace {
 		digest = newTraceDigest()
 		simOpts = append(simOpts, simulation.WithTraceSink(digest))
 	}
-	r := experiments.Churn(seed, experiments.ChurnConfig{}, simOpts...)
-	fmt.Printf("catssim chaos: seed=%d nodes=%d keys=%d simulated=%v events=%d execs=%d\n",
-		seed, r.Nodes, r.Keys, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
+	cfg := experiments.ChurnConfig{}
+	variant := "default"
+	if long {
+		cfg = experiments.LongOutageChurnConfig()
+		variant = "long-outage"
+	}
+	r := experiments.Churn(seed, cfg, simOpts...)
+	fmt.Printf("catssim chaos: seed=%d variant=%s nodes=%d keys=%d simulated=%v events=%d execs=%d\n",
+		seed, variant, r.Nodes, r.Keys, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
 	fmt.Printf("  acked_puts=%d ok_gets=%d failed_puts=%d failed_gets=%d unresolved=%d\n",
 		r.AckedPuts, r.OKGets, r.FailedPuts, r.FailedGets, r.UnresolvedOps)
 	fmt.Printf("  crashes=%d restarts=%d flaps=%d churn_dropped=%d\n",
 		r.Crashes, r.Restarts, r.Flaps, r.ChurnDropped)
+	fmt.Printf("  handoff_keys=%d handoff_bytes=%d handoff_transfers=%d max_epoch=%d\n",
+		r.HandoffKeys, r.HandoffBytes, r.HandoffTransfers, r.MaxEpoch)
 	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
 	if digest != nil {
 		fmt.Printf("  trace: records=%d digest=%016x\n", digest.n, digest.h.Sum64())

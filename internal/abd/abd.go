@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/handoff"
 	"repro/internal/ident"
+	"repro/internal/kvstore"
 	"repro/internal/network"
 	"repro/internal/router"
 	"repro/internal/status"
@@ -53,12 +55,16 @@ var PutGetPortType = core.NewPortType("PutGet",
 	core.Indication[PutResponse](),
 )
 
-// Replica wire messages.
+// Replica wire messages. Every quorum phase carries the coordinator's
+// group-view epoch; replicas refuse epochs behind their own (consistent
+// quorums: an attempt's acks all come from one epoch, never straddling two
+// memberships) and acks echo the epoch they were served in.
 
 type readMsg struct {
 	network.Header
 	OpID    uint64
 	Attempt int
+	Epoch   uint64
 	Key     string
 }
 
@@ -66,6 +72,7 @@ type readAckMsg struct {
 	network.Header
 	OpID    uint64
 	Attempt int
+	Epoch   uint64
 	Version Version
 	Value   []byte
 	Found   bool
@@ -75,6 +82,7 @@ type writeMsg struct {
 	network.Header
 	OpID    uint64
 	Attempt int
+	Epoch   uint64
 	Key     string
 	Version Version
 	Value   []byte
@@ -84,6 +92,19 @@ type writeAckMsg struct {
 	network.Header
 	OpID    uint64
 	Attempt int
+	Epoch   uint64
+}
+
+// nackMsg refuses a quorum phase. Busy means the replica is mid-handoff
+// (state for the new view still in flight) — the coordinator just waits;
+// otherwise the coordinator's epoch was stale and Epoch is the hint to
+// restart the attempt against a fresh view.
+type nackMsg struct {
+	network.Header
+	OpID    uint64
+	Attempt int
+	Epoch   uint64
+	Busy    bool
 }
 
 func init() {
@@ -91,6 +112,7 @@ func init() {
 	network.Register(readAckMsg{})
 	network.Register(writeMsg{})
 	network.Register(writeAckMsg{})
+	network.Register(nackMsg{})
 }
 
 type opTimeout struct {
@@ -124,6 +146,7 @@ type op struct {
 
 	phase     phase
 	group     []ident.NodeRef
+	epoch     uint64 // group-view epoch this attempt runs in
 	quorum    int
 	readAcks  int
 	writeAcks int
@@ -131,8 +154,16 @@ type op struct {
 	bestVal   []byte
 	bestFound bool
 	bestCount int // read acks carrying exactly bestVer
-	retries   int
-	timerID   timer.ID
+	// attempt is the wire-level attempt number: bumped on every restart
+	// (timeout retries AND stale-epoch restarts) so late acks from a
+	// superseded group can never count toward the current quorum.
+	attempt int
+	// retries counts timeout retries against MaxRetries; epochRestarts
+	// counts stale-epoch restarts separately — reconfiguration churn must
+	// not eat the timeout budget, but it still needs its own bound.
+	retries       int
+	epochRestarts int
+	timerID       timer.ID
 }
 
 // Config parameterizes the ABD component.
@@ -145,6 +176,10 @@ type Config struct {
 	OpTimeout time.Duration
 	// MaxRetries bounds attempts before failing the operation (default 5).
 	MaxRetries int
+	// Store optionally supplies the register store. The CATS node shares
+	// one store between the replica and its handoff component; nil creates
+	// a private store (tests).
+	Store *kvstore.Store
 }
 
 func (c *Config) applyDefaults() {
@@ -160,15 +195,16 @@ func (c *Config) applyDefaults() {
 }
 
 // ABD is the Consistent ABD component: provides PutGet, requires Router,
-// Network, and Timer. It is both coordinator (client side) and replica
-// (server side) — every node stores register state for the keys it is
-// responsible for.
+// Handoff, Network, and Timer. It is both coordinator (client side) and
+// replica (server side) — every node stores register state for the keys it
+// is responsible for.
 type ABD struct {
 	cfg Config
 
 	ctx  *core.Ctx
 	pg   *core.Port
 	rout *core.Port
+	hop  *core.Port
 	net  *core.Port
 	tmr  *core.Port
 
@@ -183,13 +219,33 @@ type ABD struct {
 	// divergent (found by the randomized linearizability tests).
 	lamport uint64
 
-	statGets, statPuts, statRetries, statFailures uint64
+	// localEpoch is the replica's view epoch: raised by handoff
+	// SyncStarted events and Lamport-merged from served coordinator
+	// messages (per-node epochs diverge; serving an equal-or-newer epoch
+	// and merging keeps replicas from livelocking on strict equality).
+	localEpoch uint64
+	// epochFloor is the coordinator-side epoch floor accumulated from nack
+	// hints: the next attempt starts at least there.
+	epochFloor uint64
+	// syncing gates acknowledgements while handoff pulls the covered range
+	// for a new view: acking before the state arrives is exactly how
+	// acknowledged writes get lost across reconfiguration.
+	syncing  bool
+	curRound uint64
+
+	statGets, statPuts, statRetries, statFailures  uint64
+	statNacksBusy, statNacksStale, statStaleServed uint64
+	statEpochRestarts                              uint64
 }
 
 // New creates an ABD component definition.
 func New(cfg Config) *ABD {
 	cfg.applyDefaults()
-	return &ABD{cfg: cfg, store: NewStore(), ops: make(map[uint64]*op)}
+	st := cfg.Store
+	if st == nil {
+		st = NewStore()
+	}
+	return &ABD{cfg: cfg, store: st, ops: make(map[uint64]*op)}
 }
 
 var _ core.Definition = (*ABD)(nil)
@@ -199,28 +255,41 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 	a.ctx = ctx
 	a.pg = ctx.Provides(PutGetPortType)
 	a.rout = ctx.Requires(router.PortType)
+	a.hop = ctx.Requires(handoff.PortType)
 	a.net = ctx.Requires(network.PortType)
 	a.tmr = ctx.Requires(timer.PortType)
 
 	st := ctx.Provides(status.PortType)
 	core.Subscribe(ctx, st, func(q status.Request) {
+		syncing := int64(0)
+		if a.syncing {
+			syncing = 1
+		}
 		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "consistent-abd", Metrics: map[string]int64{
-			"keys":      int64(a.store.Len()),
-			"gets":      int64(a.statGets),
-			"puts":      int64(a.statPuts),
-			"retries":   int64(a.statRetries),
-			"failures":  int64(a.statFailures),
-			"in-flight": int64(len(a.ops)),
+			"keys":           int64(a.store.Len()),
+			"gets":           int64(a.statGets),
+			"puts":           int64(a.statPuts),
+			"retries":        int64(a.statRetries),
+			"failures":       int64(a.statFailures),
+			"in-flight":      int64(len(a.ops)),
+			"epoch":          int64(a.localEpoch),
+			"nacks_busy":     int64(a.statNacksBusy),
+			"nacks_stale":    int64(a.statNacksStale),
+			"epoch_restarts": int64(a.statEpochRestarts),
+			"syncing":        syncing,
 		}}, st)
 	})
 
 	core.Subscribe(ctx, a.pg, a.handleGet)
 	core.Subscribe(ctx, a.pg, a.handlePut)
 	core.Subscribe(ctx, a.rout, a.handleFound)
+	core.Subscribe(ctx, a.hop, a.handleSyncStarted)
+	core.Subscribe(ctx, a.hop, a.handleSynced)
 	core.Subscribe(ctx, a.net, a.handleRead)
 	core.Subscribe(ctx, a.net, a.handleReadAck)
 	core.Subscribe(ctx, a.net, a.handleWrite)
 	core.Subscribe(ctx, a.net, a.handleWriteAck)
+	core.Subscribe(ctx, a.net, a.handleNack)
 	core.Subscribe(ctx, a.tmr, a.handleTimeout)
 }
 
@@ -233,8 +302,39 @@ func (a *ABD) Stats() (gets, puts, retries, failures uint64) {
 	return a.statGets, a.statPuts, a.statRetries, a.statFailures
 }
 
+// EpochStats returns reconfiguration counters: busy and stale nacks
+// received by this coordinator and attempts restarted on stale epochs.
+func (a *ABD) EpochStats() (busy, stale, restarts uint64) {
+	return a.statNacksBusy, a.statNacksStale, a.statEpochRestarts
+}
+
+// Epoch returns the replica's current view epoch (tests).
+func (a *ABD) Epoch() uint64 { return a.localEpoch }
+
 // InFlight returns the number of operations currently executing.
 func (a *ABD) InFlight() int { return len(a.ops) }
+
+// --- replica-group view -------------------------------------------------------
+
+// handleSyncStarted enters the sync window for a new group view: the
+// replica refuses to ack quorum phases (Busy nacks) until handoff finishes
+// pulling the range it now covers.
+func (a *ABD) handleSyncStarted(s handoff.SyncStarted) {
+	a.syncing = true
+	a.curRound = s.Round
+	if s.Epoch > a.localEpoch {
+		a.localEpoch = s.Epoch
+	}
+}
+
+// handleSynced leaves the sync window. Rounds — not epochs — are matched:
+// localEpoch may have been merged past the handoff component's epoch by
+// coordinator traffic, so epoch equality would deadlock the replica.
+func (a *ABD) handleSynced(s handoff.Synced) {
+	if s.Round == a.curRound {
+		a.syncing = false
+	}
+}
 
 // --- coordinator: client requests ---------------------------------------------
 
@@ -256,6 +356,7 @@ func (a *ABD) startOp(o *op) {
 // beginAttempt (re)runs an operation attempt from group resolution.
 func (a *ABD) beginAttempt(o *op) {
 	o.phase = phaseRoute
+	o.attempt++
 	o.readAcks, o.writeAcks, o.bestCount = 0, 0, 0
 	o.bestVer, o.bestVal, o.bestFound = Version{}, nil, false
 	o.timerID = timer.NextID()
@@ -271,6 +372,8 @@ func (a *ABD) beginAttempt(o *op) {
 }
 
 // handleFound starts phase 1 (read round) once the replica group is known.
+// The attempt runs in the freshest epoch this node knows: the router's
+// resolution epoch, nack hints, and the replica-side view all feed in.
 func (a *ABD) handleFound(f router.FoundSuccessor) {
 	o, ok := a.ops[f.ReqID]
 	if !ok || o.phase != phaseRoute {
@@ -280,13 +383,21 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 		return // wait for timeout → retry; membership not converged yet
 	}
 	o.group = f.Group
+	o.epoch = f.Epoch
+	if a.epochFloor > o.epoch {
+		o.epoch = a.epochFloor
+	}
+	if a.localEpoch > o.epoch {
+		o.epoch = a.localEpoch
+	}
 	o.quorum = len(f.Group)/2 + 1
 	o.phase = phaseRead
 	for _, n := range o.group {
 		a.ctx.Trigger(readMsg{
 			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
 			OpID:    o.id,
-			Attempt: o.retries,
+			Attempt: o.attempt,
+			Epoch:   o.epoch,
 			Key:     o.key,
 		}, a.net)
 	}
@@ -296,7 +407,7 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 // version+value in phase 2.
 func (a *ABD) handleReadAck(m readAckMsg) {
 	o, ok := a.ops[m.OpID]
-	if !ok || o.phase != phaseRead || m.Attempt != o.retries {
+	if !ok || o.phase != phaseRead || m.Attempt != o.attempt {
 		return // stale ack from a previous attempt: its group may differ
 	}
 	o.readAcks++
@@ -341,7 +452,8 @@ func (a *ABD) handleReadAck(m readAckMsg) {
 		a.ctx.Trigger(writeMsg{
 			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
 			OpID:    o.id,
-			Attempt: o.retries,
+			Attempt: o.attempt,
+			Epoch:   o.epoch,
 			Key:     o.key,
 			Version: ver,
 			Value:   val,
@@ -352,7 +464,7 @@ func (a *ABD) handleReadAck(m readAckMsg) {
 // handleWriteAck collects the write quorum and completes the operation.
 func (a *ABD) handleWriteAck(m writeAckMsg) {
 	o, ok := a.ops[m.OpID]
-	if !ok || o.phase != phaseWrite || m.Attempt != o.retries {
+	if !ok || o.phase != phaseWrite || m.Attempt != o.attempt {
 		return
 	}
 	o.writeAcks++
@@ -360,6 +472,36 @@ func (a *ABD) handleWriteAck(m writeAckMsg) {
 		return
 	}
 	a.finish(o, "")
+}
+
+// handleNack reacts to a replica refusing a quorum phase. Busy nacks just
+// feed the epoch floor — the replica is syncing and the attempt can still
+// quorum on the others (or time out). A stale nack means this attempt's
+// epoch can never quorum: restart immediately against a fresh view.
+func (a *ABD) handleNack(m nackMsg) {
+	o, ok := a.ops[m.OpID]
+	if !ok || m.Attempt != o.attempt {
+		return
+	}
+	if m.Epoch > a.epochFloor {
+		a.epochFloor = m.Epoch
+	}
+	if m.Busy {
+		a.statNacksBusy++
+		return
+	}
+	a.statNacksStale++
+	// Epoch restarts have their own bound (reconfiguration may be ongoing),
+	// wider than the timeout budget but finite: a node that can never catch
+	// up must fail the op rather than spin.
+	if o.epochRestarts >= 2*a.cfg.MaxRetries {
+		a.finish(o, "stale epoch: view kept changing")
+		return
+	}
+	o.epochRestarts++
+	a.statEpochRestarts++
+	a.ctx.Trigger(timer.CancelTimeout{ID: o.timerID}, a.tmr)
+	a.beginAttempt(o)
 }
 
 // finish completes an operation, responding to the client.
@@ -410,12 +552,44 @@ func (a *ABD) handleTimeout(t opTimeout) {
 
 // --- replica: register storage --------------------------------------------------
 
+// serveEpoch applies the replica-side epoch gate shared by reads and
+// writes: stale epochs are refused with a hint, phases arriving mid-sync
+// are refused as Busy (the state backing an ack may still be in flight),
+// and served epochs merge into the replica's own — per-node epochs are
+// Lamport clocks, not globally equal counters, so "equal or newer" is the
+// servable condition.
+func (a *ABD) serveEpoch(m network.Message, opID uint64, attempt int, epoch uint64) bool {
+	if epoch < a.localEpoch {
+		a.statStaleServed++
+		a.ctx.Trigger(nackMsg{
+			Header: network.Reply(m), OpID: opID, Attempt: attempt,
+			Epoch: a.localEpoch, Busy: false,
+		}, a.net)
+		return false
+	}
+	if a.syncing {
+		a.ctx.Trigger(nackMsg{
+			Header: network.Reply(m), OpID: opID, Attempt: attempt,
+			Epoch: a.localEpoch, Busy: true,
+		}, a.net)
+		return false
+	}
+	if epoch > a.localEpoch {
+		a.localEpoch = epoch
+	}
+	return true
+}
+
 func (a *ABD) handleRead(m readMsg) {
+	if !a.serveEpoch(m, m.OpID, m.Attempt, m.Epoch) {
+		return
+	}
 	ver, val, found := a.store.Read(m.Key)
 	a.ctx.Trigger(readAckMsg{
 		Header:  network.Reply(m),
 		OpID:    m.OpID,
 		Attempt: m.Attempt,
+		Epoch:   a.localEpoch,
 		Version: ver,
 		Value:   val,
 		Found:   found,
@@ -423,6 +597,9 @@ func (a *ABD) handleRead(m readMsg) {
 }
 
 func (a *ABD) handleWrite(m writeMsg) {
+	if !a.serveEpoch(m, m.OpID, m.Attempt, m.Epoch) {
+		return
+	}
 	a.store.Apply(m.Key, m.Version, m.Value)
-	a.ctx.Trigger(writeAckMsg{Header: network.Reply(m), OpID: m.OpID, Attempt: m.Attempt}, a.net)
+	a.ctx.Trigger(writeAckMsg{Header: network.Reply(m), OpID: m.OpID, Attempt: m.Attempt, Epoch: a.localEpoch}, a.net)
 }

@@ -1,82 +1,23 @@
 // Package abd implements the paper's Consistent ABD component:
 // quorum-based linearizable read and write operations over replica groups
 // resolved by the One-Hop Router (a multi-writer generalization of the
-// Attiya–Bar-Noy–Dolev atomic register, with read-impose write-back).
-// Together with the ring, router, and failure detector it forms the data
-// path of the CATS key-value store.
+// Attiya–Bar-Noy–Dolev atomic register, with read-impose write-back),
+// versioned by replica-group epochs published by the ring. Together with
+// the ring, router, failure detector, and handoff it forms the data path
+// of the CATS key-value store.
 package abd
 
-import "fmt"
+import "repro/internal/kvstore"
 
-// Version orders writes totally: by sequence number, ties broken by writer
-// identity. The zero Version precedes every real write.
-type Version struct {
-	Seq    uint64
-	Writer uint64
-}
+// The register store lives in internal/kvstore since the handoff component
+// shares it with the replica; these aliases keep the ABD API surface (and
+// its wire types) stable.
 
-// Less reports whether v precedes o in the total write order.
-func (v Version) Less(o Version) bool {
-	if v.Seq != o.Seq {
-		return v.Seq < o.Seq
-	}
-	return v.Writer < o.Writer
-}
+// Version orders writes totally (see kvstore.Version).
+type Version = kvstore.Version
 
-// IsZero reports whether the version denotes "never written".
-func (v Version) IsZero() bool { return v == Version{} }
-
-// String renders seq.writer.
-func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Seq, v.Writer) }
-
-// record is one stored register.
-type record struct {
-	version Version
-	value   []byte
-}
-
-// Store is a node-local versioned key-value store: the register memory of
-// one replica. It applies writes only when they advance the version, which
-// makes replica application idempotent and order-insensitive.
-type Store struct {
-	m map[string]record
-}
+// Store is the node-local versioned register memory (see kvstore.Store).
+type Store = kvstore.Store
 
 // NewStore creates an empty store.
-func NewStore() *Store {
-	return &Store{m: make(map[string]record)}
-}
-
-// Read returns the stored version and value for key (zero version when
-// never written).
-func (s *Store) Read(key string) (Version, []byte, bool) {
-	r, ok := s.m[key]
-	return r.version, r.value, ok
-}
-
-// Apply stores (version, value) under key iff version advances the stored
-// one. Zero-version writes are rejected: they denote "never written" and
-// must not materialize a record. It reports whether the write was applied.
-func (s *Store) Apply(key string, v Version, value []byte) bool {
-	if v.IsZero() {
-		return false
-	}
-	cur, ok := s.m[key]
-	if ok && !cur.version.Less(v) {
-		return false
-	}
-	s.m[key] = record{version: v, value: value}
-	return true
-}
-
-// Len returns the number of keys stored.
-func (s *Store) Len() int { return len(s.m) }
-
-// Keys returns all stored keys (status/debugging).
-func (s *Store) Keys() []string {
-	out := make([]string, 0, len(s.m))
-	for k := range s.m {
-		out = append(out, k)
-	}
-	return out
-}
+func NewStore() *Store { return kvstore.New() }

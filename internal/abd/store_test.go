@@ -10,22 +10,22 @@ func TestVersionOrdering(t *testing.T) {
 		a, b Version
 		less bool
 	}{
-		{Version{1, 1}, Version{2, 1}, true},
-		{Version{2, 1}, Version{1, 1}, false},
-		{Version{1, 1}, Version{1, 2}, true},
-		{Version{1, 2}, Version{1, 1}, false},
-		{Version{1, 1}, Version{1, 1}, false},
-		{Version{}, Version{1, 0}, true},
+		{Version{Seq: 1, Writer: 1}, Version{Seq: 2, Writer: 1}, true},
+		{Version{Seq: 2, Writer: 1}, Version{Seq: 1, Writer: 1}, false},
+		{Version{Seq: 1, Writer: 1}, Version{Seq: 1, Writer: 2}, true},
+		{Version{Seq: 1, Writer: 2}, Version{Seq: 1, Writer: 1}, false},
+		{Version{Seq: 1, Writer: 1}, Version{Seq: 1, Writer: 1}, false},
+		{Version{}, Version{Seq: 1, Writer: 0}, true},
 	}
 	for _, c := range cases {
 		if got := c.a.Less(c.b); got != c.less {
 			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
 		}
 	}
-	if !(Version{}).IsZero() || (Version{1, 0}).IsZero() {
+	if !(Version{}).IsZero() || (Version{Seq: 1, Writer: 0}).IsZero() {
 		t.Fatalf("IsZero wrong")
 	}
-	if (Version{3, 4}).String() != "3.4" {
+	if (Version{Seq: 3, Writer: 4}).String() != "3.4" {
 		t.Fatalf("version string")
 	}
 }
@@ -35,20 +35,20 @@ func TestStoreApplyAdvancesOnly(t *testing.T) {
 	if _, _, ok := s.Read("k"); ok {
 		t.Fatalf("empty store found key")
 	}
-	if !s.Apply("k", Version{1, 1}, []byte("a")) {
+	if !s.Apply("k", Version{Seq: 1, Writer: 1}, []byte("a")) {
 		t.Fatalf("first write rejected")
 	}
-	if s.Apply("k", Version{1, 1}, []byte("b")) {
+	if s.Apply("k", Version{Seq: 1, Writer: 1}, []byte("b")) {
 		t.Fatalf("same version re-applied")
 	}
-	if s.Apply("k", Version{0, 0}, []byte("c")) {
+	if s.Apply("k", Version{}, []byte("c")) {
 		t.Fatalf("zero version applied")
 	}
-	if !s.Apply("k", Version{2, 0}, []byte("d")) {
+	if !s.Apply("k", Version{Seq: 2, Writer: 0}, []byte("d")) {
 		t.Fatalf("higher version rejected")
 	}
 	v, val, ok := s.Read("k")
-	if !ok || v != (Version{2, 0}) || string(val) != "d" {
+	if !ok || v != (Version{Seq: 2, Writer: 0}) || string(val) != "d" {
 		t.Fatalf("read %v %q %v", v, val, ok)
 	}
 	if s.Len() != 1 || len(s.Keys()) != 1 {

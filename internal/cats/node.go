@@ -21,7 +21,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/cyclon"
 	"repro/internal/fd"
+	"repro/internal/handoff"
 	"repro/internal/ident"
+	"repro/internal/kvstore"
 	"repro/internal/monitor"
 	"repro/internal/network"
 	"repro/internal/ring"
@@ -52,6 +54,10 @@ type NodeConfig struct {
 	// MonitorServer, when set, makes the node report component status
 	// snapshots to the monitoring service.
 	MonitorServer network.Address
+	// MetricsURL is the node's web listen address, advertised to the
+	// monitoring service so its /federate endpoint can scrape this node's
+	// /metrics (empty: not federated).
+	MetricsURL string
 
 	// ReplicationDegree is the replica group size (default 3).
 	ReplicationDegree int
@@ -77,6 +83,10 @@ type NodeConfig struct {
 	// RouterSweepPeriod is the router staleness sweep interval
 	// (default 5s).
 	RouterSweepPeriod time.Duration
+	// HandoffPullTimeout bounds how long a view-change sync round waits
+	// for lagging members before serving with what transferred
+	// (default 2s).
+	HandoffPullTimeout time.Duration
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -117,11 +127,12 @@ type Node struct {
 	webP *core.Port // provided Web (inner)
 
 	// Children (definitions kept for tests/status accessors).
-	FD     *fd.Ping
-	Cyclon *cyclon.Overlay
-	Ring   *ring.Ring
-	Router *router.Router
-	ABD    *abd.ABD
+	FD      *fd.Ping
+	Cyclon  *cyclon.Overlay
+	Ring    *ring.Ring
+	Router  *router.Router
+	ABD     *abd.ABD
+	Handoff *handoff.Handoff
 
 	ringOuter   *core.Port
 	cyclonOuter *core.Port
@@ -196,16 +207,28 @@ func (n *Node) Setup(ctx *core.Ctx) {
 		SweepPeriod: n.cfg.RouterSweepPeriod,
 	})
 	routC := ctx.Create("router", n.Router)
+	// The replica and the handoff component share one register store: the
+	// data handoff pulls in must be the data quorum phases serve out.
+	store := kvstore.New()
 	n.ABD = abd.New(abd.Config{
 		Self:              self,
 		ReplicationDegree: n.cfg.ReplicationDegree,
 		OpTimeout:         n.cfg.OpTimeout,
+		Store:             store,
 	})
 	abdC := ctx.Create("abd", n.ABD)
+	n.Handoff = handoff.New(handoff.Config{
+		Self:        self,
+		Degree:      n.cfg.ReplicationDegree,
+		Store:       store,
+		Members:     n.Router.Members,
+		PullTimeout: n.cfg.HandoffPullTimeout,
+	})
+	hoC := ctx.Create("handoff", n.Handoff)
 
 	// Network/Timer pass-through: children's required ports delegate to
 	// the node's own required ports.
-	for _, c := range []*core.Component{fdC, cyC, ringC, routC, abdC} {
+	for _, c := range []*core.Component{fdC, cyC, ringC, routC, abdC, hoC} {
 		if p := c.Required(network.PortType); p != nil {
 			ctx.Connect(p, n.netP)
 		}
@@ -219,7 +242,9 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	ctx.Connect(fdC.Provided(fd.PortType), routC.Required(fd.PortType))
 	ctx.Connect(ringC.Provided(ring.PortType), routC.Required(ring.PortType))
 	ctx.Connect(cyC.Provided(cyclon.PortType), routC.Required(cyclon.PortType))
+	ctx.Connect(ringC.Provided(ring.PortType), hoC.Required(ring.PortType))
 	ctx.Connect(routC.Provided(router.PortType), abdC.Required(router.PortType))
+	ctx.Connect(hoC.Provided(handoff.PortType), abdC.Required(handoff.PortType))
 
 	// Service pass-through: the node's provided PutGet and Router delegate
 	// to ABD and the router.
@@ -238,6 +263,7 @@ func (n *Node) Setup(ctx *core.Ctx) {
 		ringC.Provided(status.PortType),
 		routC.Provided(status.PortType),
 		abdC.Provided(status.PortType),
+		hoC.Provided(status.PortType),
 		rtsC.Provided(status.PortType),
 	}
 	for _, sp := range n.statPorts {
@@ -272,10 +298,11 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	// Monitoring client, wired to every child's Status port.
 	if !n.cfg.MonitorServer.IsZero() {
 		monC := ctx.Create("monitor", monitor.NewClient(monitor.ClientConfig{
-			Self:     self.Addr,
-			Server:   n.cfg.MonitorServer,
-			NodeName: self.String(),
-			Period:   n.cfg.MonitorPeriod,
+			Self:       self.Addr,
+			Server:     n.cfg.MonitorServer,
+			NodeName:   self.String(),
+			MetricsURL: n.cfg.MetricsURL,
+			Period:     n.cfg.MonitorPeriod,
 		}))
 		ctx.Connect(monC.Required(network.PortType), n.netP)
 		ctx.Connect(monC.Required(timer.PortType), n.tmrP)

@@ -204,7 +204,7 @@ func TestMonitorReportingFlow(t *testing.T) {
 	if msrv.NodeCount() != 2 {
 		t.Fatalf("monitor server has %d node views, want 2", msrv.NodeCount())
 	}
-	// Each view contains snapshots from the five instrumented protocol
+	// Each view contains snapshots from the six instrumented protocol
 	// components plus the runtime telemetry producer.
 	views := 0
 	for _, p := range []int{1, 2} {
@@ -213,8 +213,8 @@ func TestMonitorReportingFlow(t *testing.T) {
 		if !ok {
 			t.Fatalf("no view for %s", name)
 		}
-		if len(v.Snapshots) != 6 {
-			t.Fatalf("view %s has %d snapshots, want 6", name, len(v.Snapshots))
+		if len(v.Snapshots) != 7 {
+			t.Fatalf("view %s has %d snapshots, want 7", name, len(v.Snapshots))
 		}
 		hasRuntime := false
 		for _, s := range v.Snapshots {

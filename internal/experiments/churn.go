@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cats"
 	"repro/internal/core"
+	"repro/internal/handoff"
 	"repro/internal/ident"
 	"repro/internal/linear"
 	"repro/internal/simulation"
@@ -40,22 +41,39 @@ func (c *ChurnConfig) applyDefaults() {
 		c.OpsPerKey = 10
 	}
 	if c.Crashes <= 0 {
-		c.Crashes = 4
+		c.Crashes = 3
 	}
 	if c.Flaps <= 0 {
 		c.Flaps = 4
 	}
 	if c.CrashDown <= 0 {
-		c.CrashDown = 1200 * time.Millisecond
+		// Longer than the 6s suspicion threshold (FDInterval 2s × 3
+		// misses): crashed nodes ARE evicted, groups reconfigure, and the
+		// epoch/handoff machinery must carry state across — the case the
+		// scenario exists to prove.
+		c.CrashDown = 8 * time.Second
 	}
 	if c.FlapDown <= 0 {
 		c.FlapDown = 900 * time.Millisecond
 	}
 	if c.OpWindow <= 0 {
-		c.OpWindow = 40 * time.Second
+		c.OpWindow = 60 * time.Second
 	}
 	if c.Tail <= 0 {
-		c.Tail = 20 * time.Second
+		c.Tail = 25 * time.Second
+	}
+}
+
+// LongOutageChurnConfig is the chaos variant with outages double the
+// suspicion threshold: fewer, longer crash windows, so evicted nodes sit
+// dark long enough for several stabilization rounds to repair the ring
+// around them before they rejoin and pull state back.
+func LongOutageChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Crashes:   2,
+		CrashDown: 12 * time.Second,
+		OpWindow:  60 * time.Second,
+		Tail:      30 * time.Second,
 	}
 }
 
@@ -74,6 +92,14 @@ type ChurnResult struct {
 	SimulatedDuration     time.Duration
 	DiscreteEvents        uint64
 	HandlerExecutions     uint64
+
+	// State-handoff activity during the scenario (deltas of the
+	// process-wide counters, so they are per-seed deterministic).
+	HandoffKeys      uint64
+	HandoffBytes     uint64
+	HandoffTransfers uint64
+	// MaxEpoch is the highest replica-group epoch any node reached.
+	MaxEpoch uint64
 }
 
 // Churn runs the chaos scenario: quorum puts/gets over a simulated CATS
@@ -83,22 +109,24 @@ type ChurnResult struct {
 // audit (after every fault heals, a final read per key must observe some
 // acknowledged value).
 //
-// Fault windows are deliberately kept below the failure detector's
-// suspicion threshold (FDInterval × SuspectAfterMisses): the ring evicts a
-// suspected node immediately and replica groups reconfigure without state
-// handoff, so longer outages trade durability for availability by design.
-// The scenario proves the claim the transport stack can make — no
-// acknowledged write is lost while quorums survive — and the handoff gap
-// is tracked in ROADMAP.md.
+// Default fault windows EXCEED the failure detector's suspicion threshold
+// (FDInterval × SuspectAfterMisses = 6s): the ring evicts the crashed
+// node, replica groups reconfigure into a new epoch, and the handoff
+// component pulls the covered ranges before the survivors ack in it. The
+// zero-lost-acked-writes audit therefore exercises the full
+// reconfiguration path — epoch fencing, state transfer, and rejoin of the
+// evicted node — not just transport resilience.
 func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnResult {
 	cfg.applyDefaults()
 
 	nodeCfg := simNodeConfig()
-	// Suspicion needs 3 consecutive silent 2s rounds; fault windows
-	// (≤1.5s) can cover at most one round start each, so even adjacent
-	// faults on one node cannot evict it and replica groups stay intact.
+	// Suspicion threshold: 3 consecutive silent 2s rounds. Crash windows
+	// (default 8s) overlap more than three round starts, so crashed nodes
+	// are genuinely evicted and must hand state off and rejoin.
 	nodeCfg.FDInterval = 2 * time.Second
 	nodeCfg.FDSuspectAfterMisses = 3
+
+	handoffBefore := handoff.GlobalMetrics()
 
 	sim, emu, host, exp := buildSimCluster(seed, cfg.Nodes, nodeCfg, simOpts...)
 	host.RecordOps = true
@@ -196,6 +224,11 @@ func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnRe
 		HandlerExecutions: mainStats.HandlerExecutions + auditStats.HandlerExecutions,
 	}
 	res.Crashes, res.Restarts, res.Flaps, res.ChurnDropped = emu.ChurnStats()
+	handoffAfter := handoff.GlobalMetrics()
+	res.HandoffKeys = handoffAfter.Keys - handoffBefore.Keys
+	res.HandoffBytes = handoffAfter.Bytes - handoffBefore.Bytes
+	res.HandoffTransfers = handoffAfter.Transfers - handoffBefore.Transfers
+	res.MaxEpoch = handoffAfter.Epoch
 
 	// Build the per-key linearizability history. Failed or unresolved puts
 	// may or may not have taken effect, so they enter as writes with an

@@ -27,9 +27,40 @@ func TestChurnSurvivesChaos(t *testing.T) {
 		if r.LostAckedWrites != 0 {
 			t.Errorf("seed %d: %d keys lost acknowledged writes", seed, r.LostAckedWrites)
 		}
-		t.Logf("seed %d: acked_puts=%d ok_gets=%d failed=%d/%d unresolved=%d churn_dropped=%d",
-			seed, r.AckedPuts, r.OKGets, r.FailedPuts, r.FailedGets, r.UnresolvedOps, r.ChurnDropped)
+		// Fault windows exceed the suspicion threshold, so groups must have
+		// reconfigured: epochs advanced and handoff moved state. Zero here
+		// means the scenario silently stopped exercising reconfiguration.
+		if r.MaxEpoch == 0 {
+			t.Errorf("seed %d: group epoch never advanced", seed)
+		}
+		if r.HandoffTransfers == 0 {
+			t.Errorf("seed %d: no handoff sync rounds completed", seed)
+		}
+		if r.HandoffKeys == 0 {
+			t.Errorf("seed %d: handoff transferred no keys despite eviction-length outages", seed)
+		}
+		t.Logf("seed %d: acked_puts=%d ok_gets=%d failed=%d/%d unresolved=%d churn_dropped=%d handoff_keys=%d handoff_transfers=%d max_epoch=%d",
+			seed, r.AckedPuts, r.OKGets, r.FailedPuts, r.FailedGets, r.UnresolvedOps, r.ChurnDropped,
+			r.HandoffKeys, r.HandoffTransfers, r.MaxEpoch)
 	}
+}
+
+// TestChurnLongOutage runs the long-outage variant: outages double the
+// suspicion threshold, so the ring fully repairs around the dark node and
+// the node must rejoin from its remembered membership when it returns.
+func TestChurnLongOutage(t *testing.T) {
+	r := Churn(11, LongOutageChurnConfig())
+	if !r.Linearizable {
+		t.Errorf("history not linearizable (key %q)", r.NonLinearizableKey)
+	}
+	if r.LostAckedWrites != 0 {
+		t.Errorf("%d keys lost acknowledged writes", r.LostAckedWrites)
+	}
+	if r.AckedPuts == 0 || r.HandoffTransfers == 0 {
+		t.Errorf("scenario inert: acked_puts=%d handoff_transfers=%d", r.AckedPuts, r.HandoffTransfers)
+	}
+	t.Logf("acked_puts=%d ok_gets=%d handoff_keys=%d handoff_transfers=%d max_epoch=%d",
+		r.AckedPuts, r.OKGets, r.HandoffKeys, r.HandoffTransfers, r.MaxEpoch)
 }
 
 // TestChurnDeterministic pins that the whole chaos scenario — fault times,

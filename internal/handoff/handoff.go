@@ -1,0 +1,387 @@
+// Package handoff implements replica-group state handoff: the component
+// that carries stored registers across ring reconfigurations, so quorum
+// operations in a new epoch read state written in the old one (the paper's
+// consistent-quorums reconfiguration, §5). On every epoch-versioned
+// GroupView from the ring it (1) pushes entries this node no longer covers
+// to their new owners, and (2) pulls the key range it now covers from the
+// surviving view members — announcing SyncStarted before and Synced after,
+// which the replication layer uses to refuse acknowledging quorum phases
+// while the transfer is in flight. Transfers reuse the store's version
+// gate, so duplicated or reordered chunks are harmless.
+package handoff
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/kvstore"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/status"
+	"repro/internal/timer"
+)
+
+// SyncStarted announces that a new group view arrived and the node is
+// pulling its covered range: the replica must not ack quorum phases until
+// the matching Synced. Round is a handoff-local monotone counter — per-node
+// epochs are Lamport-merged and therefore not comparable across components,
+// so sync completion is matched by round, not epoch.
+type SyncStarted struct {
+	Epoch uint64
+	Round uint64
+}
+
+// Synced announces that the pull for Round completed (possibly partially,
+// on timeout) with Keys entries / Bytes value bytes applied.
+type Synced struct {
+	Epoch uint64
+	Round uint64
+	Keys  int
+	Bytes int
+}
+
+// PortType is the Handoff abstraction: pure indications consumed by the
+// replication layer.
+var PortType = core.NewPortType("Handoff",
+	core.Indication[SyncStarted](),
+	core.Indication[Synced](),
+)
+
+// Wire messages.
+
+// pullReqMsg asks a view member for the entries the requester covers.
+type pullReqMsg struct {
+	network.Header
+	Epoch     uint64
+	Round     uint64
+	Requester ident.NodeRef
+}
+
+// itemsMsg carries one chunk of entries. Push marks unsolicited transfers
+// (ranges the sender no longer covers); pull answers echo the round and set
+// Done on the final chunk.
+type itemsMsg struct {
+	network.Header
+	Epoch uint64
+	Round uint64
+	Items []kvstore.Entry
+	Done  bool
+	Push  bool
+}
+
+func init() {
+	network.Register(pullReqMsg{})
+	network.Register(itemsMsg{})
+}
+
+type pullTimeout struct {
+	timer.Timeout
+	Round uint64
+}
+
+// Config parameterizes a handoff component.
+type Config struct {
+	// Self is the local node reference.
+	Self ident.NodeRef
+	// Degree is the replication degree used to decide coverage (default 3).
+	Degree int
+	// Store is the register store shared with the ABD replica (required).
+	Store *kvstore.Store
+	// Members optionally supplies a wider membership view (the one-hop
+	// router's table) used when answering pulls; the requester is always
+	// merged in. When nil, responders fall back to their last group view.
+	Members func() []ident.NodeRef
+	// PullTimeout bounds how long a sync round waits for lagging members
+	// before declaring the transfer (partially) complete (default 2s).
+	PullTimeout time.Duration
+	// ChunkSize caps entries per itemsMsg (default 128).
+	ChunkSize int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Degree <= 0 {
+		c.Degree = 3
+	}
+	if c.PullTimeout <= 0 {
+		c.PullTimeout = 2 * time.Second
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 128
+	}
+}
+
+// Handoff is the state-handoff component: provides Handoff, requires Ring,
+// Network, and Timer.
+type Handoff struct {
+	cfg Config
+
+	ctx *core.Ctx
+	hop *core.Port
+	rng *core.Port
+	net *core.Port
+	tmr *core.Port
+
+	// Sync-round state; mutated only in handlers (component-serial).
+	epoch   uint64
+	round   uint64
+	syncing bool
+	pending map[network.Address]struct{}
+	view    []ident.NodeRef // last group-view members (responder fallback)
+	tid     timer.ID
+
+	roundKeys  int
+	roundBytes int
+
+	// Counters for status reporting.
+	rounds, partials, abandoned uint64
+	pullsServed, pushesSent     uint64
+	keysIn, bytesIn             uint64
+}
+
+// New creates a handoff component definition. Store must be the same
+// instance the node's ABD replica serves from.
+func New(cfg Config) *Handoff {
+	cfg.applyDefaults()
+	if cfg.Store == nil {
+		panic("handoff: Config.Store is required")
+	}
+	return &Handoff{cfg: cfg, pending: make(map[network.Address]struct{})}
+}
+
+var _ core.Definition = (*Handoff)(nil)
+
+// Setup declares ports and handlers.
+func (h *Handoff) Setup(ctx *core.Ctx) {
+	h.ctx = ctx
+	h.hop = ctx.Provides(PortType)
+	h.rng = ctx.Requires(ring.PortType)
+	h.net = ctx.Requires(network.PortType)
+	h.tmr = ctx.Requires(timer.PortType)
+
+	st := ctx.Provides(status.PortType)
+	core.Subscribe(ctx, st, func(q status.Request) {
+		syncing := int64(0)
+		if h.syncing {
+			syncing = 1
+		}
+		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "handoff", Metrics: map[string]int64{
+			"epoch":        int64(h.epoch),
+			"rounds":       int64(h.rounds),
+			"partials":     int64(h.partials),
+			"abandoned":    int64(h.abandoned),
+			"pulls_served": int64(h.pullsServed),
+			"pushes_sent":  int64(h.pushesSent),
+			"keys_in":      int64(h.keysIn),
+			"bytes_in":     int64(h.bytesIn),
+			"syncing":      syncing,
+		}}, st)
+	})
+
+	core.Subscribe(ctx, h.rng, h.handleGroupView)
+	core.Subscribe(ctx, h.net, h.handlePullReq)
+	core.Subscribe(ctx, h.net, h.handleItems)
+	core.Subscribe(ctx, h.tmr, h.handleTimeout)
+}
+
+// handleGroupView starts a sync round for the new view: push what this node
+// released, pull what it now covers. An in-flight round is abandoned — its
+// Synced will never fire, but the replication layer matches rounds, so the
+// fresh SyncStarted supersedes it.
+func (h *Handoff) handleGroupView(v ring.GroupView) {
+	if h.syncing {
+		h.abandoned++
+		h.ctx.Trigger(timer.CancelTimeout{ID: h.tid}, h.tmr)
+		h.syncing = false
+	}
+	h.epoch = v.Epoch
+	h.round++
+	observeEpoch(v.Epoch)
+	h.view = v.Members
+
+	h.pushReleased(v)
+
+	targets := make([]ident.NodeRef, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m.Addr != h.cfg.Self.Addr && !m.IsZero() {
+			targets = append(targets, m)
+		}
+	}
+
+	h.ctx.Trigger(SyncStarted{Epoch: h.epoch, Round: h.round}, h.hop)
+	h.roundKeys, h.roundBytes = 0, 0
+	if len(targets) == 0 {
+		h.finishRound()
+		return
+	}
+	h.syncing = true
+	h.pending = make(map[network.Address]struct{}, len(targets))
+	for _, t := range targets {
+		h.pending[t.Addr] = struct{}{}
+		h.ctx.Trigger(pullReqMsg{
+			Header:    network.NewHeader(h.cfg.Self.Addr, t.Addr),
+			Epoch:     h.epoch,
+			Round:     h.round,
+			Requester: h.cfg.Self,
+		}, h.net)
+	}
+	h.tid = timer.NextID()
+	h.ctx.Trigger(timer.ScheduleTimeout{
+		Delay:   h.cfg.PullTimeout,
+		Timeout: pullTimeout{Timeout: timer.Timeout{ID: h.tid}, Round: h.round},
+	}, h.tmr)
+}
+
+// pushReleased sends every stored entry this node no longer replicates to
+// its current owners. Entries are never deleted locally — extra copies are
+// harmless, lost ones are not.
+func (h *Handoff) pushReleased(v ring.GroupView) {
+	if len(v.Members) < 2 {
+		return
+	}
+	perOwner := make(map[network.Address][]kvstore.Entry)
+	owners := make([]ident.NodeRef, 0, h.cfg.Degree)
+	for _, e := range h.cfg.Store.Entries() {
+		group := ident.SuccessorsOf(v.Members, ident.KeyOfString(e.Key), h.cfg.Degree)
+		covered := false
+		owners = owners[:0]
+		for _, o := range group {
+			if o.Addr == h.cfg.Self.Addr {
+				covered = true
+			} else {
+				owners = append(owners, o)
+			}
+		}
+		if covered {
+			continue
+		}
+		for _, o := range owners {
+			perOwner[o.Addr] = append(perOwner[o.Addr], e)
+		}
+	}
+	// Iterate owners in the deterministic member order, not map order.
+	for _, m := range v.Members {
+		items, ok := perOwner[m.Addr]
+		if !ok {
+			continue
+		}
+		for start := 0; start < len(items); start += h.cfg.ChunkSize {
+			end := start + h.cfg.ChunkSize
+			if end > len(items) {
+				end = len(items)
+			}
+			h.ctx.Trigger(itemsMsg{
+				Header: network.NewHeader(h.cfg.Self.Addr, m.Addr),
+				Epoch:  h.epoch,
+				Round:  h.round,
+				Items:  items[start:end],
+				Done:   end == len(items),
+				Push:   true,
+			}, h.net)
+		}
+		h.pushesSent++
+	}
+}
+
+// handlePullReq answers with the entries the requester covers, judged
+// against this node's membership view merged with the requester (the
+// requester may be absent from a stale view). Chunked; the final chunk —
+// or an empty answer — carries Done.
+func (h *Handoff) handlePullReq(m pullReqMsg) {
+	members := h.view
+	if h.cfg.Members != nil {
+		members = h.cfg.Members()
+	}
+	merged := make([]ident.NodeRef, 0, len(members)+1)
+	merged = append(merged, members...)
+	merged = append(merged, m.Requester)
+	ident.SortByKey(merged)
+	merged = ident.Dedup(merged)
+
+	var items []kvstore.Entry
+	for _, e := range h.cfg.Store.Entries() {
+		group := ident.SuccessorsOf(merged, ident.KeyOfString(e.Key), h.cfg.Degree)
+		for _, o := range group {
+			if o.Addr == m.Requester.Addr {
+				items = append(items, e)
+				break
+			}
+		}
+	}
+	h.pullsServed++
+	if len(items) == 0 {
+		h.ctx.Trigger(itemsMsg{Header: network.Reply(m), Epoch: m.Epoch, Round: m.Round, Done: true}, h.net)
+		return
+	}
+	for start := 0; start < len(items); start += h.cfg.ChunkSize {
+		end := start + h.cfg.ChunkSize
+		if end > len(items) {
+			end = len(items)
+		}
+		h.ctx.Trigger(itemsMsg{
+			Header: network.Reply(m),
+			Epoch:  m.Epoch,
+			Round:  m.Round,
+			Items:  items[start:end],
+			Done:   end == len(items),
+		}, h.net)
+	}
+}
+
+// handleItems applies a transfer chunk. Pushes apply unconditionally (the
+// version gate discards stale data); pull answers additionally advance the
+// current sync round.
+func (h *Handoff) handleItems(m itemsMsg) {
+	applied, bytes := 0, 0
+	for _, e := range m.Items {
+		if h.cfg.Store.Apply(e.Key, e.Version, e.Value) {
+			applied++
+			bytes += len(e.Value)
+		}
+	}
+	if applied > 0 {
+		h.keysIn += uint64(applied)
+		h.bytesIn += uint64(bytes)
+		addTransferred(uint64(applied), uint64(bytes))
+	}
+	if m.Push {
+		return
+	}
+	if !h.syncing || m.Round != h.round {
+		return // answer for an abandoned round
+	}
+	h.roundKeys += applied
+	h.roundBytes += bytes
+	if m.Done {
+		delete(h.pending, m.Src)
+		if len(h.pending) == 0 {
+			h.ctx.Trigger(timer.CancelTimeout{ID: h.tid}, h.tmr)
+			h.finishRound()
+		}
+	}
+}
+
+// handleTimeout declares a lagging round (partially) complete: waiting
+// forever would block acknowledgements in the new epoch indefinitely, which
+// is worse than serving with whatever transferred — quorum intersection
+// still covers the gap for any write acked before the view change.
+func (h *Handoff) handleTimeout(t pullTimeout) {
+	if !h.syncing || t.Round != h.round {
+		return
+	}
+	h.partials++
+	h.finishRound()
+}
+
+func (h *Handoff) finishRound() {
+	h.syncing = false
+	h.rounds++
+	addTransfer()
+	h.ctx.Trigger(Synced{Epoch: h.epoch, Round: h.round, Keys: h.roundKeys, Bytes: h.roundBytes}, h.hop)
+}
+
+// Round returns the current sync round (tests).
+func (h *Handoff) Round() uint64 { return h.round }
+
+// Syncing reports whether a pull round is in flight (tests).
+func (h *Handoff) Syncing() bool { return h.syncing }

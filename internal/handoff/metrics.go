@@ -1,0 +1,73 @@
+// Process-wide handoff counters, following the internal/network pattern:
+// plain atomics aggregated across every handoff component in the process
+// (one per node in simulations), exposed through the web metrics-source
+// registry and the monitor's runtime rollups. Counters only ever grow, so
+// experiment reports print deltas.
+package handoff
+
+import (
+	"sync/atomic"
+
+	"repro/internal/web"
+)
+
+var (
+	keysTotal      atomic.Uint64
+	bytesTotal     atomic.Uint64
+	transfersTotal atomic.Uint64
+	epochGauge     atomic.Uint64
+)
+
+// Metrics is a snapshot of the process-wide handoff counters.
+type Metrics struct {
+	// Keys is the number of entries applied from handoff transfers.
+	Keys uint64
+	// Bytes is the value bytes applied from handoff transfers.
+	Bytes uint64
+	// Transfers is the number of completed sync rounds.
+	Transfers uint64
+	// Epoch is the highest group-view epoch observed by any handoff
+	// component in the process.
+	Epoch uint64
+}
+
+// GlobalMetrics snapshots the process-wide handoff counters.
+func GlobalMetrics() Metrics {
+	return Metrics{
+		Keys:      keysTotal.Load(),
+		Bytes:     bytesTotal.Load(),
+		Transfers: transfersTotal.Load(),
+		Epoch:     epochGauge.Load(),
+	}
+}
+
+func addTransferred(keys, bytes uint64) {
+	keysTotal.Add(keys)
+	bytesTotal.Add(bytes)
+}
+
+func addTransfer() { transfersTotal.Add(1) }
+
+// observeEpoch raises the process-wide epoch gauge monotonically.
+func observeEpoch(e uint64) {
+	for {
+		cur := epochGauge.Load()
+		if e <= cur || epochGauge.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+func init() {
+	web.RegisterMetricsSource("handoff", func(m *web.MetricsWriter) {
+		s := GlobalMetrics()
+		m.Header("cats_handoff_keys_total", "counter", "Entries applied from handoff transfers.")
+		m.Counter("cats_handoff_keys_total", s.Keys)
+		m.Header("cats_handoff_bytes_total", "counter", "Value bytes applied from handoff transfers.")
+		m.Counter("cats_handoff_bytes_total", s.Bytes)
+		m.Header("cats_handoff_transfers_total", "counter", "Completed handoff sync rounds.")
+		m.Counter("cats_handoff_transfers_total", s.Transfers)
+		m.Header("cats_group_epoch", "gauge", "Highest replica-group epoch observed in this process.")
+		m.Gauge("cats_group_epoch", float64(s.Epoch))
+	})
+}

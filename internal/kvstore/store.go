@@ -1,0 +1,140 @@
+// Package kvstore holds the versioned register store shared by the
+// replication layer (internal/abd) and the state-handoff component
+// (internal/handoff). It was factored out of internal/abd when handoff
+// arrived: both components live on different scheduler workers inside one
+// node and touch the same records, so the store is mutex-protected, and
+// handoff needs deterministic whole-store and key-range iteration that the
+// replica read/write path never did.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// Version orders writes totally: by sequence number, ties broken by writer
+// identity. The zero Version precedes every real write.
+type Version struct {
+	Seq    uint64
+	Writer uint64
+}
+
+// Less reports whether v precedes o in the total write order.
+func (v Version) Less(o Version) bool {
+	if v.Seq != o.Seq {
+		return v.Seq < o.Seq
+	}
+	return v.Writer < o.Writer
+}
+
+// IsZero reports whether the version denotes "never written".
+func (v Version) IsZero() bool { return v == Version{} }
+
+// String renders seq.writer.
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Seq, v.Writer) }
+
+// Entry is one stored register with its key — the unit of state handoff.
+type Entry struct {
+	Key     string
+	Version Version
+	Value   []byte
+}
+
+// record is one stored register.
+type record struct {
+	version Version
+	value   []byte
+}
+
+// Store is a node-local versioned key-value store: the register memory of
+// one replica. It applies writes only when they advance the version, which
+// makes replica application idempotent and order-insensitive — handoff
+// transfers reuse Apply, so receiving the same range twice (or a range
+// older than local state) is harmless. The mutex makes it safe to share
+// between the ABD replica and the handoff component of one node.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]record
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{m: make(map[string]record)}
+}
+
+// Read returns the stored version and value for key (zero version when
+// never written).
+func (s *Store) Read(key string) (Version, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
+	return r.version, r.value, ok
+}
+
+// Apply stores (version, value) under key iff version advances the stored
+// one. Zero-version writes are rejected: they denote "never written" and
+// must not materialize a record. It reports whether the write was applied.
+func (s *Store) Apply(key string, v Version, value []byte) bool {
+	if v.IsZero() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.m[key]
+	if ok && !cur.version.Less(v) {
+		return false
+	}
+	s.m[key] = record{version: v, value: value}
+	return true
+}
+
+// Len returns the number of keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Keys returns all stored keys (status/debugging).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Entries returns every stored record, sorted by key. The sort makes
+// iteration deterministic — handoff transfers derived from it must be
+// byte-identical across simulation runs of one seed.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.m))
+	for k, r := range s.m {
+		out = append(out, Entry{Key: k, Version: r.version, Value: r.value})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// EntriesInRange returns the stored records whose hashed key falls in the
+// ring interval (from, to], sorted by key — the "covered key range" a
+// handoff pull assembles. When from == to the interval is the whole ring.
+func (s *Store) EntriesInRange(from, to ident.Key) []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.m))
+	for k, r := range s.m {
+		if ident.KeyOfString(k).InHalfOpenInterval(from, to) {
+			out = append(out, Entry{Key: k, Version: r.version, Value: r.value})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

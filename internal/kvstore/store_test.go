@@ -1,0 +1,88 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func TestEntriesSortedAndComplete(t *testing.T) {
+	s := New()
+	keys := []string{"delta", "alpha", "charlie", "bravo"}
+	for i, k := range keys {
+		if !s.Apply(k, Version{Seq: uint64(i + 1), Writer: 7}, []byte(k)) {
+			t.Fatalf("apply %q rejected", k)
+		}
+	}
+	es := s.Entries()
+	if len(es) != len(keys) {
+		t.Fatalf("entries %d, want %d", len(es), len(keys))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key >= es[i].Key {
+			t.Fatalf("entries not sorted: %q >= %q", es[i-1].Key, es[i].Key)
+		}
+	}
+	if es[0].Key != "alpha" || string(es[0].Value) != "alpha" {
+		t.Fatalf("first entry %+v", es[0])
+	}
+}
+
+func TestEntriesInRangeFiltersByHashedKey(t *testing.T) {
+	s := New()
+	const n = 64
+	for i := 0; i < n; i++ {
+		s.Apply(fmt.Sprintf("k-%d", i), Version{Seq: 1, Writer: 1}, nil)
+	}
+	// Split the ring at an arbitrary point: the two half-open halves must
+	// partition the key set exactly.
+	mid := ident.Key(1) << 63
+	lo := s.EntriesInRange(0, mid)
+	hi := s.EntriesInRange(mid, 0)
+	if len(lo)+len(hi) != n {
+		t.Fatalf("halves %d+%d, want %d", len(lo), len(hi), n)
+	}
+	for _, e := range lo {
+		if !ident.KeyOfString(e.Key).InHalfOpenInterval(0, mid) {
+			t.Fatalf("entry %q outside (0, mid]", e.Key)
+		}
+	}
+	// A full-ring interval (from == to) returns everything.
+	if all := s.EntriesInRange(42, 42); len(all) != n {
+		t.Fatalf("full ring %d, want %d", len(all), n)
+	}
+	// Deterministic order.
+	for i := 1; i < len(lo); i++ {
+		if lo[i-1].Key >= lo[i].Key {
+			t.Fatalf("range entries not sorted")
+		}
+	}
+}
+
+// The store is shared between the ABD replica and the handoff component of
+// one node, which run on different scheduler workers: concurrent reads,
+// writes, and range iterations must be safe (run under -race).
+func TestConcurrentApplyAndIterate(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Apply(fmt.Sprintf("k-%d", i%32), Version{Seq: uint64(i + 1), Writer: uint64(w)}, []byte{byte(i)})
+				if i%16 == 0 {
+					_ = s.Entries()
+					_ = s.EntriesInRange(0, ident.Key(1)<<63)
+					_, _, _ = s.Read(fmt.Sprintf("k-%d", i%32))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 32 {
+		t.Fatalf("len %d, want 32", s.Len())
+	}
+}

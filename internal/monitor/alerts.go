@@ -18,6 +18,16 @@ import (
 // reporting period count as a storm rather than routine churn.
 const alertReconnectStormThreshold = 5
 
+// Scheduler deque-depth alerting. A node's reported sched.max_depth is an
+// all-time high-water mark, so the server keeps a decaying copy per node
+// (halved every reporting period, refreshed to any new maximum) and the
+// rule fires only while the decayed mark stays above the threshold for two
+// consecutive periods — a sustained backlog, not one historical burst.
+const (
+	alertDequeDepthThreshold = 256
+	dequeDepthDecay          = 0.5
+)
+
 // Alert is one firing rule instance for one node.
 type Alert struct {
 	Node   string
@@ -34,7 +44,8 @@ type AlertRule struct {
 }
 
 // DefaultAlertRules returns the built-in rule set: send-queue overflow
-// growth, handler fault spikes, and peer reconnect storms.
+// growth, handler fault spikes, peer reconnect storms, and sustained
+// scheduler deque depth.
 func DefaultAlertRules() []AlertRule {
 	return []AlertRule{
 		{Name: "dropped-full-growth", Fire: func(prev, cur map[string]int64) string {
@@ -52,6 +63,13 @@ func DefaultAlertRules() []AlertRule {
 		{Name: "reconnect-storm", Fire: func(prev, cur map[string]int64) string {
 			if d := cur["net.reconnects"] - prev["net.reconnects"]; d >= alertReconnectStormThreshold {
 				return fmt.Sprintf("%d peer reconnects in the last period", d)
+			}
+			return ""
+		}},
+		{Name: "deque-depth-sustained", Fire: func(prev, cur map[string]int64) string {
+			p, c := prev["sched.max_depth_hwm"], cur["sched.max_depth_hwm"]
+			if p >= alertDequeDepthThreshold && c >= alertDequeDepthThreshold {
+				return fmt.Sprintf("scheduler deque depth high-water mark at %d (decayed) across consecutive periods", c)
 			}
 			return ""
 		}},
@@ -73,12 +91,24 @@ func EvaluateAlerts(rules []AlertRule, node string, prev, cur map[string]int64) 
 // observeRuntime folds a node's fresh runtime rollup into the alert state:
 // rules fire against the previous rollup (a node's first report only seeds
 // the baseline), and the node's firing set is replaced each round so healed
-// conditions clear.
+// conditions clear. The rollup is augmented with the synthetic
+// sched.max_depth_hwm series — the decaying high-water mark the deque-depth
+// rule evaluates — so rules stay pure functions of two metric maps.
 func (s *Server) observeRuntime(node string, cur map[string]int64) {
-	if prev, ok := s.prevRuntime[node]; ok {
-		s.alerts[node] = EvaluateAlerts(s.rules, node, prev, cur)
+	c := make(map[string]int64, len(cur)+1)
+	for k, v := range cur {
+		c[k] = v
 	}
-	s.prevRuntime[node] = cur
+	hwm := float64(s.depthHWM[node]) * dequeDepthDecay
+	if d := float64(cur["sched.max_depth"]); d > hwm {
+		hwm = d
+	}
+	s.depthHWM[node] = int64(hwm)
+	c["sched.max_depth_hwm"] = int64(hwm)
+	if prev, ok := s.prevRuntime[node]; ok {
+		s.alerts[node] = EvaluateAlerts(s.rules, node, prev, c)
+	}
+	s.prevRuntime[node] = c
 }
 
 // Alerts returns every firing alert, sorted by node then rule order.

@@ -124,9 +124,14 @@ func TestAlertsGolden(t *testing.T) {
 }
 
 // TestAlertThresholds pins the rule edges: a reconnect delta below the
-// storm threshold stays silent while drops and faults fire on any growth.
+// storm threshold stays silent while drops and faults fire on any growth,
+// and the deque-depth rule needs the decayed mark above threshold in BOTH
+// periods.
 func TestAlertThresholds(t *testing.T) {
 	rules := DefaultAlertRules()
+	if len(rules) != 4 {
+		t.Fatalf("default rule count %d, want 4", len(rules))
+	}
 	prev := map[string]int64{"net.dropped": 5, "faults": 2, "net.reconnects": 10}
 
 	quiet := map[string]int64{"net.dropped": 5, "faults": 2, "net.reconnects": 14}
@@ -136,11 +141,66 @@ func TestAlertThresholds(t *testing.T) {
 	noisy := map[string]int64{"net.dropped": 6, "faults": 3, "net.reconnects": 15}
 	got := EvaluateAlerts(rules, "n", prev, noisy)
 	if len(got) != 3 {
-		t.Fatalf("want all three rules firing, got %+v", got)
+		t.Fatalf("want three rules firing, got %+v", got)
 	}
 	for i, rule := range []string{"dropped-full-growth", "fault-spike", "reconnect-storm"} {
 		if got[i].Rule != rule || got[i].Node != "n" {
 			t.Fatalf("alert %d = %+v, want rule %s", i, got[i], rule)
 		}
+	}
+
+	// Deque depth: a single high period is a burst, not sustained.
+	burst := EvaluateAlerts(rules, "n",
+		map[string]int64{"sched.max_depth_hwm": 10},
+		map[string]int64{"sched.max_depth_hwm": 500})
+	if len(burst) != 0 {
+		t.Fatalf("one-period depth burst fired: %+v", burst)
+	}
+	sustained := EvaluateAlerts(rules, "n",
+		map[string]int64{"sched.max_depth_hwm": 300},
+		map[string]int64{"sched.max_depth_hwm": 260})
+	if len(sustained) != 1 || sustained[0].Rule != "deque-depth-sustained" {
+		t.Fatalf("sustained depth: %+v, want deque-depth-sustained", sustained)
+	}
+	edge := EvaluateAlerts(rules, "n",
+		map[string]int64{"sched.max_depth_hwm": 300},
+		map[string]int64{"sched.max_depth_hwm": 255})
+	if len(edge) != 0 {
+		t.Fatalf("below-threshold depth fired: %+v", edge)
+	}
+}
+
+// TestDequeDepthAlertGolden drives the decaying high-water mark end to
+// end: a reported burst alone never fires, a sustained backlog fires with
+// exact output, and after the backlog clears the decay halves the mark
+// back under threshold and the alert clears — even though the node's
+// reported all-time max never decreases.
+func TestDequeDepthAlertGolden(t *testing.T) {
+	w := newAlertWorld(t)
+	w.rtm.metrics["sched.max_depth"] = 0
+	w.sim.Run(1100 * time.Millisecond) // baseline rounds
+
+	// The node's max-depth HWM jumps to 600 and, being an all-time max,
+	// stays there. Two reporting periods later the alert is firing.
+	w.rtm.metrics["sched.max_depth"] = 600
+	w.sim.Run(2 * time.Second)
+	got := w.alertsPage(t, 1)
+	want := "CATS alerts: 1 firing\n" +
+		"\n" +
+		"node-1 deque-depth-sustained: scheduler deque depth high-water mark at 600 (decayed) across consecutive periods\n"
+	if got.Body != want {
+		t.Fatalf("sustained depth alerts page:\ngot:\n%q\nwant:\n%q", got.Body, want)
+	}
+
+	// The backlog drains: the node keeps reporting max_depth 600 forever
+	// (all-time max), but the server-side decayed mark only tracks fresh
+	// reports of the same magnitude. Simulate the drain by the node
+	// reporting a low current depth again.
+	w.rtm.metrics["sched.max_depth"] = 0
+	// 600 → 300 → 150: two periods later the mark is under 256 in both
+	// compared rollups.
+	w.sim.Run(2 * time.Second)
+	if got := w.alertsPage(t, 2); got.Body != "CATS alerts: none firing\n" {
+		t.Fatalf("depth alert did not decay clear:\n%q", got.Body)
 	}
 }

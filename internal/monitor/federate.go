@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/web"
+)
+
+// Metrics federation: the monitor server already learns every node's web
+// listen address from its reports, so /federate scrapes each node's
+// /metrics endpoint, stamps every sample with a node="..." label, and
+// serves the merged exposition — one scrape target for a Prometheus that
+// cannot reach (or does not want to enumerate) the individual nodes.
+
+// Federator scrapes node /metrics endpoints in parallel and merges the
+// results. It is plain Go (no component state) so it can be unit-tested
+// against httptest servers.
+type Federator struct {
+	client *http.Client
+}
+
+// NewFederator creates a federator whose per-node scrapes time out after
+// timeout (default 2s).
+func NewFederator(timeout time.Duration) *Federator {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Federator{client: &http.Client{Timeout: timeout}}
+}
+
+// scrapeResult is one node's scrape outcome.
+type scrapeResult struct {
+	node string
+	body []byte
+	err  error
+}
+
+// Scrape fetches host/metrics from every target (node name → host:port),
+// in parallel, and returns the merged exposition: each node's samples
+// labeled with its name, failed nodes recorded as comments so the output
+// still says who was unreachable. Output order is sorted by node name.
+func (f *Federator) Scrape(targets map[string]string) string {
+	names := make([]string, 0, len(targets))
+	for n := range targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	results := make([]scrapeResult, len(names))
+	var wg sync.WaitGroup
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, node, host string) {
+			defer wg.Done()
+			body, err := f.fetch("http://" + host + "/metrics")
+			results[i] = scrapeResult{node: node, body: body, err: err}
+		}(i, n, targets[n])
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# CATS federation: %d nodes\n", len(names))
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(&b, "# node %s: scrape failed: %v\n", r.node, r.err)
+			continue
+		}
+		b.WriteString(InjectNodeLabel(string(r.body), r.node))
+	}
+	return b.String()
+}
+
+func (f *Federator) fetch(url string) ([]byte, error) {
+	resp, err := f.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// InjectNodeLabel rewrites a Prometheus text exposition so every sample
+// carries node="name": comment and blank lines pass through, labeled
+// samples get the node label prepended, bare samples gain a label set.
+func InjectNodeLabel(body, node string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			if line != "" {
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		case strings.Contains(line, "{"):
+			b.WriteString(strings.Replace(line, "{", `{node="`+node+`",`, 1))
+			b.WriteByte('\n')
+		default:
+			sp := strings.IndexAny(line, " \t")
+			if sp < 0 {
+				b.WriteString(line)
+				b.WriteByte('\n')
+				continue
+			}
+			fmt.Fprintf(&b, "%s{node=%q}%s\n", line[:sp], node, line[sp:])
+		}
+	}
+	return b.String()
+}
+
+// renderFederate serves the merged scrape of every reporting node that
+// advertised a metrics URL.
+func (s *Server) renderFederate(r web.Request) {
+	s.expire()
+	targets := make(map[string]string)
+	for name, v := range s.views {
+		if v.MetricsURL != "" {
+			targets[name] = v.MetricsURL
+		}
+	}
+	s.ctx.Trigger(web.Response{
+		ReqID:       r.ReqID,
+		Status:      200,
+		ContentType: "text/plain; version=0.0.4; charset=utf-8",
+		Body:        s.fed.Scrape(targets),
+	}, s.webP)
+}

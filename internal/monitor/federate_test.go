@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/web"
+)
+
+func TestInjectNodeLabel(t *testing.T) {
+	in := "# HELP cats_demo A demo counter\n" +
+		"# TYPE cats_demo counter\n" +
+		"cats_demo 42\n" +
+		"cats_labeled{worker=\"3\"} 7\n" +
+		"\n"
+	got := InjectNodeLabel(in, "node-1")
+	want := "# HELP cats_demo A demo counter\n" +
+		"# TYPE cats_demo counter\n" +
+		"cats_demo{node=\"node-1\"} 42\n" +
+		"cats_labeled{node=\"node-1\",worker=\"3\"} 7\n"
+	if got != want {
+		t.Fatalf("labeled exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFederatorScrape runs two fake node /metrics endpoints plus one dead
+// target and checks the merged output: every live sample node-labeled,
+// nodes sorted, the dead node reported as a comment.
+func TestFederatorScrape(t *testing.T) {
+	mkSrv := func(body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write([]byte(body))
+		}))
+	}
+	s1 := mkSrv("cats_group_epoch 5\n")
+	defer s1.Close()
+	s2 := mkSrv("cats_handoff_keys_total{dir=\"in\"} 9\n")
+	defer s2.Close()
+
+	f := NewFederator(time.Second)
+	out := f.Scrape(map[string]string{
+		"node-b": strings.TrimPrefix(s2.URL, "http://"),
+		"node-a": strings.TrimPrefix(s1.URL, "http://"),
+		"node-c": "127.0.0.1:1", // nothing listens here
+	})
+
+	if !strings.HasPrefix(out, "# CATS federation: 3 nodes\n") {
+		t.Fatalf("missing federation header:\n%s", out)
+	}
+	for _, want := range []string{
+		"cats_group_epoch{node=\"node-a\"} 5\n",
+		"cats_handoff_keys_total{node=\"node-b\",dir=\"in\"} 9\n",
+		"# node node-c: scrape failed:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federated output missing %q:\n%s", want, out)
+		}
+	}
+	// node-a's samples come before node-b's (sorted merge).
+	if strings.Index(out, "node-a") > strings.Index(out, `node="node-b"`) {
+		t.Fatalf("nodes not sorted:\n%s", out)
+	}
+}
+
+// TestFederateEndpointEmpty drives the component-level /federate path with
+// no advertised metrics URLs: still a valid exposition, zero nodes.
+func TestFederateEndpointEmpty(t *testing.T) {
+	sim, _, srv := newMonitorWorld(t)
+	sim.Run(3 * time.Second)
+	srv.ctx.Trigger(web.Request{ReqID: 1, Path: "/federate"}, srv.webOuter)
+	sim.Run(10 * time.Millisecond)
+	if len(srv.pages) != 1 {
+		t.Fatalf("responses: %d", len(srv.pages))
+	}
+	p := srv.pages[0]
+	if p.Status != 200 || !strings.HasPrefix(p.Body, "# CATS federation: 0 nodes\n") {
+		t.Fatalf("federate response: %+v", p)
+	}
+	if !strings.Contains(p.ContentType, "text/plain") {
+		t.Fatalf("content type: %q", p.ContentType)
+	}
+}

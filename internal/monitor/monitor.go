@@ -20,10 +20,13 @@ import (
 )
 
 // reportMsg carries a node's aggregated status to the monitor server.
+// MetricsURL, when non-empty, is the node's web listen address — the
+// scrape target the server's /federate endpoint proxies.
 type reportMsg struct {
 	network.Header
-	Node      string
-	Snapshots []status.Response
+	Node       string
+	MetricsURL string
+	Snapshots  []status.Response
 }
 
 func init() {
@@ -41,6 +44,10 @@ type ClientConfig struct {
 	Server network.Address
 	// NodeName labels this node in the global view.
 	NodeName string
+	// MetricsURL is the node's web listen address (host:port), advertised
+	// to the server so /federate can scrape this node's /metrics (empty:
+	// node not federated).
+	MetricsURL string
 	// Period is the collection interval (default 2s).
 	Period time.Duration
 }
@@ -104,9 +111,10 @@ func (c *Client) Setup(ctx *core.Ctx) {
 func (c *Client) handleTick(collectTimeout) {
 	if len(c.pending) > 0 && !c.cfg.Server.IsZero() {
 		c.ctx.Trigger(reportMsg{
-			Header:    network.NewHeader(c.cfg.Self, c.cfg.Server),
-			Node:      c.cfg.NodeName,
-			Snapshots: c.pending,
+			Header:     network.NewHeader(c.cfg.Self, c.cfg.Server),
+			Node:       c.cfg.NodeName,
+			MetricsURL: c.cfg.MetricsURL,
+			Snapshots:  c.pending,
 		}, c.net)
 	}
 	c.pending = nil
@@ -130,9 +138,10 @@ func (c *Client) Pending() []status.Response {
 
 // NodeView is the server's last report from one node.
 type NodeView struct {
-	Node      string
-	Received  time.Time
-	Snapshots []status.Response
+	Node       string
+	MetricsURL string
+	Received   time.Time
+	Snapshots  []status.Response
 }
 
 // ServerConfig parameterizes a MonitorServer.
@@ -145,6 +154,9 @@ type ServerConfig struct {
 	// AlertRules evaluated over each node's consecutive runtime rollups
 	// (nil: DefaultAlertRules).
 	AlertRules []AlertRule
+	// ScrapeTimeout bounds each /federate per-node metrics scrape
+	// (default 2s).
+	ScrapeTimeout time.Duration
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -166,6 +178,9 @@ type Server struct {
 	rules       []AlertRule
 	prevRuntime map[string]map[string]int64
 	alerts      map[string][]Alert
+	depthHWM    map[string]int64
+
+	fed *Federator
 }
 
 // NewServer creates a monitor server component definition.
@@ -181,6 +196,8 @@ func NewServer(cfg ServerConfig) *Server {
 		rules:       rules,
 		prevRuntime: make(map[string]map[string]int64),
 		alerts:      make(map[string][]Alert),
+		depthHWM:    make(map[string]int64),
+		fed:         NewFederator(cfg.ScrapeTimeout),
 	}
 }
 
@@ -197,7 +214,7 @@ func (s *Server) Setup(ctx *core.Ctx) {
 }
 
 func (s *Server) handleReport(m reportMsg) {
-	s.views[m.Node] = NodeView{Node: m.Node, Received: s.ctx.Now(), Snapshots: m.Snapshots}
+	s.views[m.Node] = NodeView{Node: m.Node, MetricsURL: m.MetricsURL, Received: s.ctx.Now(), Snapshots: m.Snapshots}
 	for _, snap := range m.Snapshots {
 		if snap.Component == "runtime" {
 			s.observeRuntime(m.Node, snap.Metrics)
@@ -207,10 +224,14 @@ func (s *Server) handleReport(m reportMsg) {
 }
 
 // handleWeb renders the global view as a plain HTML page; /alerts serves
-// the firing alert list instead.
+// the firing alert list, /federate the merged per-node metrics scrape.
 func (s *Server) handleWeb(r web.Request) {
 	if r.Path == "/alerts" {
 		s.renderAlerts(r)
+		return
+	}
+	if r.Path == "/federate" {
+		s.renderFederate(r)
 		return
 	}
 	s.expire()
@@ -253,6 +274,7 @@ func (s *Server) expire() {
 			delete(s.views, n)
 			delete(s.prevRuntime, n)
 			delete(s.alerts, n)
+			delete(s.depthHWM, n)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"repro/internal/core"
+	"repro/internal/handoff"
 	"repro/internal/network"
 	"repro/internal/status"
 )
@@ -82,5 +83,10 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 	if s.Trace.Enabled {
 		m["trace.records"] = int64(s.Trace.Records)
 	}
+	h := handoff.GlobalMetrics()
+	m["handoff.keys"] = int64(h.Keys)
+	m["handoff.bytes"] = int64(h.Bytes)
+	m["handoff.transfers"] = int64(h.Transfers)
+	m["group.epoch"] = int64(h.Epoch)
 	return m
 }

@@ -3,7 +3,12 @@
 // seed, then converge through periodic stabilization (successor-list
 // repair and notify, in the style of Chord), with the failure detector
 // pruning dead neighbors. The ring publishes NeighborsChanged indications
-// that the one-hop router and replication layer consume.
+// that the one-hop router consumes, and — since replica groups became
+// first-class — epoch-versioned GroupView indications: every membership
+// change advances a monotone epoch (Lamport-merged with epochs observed on
+// the wire, so epochs across nodes converge), which the replication layer
+// stamps on quorum phases and the handoff component uses to version state
+// transfer (the paper's consistent-quorums reconfiguration).
 package ring
 
 import (
@@ -32,6 +37,34 @@ type NeighborsChanged struct {
 	Succs []ident.NodeRef
 }
 
+// KeyRange is the half-open ring interval (From, To] — the keys a node is
+// the primary replica for. From == To denotes the whole ring (a founder
+// with no predecessor).
+type KeyRange struct {
+	From ident.Key
+	To   ident.Key
+}
+
+// Contains reports whether k falls in the range.
+func (r KeyRange) Contains(k ident.Key) bool { return k.InHalfOpenInterval(r.From, r.To) }
+
+// GroupView is the epoch-versioned replica-group view: published alongside
+// NeighborsChanged on every membership change, it makes group composition
+// explicit instead of something quorum operations discover by accident.
+// Epoch is monotone per node and Lamport-merged with epochs observed from
+// neighbors, so concurrent views order consistently across the ring.
+type GroupView struct {
+	Epoch uint64
+	// Range is the primary key range of this node: (Pred, Self].
+	Range KeyRange
+	Pred  ident.NodeRef
+	Succs []ident.NodeRef
+	// Members is the sorted, deduplicated neighborhood: self, predecessor,
+	// and the successor list — the nodes state handoff pulls from and
+	// pushes to.
+	Members []ident.NodeRef
+}
+
 // Ready indicates the node has established a successor and participates in
 // the ring.
 type Ready struct {
@@ -42,6 +75,7 @@ type Ready struct {
 var PortType = core.NewPortType("Ring",
 	core.Request[Join](),
 	core.Indication[NeighborsChanged](),
+	core.Indication[GroupView](),
 	core.Indication[Ready](),
 )
 
@@ -55,6 +89,7 @@ type joinReqMsg struct {
 type joinRespMsg struct {
 	network.Header
 	Members []ident.NodeRef
+	Epoch   uint64
 }
 
 type stabilizeReqMsg struct {
@@ -65,11 +100,13 @@ type stabilizeRespMsg struct {
 	network.Header
 	Pred  ident.NodeRef
 	Succs []ident.NodeRef
+	Epoch uint64
 }
 
 type notifyMsg struct {
 	network.Header
-	Node ident.NodeRef
+	Node  ident.NodeRef
+	Epoch uint64
 }
 
 func init() {
@@ -130,6 +167,17 @@ type Ring struct {
 	monitored map[network.Address]ident.NodeRef
 	stid      timer.ID
 	jtid      timer.ID
+
+	// epoch is the group-view version; monotone, Lamport-merged with
+	// maxSeen (the highest epoch observed on the wire) at every local
+	// membership change. Atomic: polled by tests/monitors from outside.
+	epoch   atomic.Uint64
+	maxSeen uint64
+	// lastKnown remembers the most recent non-trivial neighborhood, so a
+	// node whose failure detector evicted every neighbor during a long
+	// outage (leaving it joined but successor-less — unable to stabilize)
+	// can rejoin through a previously known member once its network heals.
+	lastKnown []ident.NodeRef
 }
 
 // New creates a ring component definition.
@@ -158,6 +206,7 @@ func (r *Ring) Setup(ctx *core.Ctx) {
 			"joined":     joined,
 			"successors": int64(len(r.succs)),
 			"monitored":  int64(len(r.monitored)),
+			"epoch":      int64(r.epoch.Load()),
 		}}, st)
 	})
 
@@ -208,6 +257,30 @@ func (r *Ring) Succs() []ident.NodeRef {
 
 // Joined reports whether the node participates in a ring.
 func (r *Ring) Joined() bool { return r.joined.Load() }
+
+// Epoch returns the current group-view epoch.
+func (r *Ring) Epoch() uint64 { return r.epoch.Load() }
+
+// observeEpoch folds an epoch seen on the wire into the Lamport merge: the
+// next local membership change publishes an epoch above everything ever
+// observed, so views order consistently across nodes.
+func (r *Ring) observeEpoch(e uint64) {
+	if e > r.maxSeen {
+		r.maxSeen = e
+	}
+}
+
+// bumpEpoch advances the epoch past both the local counter and the highest
+// observed remote epoch.
+func (r *Ring) bumpEpoch() uint64 {
+	e := r.epoch.Load()
+	if r.maxSeen > e {
+		e = r.maxSeen
+	}
+	e++
+	r.epoch.Store(e)
+	return e
+}
 
 // --- join protocol -----------------------------------------------------------
 
@@ -265,13 +338,18 @@ func (r *Ring) handleJoinReq(m joinReqMsg) {
 	}
 	ident.SortByKey(members)
 	members = ident.Dedup(members)
-	r.ctx.Trigger(joinRespMsg{Header: network.Reply(m), Members: members}, r.net)
+	r.ctx.Trigger(joinRespMsg{Header: network.Reply(m), Members: members, Epoch: r.epoch.Load()}, r.net)
 }
 
 func (r *Ring) handleJoinResp(m joinRespMsg) {
-	if !r.joining {
+	// Besides the initial join, accept a response when joined but
+	// successor-less: the rejoin path after a long outage evicted every
+	// neighbor (see handleStabilizeTick).
+	rejoin := !r.joining && r.joined.Load() && len(r.succs) == 0
+	if !r.joining && !rejoin {
 		return
 	}
+	r.observeEpoch(m.Epoch)
 	members := make([]ident.NodeRef, 0, len(m.Members))
 	for _, n := range m.Members {
 		if n.Addr != r.cfg.Self.Addr {
@@ -281,25 +359,36 @@ func (r *Ring) handleJoinResp(m joinRespMsg) {
 	if len(members) == 0 {
 		return
 	}
-	r.joining = false
-	r.ctx.Trigger(timer.CancelPeriodic{ID: r.jtid}, r.tmr)
+	if r.joining {
+		r.joining = false
+		r.ctx.Trigger(timer.CancelPeriodic{ID: r.jtid}, r.tmr)
+	}
 	ident.SortByKey(members)
 	succ := ident.SuccessorOf(members, r.cfg.Self.Key+1)
 	r.adoptSuccessors(append([]ident.NodeRef{succ}, members...))
-	r.becomeJoined()
+	if !rejoin {
+		r.becomeJoined()
+	}
 	r.notifySuccessor()
 }
 
 func (r *Ring) becomeJoined() {
 	r.joined.Store(true)
 	r.ctx.Trigger(Ready{Self: r.cfg.Self}, r.ring)
-	r.publishNeighbors()
+	r.publishView()
 }
 
 // --- stabilization -------------------------------------------------------------
 
 func (r *Ring) handleStabilizeTick(stabilizeTimeout) {
-	if !r.joined.Load() || len(r.succs) == 0 {
+	if !r.joined.Load() {
+		return
+	}
+	if len(r.succs) == 0 {
+		// Orphaned: every successor was evicted (a long outage makes the
+		// local failure detector suspect the whole neighborhood). Rejoin
+		// through the last known membership instead of stalling forever.
+		r.tryRejoin()
 		return
 	}
 	succ := r.succs[0]
@@ -308,11 +397,25 @@ func (r *Ring) handleStabilizeTick(stabilizeTimeout) {
 	}, r.net)
 }
 
+// tryRejoin sends a join request to a random previously known member; the
+// stabilize tick retries every period until some neighbor answers.
+func (r *Ring) tryRejoin() {
+	if len(r.lastKnown) == 0 {
+		return
+	}
+	target := r.lastKnown[r.ctx.Rand().Intn(len(r.lastKnown))]
+	r.ctx.Trigger(joinReqMsg{
+		Header: network.NewHeader(r.cfg.Self.Addr, target.Addr),
+		Node:   r.cfg.Self,
+	}, r.net)
+}
+
 func (r *Ring) handleStabilizeReq(m stabilizeReqMsg) {
 	r.ctx.Trigger(stabilizeRespMsg{
 		Header: network.Reply(m),
 		Pred:   r.pred,
 		Succs:  append([]ident.NodeRef{r.cfg.Self}, r.succs...),
+		Epoch:  r.epoch.Load(),
 	}, r.net)
 }
 
@@ -320,6 +423,7 @@ func (r *Ring) handleStabilizeResp(m stabilizeRespMsg) {
 	if !r.joined.Load() {
 		return
 	}
+	r.observeEpoch(m.Epoch)
 	candidates := append([]ident.NodeRef(nil), m.Succs...)
 	// Rectify: if the successor's predecessor sits between us and the
 	// successor, it becomes our new successor candidate.
@@ -339,6 +443,7 @@ func (r *Ring) notifySuccessor() {
 	r.ctx.Trigger(notifyMsg{
 		Header: network.NewHeader(r.cfg.Self.Addr, r.succs[0].Addr),
 		Node:   r.cfg.Self,
+		Epoch:  r.epoch.Load(),
 	}, r.net)
 }
 
@@ -348,12 +453,13 @@ func (r *Ring) handleNotify(m notifyMsg) {
 	if n.Addr == r.cfg.Self.Addr {
 		return
 	}
+	r.observeEpoch(m.Epoch)
 	if r.pred.IsZero() || r.pred.Addr == r.cfg.Self.Addr ||
 		n.Key.InOpenInterval(r.pred.Key, r.cfg.Self.Key) {
 		if r.pred != n {
 			r.setPred(n)
 			r.monitor(n)
-			r.publishNeighbors()
+			r.publishView()
 		}
 	}
 	// A fresh ring founder adopts its first notifier as successor too.
@@ -384,7 +490,7 @@ func (r *Ring) adoptSuccessors(candidates []ident.NodeRef) {
 		for _, s := range newSuccs {
 			r.monitor(s)
 		}
-		r.publishNeighbors()
+		r.publishView()
 	}
 }
 
@@ -422,7 +528,7 @@ func (r *Ring) handleSuspect(s fd.Suspect) {
 	r.succs = pruned
 	r.mu.Unlock()
 	if changed {
-		r.publishNeighbors()
+		r.publishView()
 	}
 }
 
@@ -438,11 +544,44 @@ func (r *Ring) monitor(n ident.NodeRef) {
 	r.ctx.Trigger(fd.Monitor{Node: n.Addr}, r.fdp)
 }
 
-func (r *Ring) publishNeighbors() {
-	r.ctx.Trigger(NeighborsChanged{
-		Pred:  r.pred,
-		Succs: r.Succs(),
+// publishView announces the membership change: the legacy NeighborsChanged
+// indication plus the epoch-versioned GroupView. Every call corresponds to
+// an actual change (callers check), so the epoch bumps here, in one place.
+func (r *Ring) publishView() {
+	epoch := r.bumpEpoch()
+	pred := r.Pred()
+	succs := r.Succs()
+	r.ctx.Trigger(NeighborsChanged{Pred: pred, Succs: succs}, r.ring)
+
+	members := append([]ident.NodeRef{r.cfg.Self}, succs...)
+	if !pred.IsZero() {
+		members = append(members, pred)
+	}
+	ident.SortByKey(members)
+	members = ident.Dedup(members)
+	from := r.cfg.Self.Key // no predecessor: whole ring
+	if !pred.IsZero() {
+		from = pred.Key
+	}
+	r.ctx.Trigger(GroupView{
+		Epoch:   epoch,
+		Range:   KeyRange{From: from, To: r.cfg.Self.Key},
+		Pred:    pred,
+		Succs:   succs,
+		Members: members,
 	}, r.ring)
+
+	// Remember the last non-trivial neighborhood for the rejoin path; an
+	// eviction cascade down to "just self" must not erase it.
+	others := make([]ident.NodeRef, 0, len(members))
+	for _, m := range members {
+		if m.Addr != r.cfg.Self.Addr {
+			others = append(others, m)
+		}
+	}
+	if len(others) > 0 {
+		r.lastKnown = others
+	}
 }
 
 func nodesEqual(a, b []ident.NodeRef) bool {

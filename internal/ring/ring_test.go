@@ -26,6 +26,7 @@ type ringNode struct {
 	ringOuter *core.Port
 	readies   int
 	changes   int
+	views     []GroupView
 }
 
 func (n *ringNode) Setup(ctx *core.Ctx) {
@@ -44,6 +45,7 @@ func (n *ringNode) Setup(ctx *core.Ctx) {
 	n.ringOuter = rgC.Provided(PortType)
 	core.Subscribe(ctx, n.ringOuter, func(Ready) { n.readies++ })
 	core.Subscribe(ctx, n.ringOuter, func(NeighborsChanged) { n.changes++ })
+	core.Subscribe(ctx, n.ringOuter, func(v GroupView) { n.views = append(n.views, v) })
 }
 
 // world builds n ring nodes with keys i*100.
@@ -190,4 +192,133 @@ func TestDoubleJoinIgnored(t *testing.T) {
 	if n.readies != 1 {
 		t.Fatalf("double join produced %d readies", n.readies)
 	}
+}
+
+// TestGroupViewEpochsMonotone pins the epoch protocol: every membership
+// change publishes a GroupView, epochs are strictly increasing per node,
+// and the view's range/members are consistent with the neighbor state.
+func TestGroupViewEpochsMonotone(t *testing.T) {
+	sim, nodes := newRingWorld(t, 4, 8)
+	nodes[0].ctx.Trigger(Join{}, nodes[0].ringOuter)
+	sim.Run(time.Second)
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].ctx.Trigger(Join{Seeds: []ident.NodeRef{nodes[0].self}}, nodes[i].ringOuter)
+		sim.Run(500 * time.Millisecond)
+	}
+	sim.Run(20 * time.Second)
+	requirePerfectRing(t, nodes, []int{0, 1, 2, 3})
+
+	for i, n := range nodes {
+		if len(n.views) == 0 {
+			t.Fatalf("node %d published no group views", i)
+		}
+		if n.changes != len(n.views) {
+			t.Errorf("node %d: %d NeighborsChanged but %d GroupViews — must pair", i, n.changes, len(n.views))
+		}
+		for j := 1; j < len(n.views); j++ {
+			if n.views[j].Epoch <= n.views[j-1].Epoch {
+				t.Fatalf("node %d epoch not strictly increasing: %d then %d", i, n.views[j-1].Epoch, n.views[j].Epoch)
+			}
+		}
+		last := n.views[len(n.views)-1]
+		if last.Epoch != n.Ring.Epoch() {
+			t.Errorf("node %d last view epoch %d != Epoch() %d", i, last.Epoch, n.Ring.Epoch())
+		}
+		if last.Range.To != n.self.Key {
+			t.Errorf("node %d range ends at %d, want own key %d", i, last.Range.To, n.self.Key)
+		}
+		if !last.Range.Contains(n.self.Key) {
+			t.Errorf("node %d range does not contain own key", i)
+		}
+		foundSelf := false
+		for _, m := range last.Members {
+			if m == n.self {
+				foundSelf = true
+			}
+		}
+		if !foundSelf {
+			t.Errorf("node %d view members %v missing self", i, last.Members)
+		}
+	}
+}
+
+// TestOrphanedNodeRejoins is the long-outage case: a node dark past the
+// suspicion threshold suspects its whole neighborhood (empty successor
+// list while joined) and its neighbors evict it. When its network heals it
+// must rejoin through the remembered membership, without a new Join
+// request from the application.
+func TestOrphanedNodeRejoins(t *testing.T) {
+	sim, nodes := newRingWorld(t, 4, 9)
+	nodes[0].ctx.Trigger(Join{}, nodes[0].ringOuter)
+	sim.Run(time.Second)
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].ctx.Trigger(Join{Seeds: []ident.NodeRef{nodes[0].self}}, nodes[i].ringOuter)
+		sim.Run(500 * time.Millisecond)
+	}
+	sim.Run(20 * time.Second)
+	requirePerfectRing(t, nodes, []int{0, 1, 2, 3})
+
+	// Network-silence node 2 far past the suspicion threshold (100ms pings,
+	// default misses): everyone evicts it, and it evicts everyone.
+	victim := nodes[2]
+	victim.emu.Crash(victim.self.Addr)
+	sim.Run(10 * time.Second)
+	if len(victim.Ring.Succs()) != 0 {
+		t.Fatalf("victim kept successors %v through a 10s outage", victim.Ring.Succs())
+	}
+	if !victim.Ring.Joined() {
+		t.Fatalf("victim should stay joined (orphaned, not left)")
+	}
+	requirePerfectRing(t, nodes, []int{0, 1, 3})
+
+	epochBefore := victim.Ring.Epoch()
+	victim.emu.Restart(victim.self.Addr)
+	sim.Run(30 * time.Second)
+	requirePerfectRing(t, nodes, []int{0, 1, 2, 3})
+	if victim.Ring.Epoch() <= epochBefore {
+		t.Errorf("rejoin did not advance the victim's epoch (%d -> %d)", epochBefore, victim.Ring.Epoch())
+	}
+}
+
+// TestRingChurnStressRace drives repeated eviction/rejoin cycles while a
+// background goroutine hammers the cross-worker getters — the mutex/atomic
+// coverage this is meant to exercise only shows up under -race.
+func TestRingChurnStressRace(t *testing.T) {
+	sim, nodes := newRingWorld(t, 5, 10)
+	nodes[0].ctx.Trigger(Join{}, nodes[0].ringOuter)
+	sim.Run(time.Second)
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].ctx.Trigger(Join{Seeds: []ident.NodeRef{nodes[0].self}}, nodes[i].ringOuter)
+		sim.Run(500 * time.Millisecond)
+	}
+	sim.Run(10 * time.Second)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range nodes {
+				_ = n.Ring.Succs()
+				_ = n.Ring.Pred()
+				_ = n.Ring.Epoch()
+				_ = n.Ring.Joined()
+			}
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		v := nodes[1+round%4]
+		v.emu.Crash(v.self.Addr)
+		sim.Run(8 * time.Second)
+		v.emu.Restart(v.self.Addr)
+		sim.Run(20 * time.Second)
+	}
+	close(stop)
+	<-done
+	requirePerfectRing(t, nodes, []int{0, 1, 2, 3, 4})
 }

@@ -3,10 +3,14 @@
 // ring neighborhood and by the Cyclon peer-sampling stream — and resolves
 // the replica group responsible for a key locally, in one hop, with no
 // routing round-trips. Entries not refreshed within a TTL are aged out, so
-// the table tracks churn.
+// the table tracks churn. The router also tracks the ring's group-view
+// epoch and stamps it on FoundSuccessor answers, so quorum operations
+// start in the epoch the group was resolved under.
 package router
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -27,11 +31,14 @@ type FindSuccessor struct {
 }
 
 // FoundSuccessor answers FindSuccessor. An empty Group means the router
-// has no membership information yet; callers retry.
+// has no membership information yet; callers retry. Epoch is the ring
+// group-view epoch the group was resolved under — the replication layer
+// stamps it on every quorum phase.
 type FoundSuccessor struct {
 	ReqID uint64
 	Key   ident.Key
 	Group []ident.NodeRef
+	Epoch uint64
 }
 
 // PortType is the Router service abstraction.
@@ -74,8 +81,15 @@ type Router struct {
 	fdp  *core.Port
 	tmr  *core.Port
 
+	// mu guards table: handlers mutate it on a scheduler worker while the
+	// handoff component calls Members() from its own worker.
+	mu    sync.Mutex
 	table map[ident.Key]tableEntry
 	tid   timer.ID
+
+	// epoch is the latest ring group-view epoch observed; atomic because
+	// status pollers and the handoff component read it cross-worker.
+	epoch atomic.Uint64
 
 	resolved, unresolved uint64
 }
@@ -105,14 +119,16 @@ func (r *Router) Setup(ctx *core.Ctx) {
 	st := ctx.Provides(status.PortType)
 	core.Subscribe(ctx, st, func(q status.Request) {
 		ctx.Trigger(status.Response{ReqID: q.ReqID, Component: "one-hop-router", Metrics: map[string]int64{
-			"table":      int64(len(r.table)),
+			"table":      int64(r.TableSize()),
 			"resolved":   int64(r.resolved),
 			"unresolved": int64(r.unresolved),
+			"epoch":      int64(r.Epoch()),
 		}}, st)
 	})
 
 	core.Subscribe(ctx, r.rout, r.handleFind)
 	core.Subscribe(ctx, r.rng, r.handleNeighbors)
+	core.Subscribe(ctx, r.rng, r.handleGroupView)
 	core.Subscribe(ctx, r.smp, r.handleSample)
 	core.Subscribe(ctx, r.fdp, r.handleSuspect)
 	core.Subscribe(ctx, r.tmr, r.handleSweep)
@@ -136,25 +152,14 @@ func (r *Router) handleFind(f FindSuccessor) {
 	if count <= 0 {
 		count = 1
 	}
-	members := r.members()
+	members := r.Members()
 	group := ident.SuccessorsOf(members, f.Key, count)
 	if len(group) == 0 {
 		r.unresolved++
 	} else {
 		r.resolved++
 	}
-	r.ctx.Trigger(FoundSuccessor{ReqID: f.ReqID, Key: f.Key, Group: group}, r.rout)
-}
-
-// members returns the sorted, deduplicated membership view incl. self.
-func (r *Router) members() []ident.NodeRef {
-	members := make([]ident.NodeRef, 0, len(r.table)+1)
-	members = append(members, r.cfg.Self)
-	for _, e := range r.table {
-		members = append(members, e.node)
-	}
-	ident.SortByKey(members)
-	return ident.Dedup(members)
+	r.ctx.Trigger(FoundSuccessor{ReqID: f.ReqID, Key: f.Key, Group: group, Epoch: r.Epoch()}, r.rout)
 }
 
 // handleNeighbors refreshes the table from the node's own ring
@@ -165,6 +170,18 @@ func (r *Router) handleNeighbors(n ring.NeighborsChanged) {
 	}
 	for _, s := range n.Succs {
 		r.learn(s)
+	}
+}
+
+// handleGroupView tracks the ring's epoch-versioned view: the membership
+// feeds the table (same data as NeighborsChanged) and the epoch is stamped
+// on subsequent resolutions.
+func (r *Router) handleGroupView(v ring.GroupView) {
+	for _, m := range v.Members {
+		r.learn(m)
+	}
+	if v.Epoch > r.epoch.Load() {
+		r.epoch.Store(v.Epoch)
 	}
 }
 
@@ -179,38 +196,62 @@ func (r *Router) learn(n ident.NodeRef) {
 	if n.IsZero() || n.Addr == r.cfg.Self.Addr {
 		return
 	}
+	r.mu.Lock()
 	r.table[n.Key] = tableEntry{node: n, seen: r.ctx.Now()}
+	r.mu.Unlock()
 }
 
 // handleSuspect evicts a suspected node immediately, so replica groups
 // stop including nodes the failure detector believes dead (the TTL sweep
 // is only the backstop for nodes nobody monitors).
 func (r *Router) handleSuspect(s fd.Suspect) {
+	r.mu.Lock()
 	for k, e := range r.table {
 		if e.node.Addr == s.Node {
 			delete(r.table, k)
 		}
 	}
+	r.mu.Unlock()
 }
 
 // handleSweep ages out entries not refreshed within the TTL.
 func (r *Router) handleSweep(sweepTimeout) {
 	cutoff := r.ctx.Now().Add(-r.cfg.EntryTTL)
+	r.mu.Lock()
 	for k, e := range r.table {
 		if e.seen.Before(cutoff) {
 			delete(r.table, k)
 		}
 	}
+	r.mu.Unlock()
 }
 
 // TableSize returns the membership table occupancy (tests, status).
-func (r *Router) TableSize() int { return len(r.table) }
+func (r *Router) TableSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.table)
+}
 
 // Stats returns resolution counters.
 func (r *Router) Stats() (resolved, unresolved uint64) {
 	return r.resolved, r.unresolved
 }
 
-// Members returns the current membership view including self (tests,
-// status).
-func (r *Router) Members() []ident.NodeRef { return r.members() }
+// Epoch returns the latest ring group-view epoch the router has observed.
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// Members returns the current membership view including self, sorted and
+// deduplicated. Safe to call from outside the component (handoff uses it
+// to pick pull targets).
+func (r *Router) Members() []ident.NodeRef {
+	r.mu.Lock()
+	members := make([]ident.NodeRef, 0, len(r.table)+1)
+	members = append(members, r.cfg.Self)
+	for _, e := range r.table {
+		members = append(members, e.node)
+	}
+	r.mu.Unlock()
+	ident.SortByKey(members)
+	return ident.Dedup(members)
+}

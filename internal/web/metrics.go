@@ -7,7 +7,9 @@ package web
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/network"
@@ -96,6 +98,46 @@ func (m *MetricsWriter) Histogram(name string, ls core.LatencyStats, kv ...strin
 	m.printf("%s_bucket%s %d\n", name, formatLabels(inf), ls.Samples)
 	m.printf("%s_sum%s %g\n", name, formatLabels(kv), float64(ls.SumNanos)/1e9)
 	m.printf("%s_count%s %d\n", name, formatLabels(kv), ls.Samples)
+}
+
+// Process-global metric sources: packages with process-wide counters (the
+// pattern internal/network started) register an exposition callback here —
+// usually from init() — and every /metrics scrape appends them. The
+// registry keeps web free of imports on those packages.
+var (
+	sourceMu sync.Mutex
+	sources  map[string]func(*MetricsWriter)
+)
+
+// RegisterMetricsSource installs (or replaces) a named exposition source.
+func RegisterMetricsSource(name string, fn func(*MetricsWriter)) {
+	sourceMu.Lock()
+	defer sourceMu.Unlock()
+	if sources == nil {
+		sources = make(map[string]func(*MetricsWriter))
+	}
+	sources[name] = fn
+}
+
+// WriteRegisteredMetrics renders every registered source, in name order so
+// scrapes are deterministic.
+func WriteRegisteredMetrics(w io.Writer) error {
+	sourceMu.Lock()
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	fns := make([]func(*MetricsWriter), 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, sources[n])
+	}
+	sourceMu.Unlock()
+	m := NewMetricsWriter(w)
+	for _, fn := range fns {
+		fn(m)
+	}
+	return m.Err()
 }
 
 // WriteRuntimeMetrics renders a core telemetry snapshot as the

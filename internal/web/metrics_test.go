@@ -209,3 +209,47 @@ func fmtSscanLast(line string, v *float64) (int, error) {
 	fields := strings.Fields(line)
 	return 1, json.Unmarshal([]byte(fields[len(fields)-1]), v)
 }
+
+// TestRegisteredMetricsSources checks the process-global source registry:
+// sources render in name order, re-registering a name replaces it, and the
+// /metrics handler picks registered sources up.
+func TestRegisteredMetricsSources(t *testing.T) {
+	RegisterMetricsSource("ztest-b", func(m *MetricsWriter) {
+		m.Counter("ztest_b_total", 2)
+	})
+	RegisterMetricsSource("ztest-a", func(m *MetricsWriter) {
+		m.Gauge("ztest_a", 1)
+	})
+
+	var b strings.Builder
+	if err := WriteRegisteredMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia, ib := strings.Index(out, "ztest_a 1"), strings.Index(out, "ztest_b_total 2")
+	if ia < 0 || ib < 0 {
+		t.Fatalf("registered sources missing from output:\n%s", out)
+	}
+	if ia > ib {
+		t.Fatalf("sources not in name order:\n%s", out)
+	}
+
+	// Replacement: same name, new output.
+	RegisterMetricsSource("ztest-a", func(m *MetricsWriter) {
+		m.Gauge("ztest_a", 9)
+	})
+	b.Reset()
+	if err := WriteRegisteredMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ztest_a 9") || strings.Contains(b.String(), "ztest_a 1") {
+		t.Fatalf("source replacement did not take:\n%s", b.String())
+	}
+
+	// The /metrics endpoint includes registered sources.
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+	_, body := httpGet(t, "http://"+bridge.Addr()+"/metrics")
+	if !strings.Contains(body, "ztest_a 9") {
+		t.Fatalf("/metrics does not include registered sources:\n%s", body)
+	}
+}

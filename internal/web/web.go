@@ -169,6 +169,10 @@ func (b *Bridge) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if err := WriteRegisteredMetrics(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", PromContentType)
 	_, _ = w.Write(buf.Bytes())
 }
