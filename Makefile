@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHCPU ?= 4
 
-.PHONY: all help build vet test test-race bench bench-dispatch determinism chaos ci
+.PHONY: all help build vet test test-race bench bench-dispatch bench-gate determinism chaos ci
 
 all: build
 
@@ -20,6 +20,8 @@ help:
 	@echo "  bench-dispatch  hot-path microbenchmarks only: dispatch, fan-out,"
 	@echo "                  ping-pong, deque. Pinned -benchtime $(BENCHTIME) -cpu $(BENCHCPU);"
 	@echo "                  override with BENCHTIME=... BENCHCPU=..."
+	@echo "  bench-gate      million-key catsbench profile (reduced scale) gated"
+	@echo "                  against bench/BENCH_baseline_million.json"
 	@echo "  determinism     run the simulation twice per seed and diff trace digests"
 	@echo "  chaos           churn scenario under -race plus a two-run chaos report diff"
 	@echo "  ci              vet + build + test-race"
@@ -48,6 +50,13 @@ bench:
 bench-dispatch:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkDispatchAllocs|BenchmarkPingPongRoundTrip|BenchmarkChannelFanout|BenchmarkFanout' -benchmem -benchtime $(BENCHTIME) -cpu $(BENCHCPU) -count=3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkWSDeque|BenchmarkStealPingPong' -benchmem -benchtime $(BENCHTIME) -cpu $(BENCHCPU) -count=3 ./internal/core/
+
+# Local mirror of the CI bench-gate job: the reduced-scale million-key
+# profile must complete cleanly within 10% of the checked-in throughput
+# baseline (see bench/README.md).
+bench-gate:
+	$(GO) build -o /tmp/catsbench ./cmd/catsbench
+	/tmp/catsbench -exp million -quick -json-dir /tmp/bench -gate bench/BENCH_baseline_million.json
 
 # Local mirror of the CI determinism job: one seed, two runs, diff all
 # deterministic output lines (wall time filtered) including the -trace digest.

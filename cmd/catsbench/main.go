@@ -5,7 +5,13 @@
 //	catsbench -exp latency   # C1: end-to-end op latency (sub-ms claim)
 //	catsbench -exp scaling   # C2: read throughput vs cluster size
 //	catsbench -exp stealing  # C3: work-stealing batch ablation
+//	catsbench -exp quorum    # C4: coalesced vs uncoalesced quorum A/B
+//	catsbench -exp million   # C5: 1M-key sharded-store open-loop profile
 //	catsbench -exp all
+//
+// -json-dir writes a machine-readable BENCH_<name>.json per experiment so
+// the perf trajectory is tracked across changes; -gate compares the C5
+// profile against a checked-in baseline and exits non-zero on regression.
 //
 // Absolute numbers depend on the machine; the shapes (monotone
 // compression decay, sub-millisecond latency, near-linear scaling, batch
@@ -13,9 +19,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -24,15 +32,18 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | all")
-		seed  = flag.Int64("seed", 2012, "random seed")
-		quick = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | million | all")
+		seed    = flag.Int64("seed", 2012, "random seed")
+		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		jsonDir = flag.String("json-dir", "", "directory to write BENCH_<name>.json results into")
+		gate    = flag.String("gate", "", "baseline BENCH_million.json to gate the million profile against (>10% ops/s regression fails)")
 	)
 	flag.Parse()
 
 	run := map[string]bool{}
 	if *exp == "all" {
 		run["table1"], run["latency"], run["scaling"], run["stealing"] = true, true, true, true
+		run["quorum"], run["million"] = true, true
 	} else {
 		run[*exp] = true
 	}
@@ -51,6 +62,14 @@ func main() {
 	}
 	if run["stealing"] {
 		stealing(*quick)
+		any = true
+	}
+	if run["quorum"] {
+		quorum(*quick, *jsonDir)
+		any = true
+	}
+	if run["million"] {
+		million(*quick, *jsonDir, *gate)
 		any = true
 	}
 	if !any {
@@ -160,4 +179,148 @@ func stealing(quick bool) {
 			r.EventsPerMS, r.Steals, r.Stolen)
 	}
 	fmt.Println()
+}
+
+// benchJSON is the machine-readable result record written per experiment:
+// one flat object so downstream tooling can diff runs without schema
+// knowledge.
+type benchJSON struct {
+	Name        string  `json:"name"`
+	OpsPS       float64 `json:"ops_ps"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// Quorum A/B extras.
+	LegacyOpsPS  float64 `json:"legacy_ops_ps,omitempty"`
+	Improvement  float64 `json:"improvement,omitempty"`
+	LegacyP50Mic float64 `json:"legacy_p50_us,omitempty"`
+	LegacyP99Mic float64 `json:"legacy_p99_us,omitempty"`
+	Batches      uint64  `json:"batches,omitempty"`
+	BatchedOps   uint64  `json:"batched_ops,omitempty"`
+
+	// Million-key extras.
+	Keys           int     `json:"keys,omitempty"`
+	Failed         uint64  `json:"failed,omitempty"`
+	HeapBeforeMB   float64 `json:"heap_before_mb,omitempty"`
+	HeapAfterMB    float64 `json:"heap_after_mb,omitempty"`
+	NonEmptyShards int     `json:"non_empty_shards,omitempty"`
+	MinShardKeys   int     `json:"min_shard_keys,omitempty"`
+	MaxShardKeys   int     `json:"max_shard_keys,omitempty"`
+}
+
+// writeJSON emits BENCH_<name>.json into dir (no-op when dir is empty).
+func writeJSON(dir string, rec benchJSON) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: json dir: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, "BENCH_"+rec.Name+".json")
+	b, _ := json.MarshalIndent(rec, "", "  ")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("   wrote %s\n\n", path)
+}
+
+func quorum(quick bool, jsonDir string) {
+	clients, ops, rounds := 48, 4000, 3
+	if quick {
+		clients, ops, rounds = 32, 1200, 2
+	}
+	fmt.Println("== C4: coalesced vs uncoalesced ABD quorum rounds (A/B) ==")
+	fmt.Println("   (3 nodes at replication degree 3: every key hits the same replica set;")
+	fmt.Println("    closed-loop clients pile concurrent ops onto each coordinator, and")
+	fmt.Println("    coalescing carries same-destination phases in one frame per peer;")
+	fmt.Println("    rounds interleave A/B to cancel machine drift)")
+	fmt.Println()
+	r := experiments.QuorumAB(3, clients, ops, rounds)
+	fmt.Printf("%12s  %12s  %10s  %10s  %10s\n", "Variant", "ops/s", "P50", "P99", "Frames")
+	fmt.Printf("%12s  %12.0f  %10v  %10v  %10s\n", "uncoalesced", r.LegacyOpsPS,
+		r.LegacyP50.Round(time.Microsecond), r.LegacyP99.Round(time.Microsecond), "-")
+	fmt.Printf("%12s  %12.0f  %10v  %10v  %10d\n", "coalesced", r.CoalescedOpsPS,
+		r.CoalescedP50.Round(time.Microsecond), r.CoalescedP99.Round(time.Microsecond), r.Batches)
+	fmt.Printf("\n   improvement: %+.1f%% ops/s (%d ops in %d multi-op frames)\n\n",
+		100*r.Improvement, r.BatchedOps, r.Batches)
+	writeJSON(jsonDir, benchJSON{
+		Name:         "quorum",
+		OpsPS:        r.CoalescedOpsPS,
+		P50Micros:    float64(r.CoalescedP50.Microseconds()),
+		P99Micros:    float64(r.CoalescedP99.Microseconds()),
+		LegacyOpsPS:  r.LegacyOpsPS,
+		Improvement:  r.Improvement,
+		LegacyP50Mic: float64(r.LegacyP50.Microseconds()),
+		LegacyP99Mic: float64(r.LegacyP99.Microseconds()),
+		Batches:      r.Batches,
+		BatchedOps:   r.BatchedOps,
+	})
+}
+
+func million(quick bool, jsonDir, gate string) {
+	keys, ops, rate := 1_000_000, 30_000, 1_500
+	if quick {
+		keys, ops, rate = 100_000, 6_000, 1_500
+	}
+	fmt.Println("== C5: sharded store under a large keyspace (open loop) ==")
+	fmt.Printf("   (%d keys preloaded per replica, %d ops issued at %d ops/s against the\n", keys, ops, rate)
+	fmt.Println("    full keyspace; open-loop, so latencies include queueing)")
+	fmt.Println()
+	r := experiments.MillionKV(keys, ops, rate)
+	fmt.Printf("   done=%d failed=%d  ops/s=%.0f  P50=%v P99=%v  allocs/op=%.0f\n",
+		r.Done, r.Failed, r.OpsPS, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.AllocsPerOp)
+	fmt.Printf("   heap: %.1f MiB -> %.1f MiB   shards: %d/%d non-empty, %d..%d keys (store total %d)\n\n",
+		r.HeapBeforeMB, r.HeapAfterMB, r.NonEmptyShards, 16, r.MinShardKeys, r.MaxShardKeys, r.ShardKeys)
+	rec := benchJSON{
+		Name:           "million",
+		OpsPS:          r.OpsPS,
+		P50Micros:      float64(r.P50.Microseconds()),
+		P99Micros:      float64(r.P99.Microseconds()),
+		AllocsPerOp:    r.AllocsPerOp,
+		Keys:           r.Keys,
+		Failed:         r.Failed,
+		HeapBeforeMB:   r.HeapBeforeMB,
+		HeapAfterMB:    r.HeapAfterMB,
+		NonEmptyShards: r.NonEmptyShards,
+		MinShardKeys:   r.MinShardKeys,
+		MaxShardKeys:   r.MaxShardKeys,
+	}
+	writeJSON(jsonDir, rec)
+	if gate != "" {
+		gateMillion(gate, rec)
+	}
+}
+
+// gateMillion fails the run when the measured million-profile throughput
+// regresses more than 10% below the checked-in baseline, or when the load
+// did not complete cleanly.
+func gateMillion(baselinePath string, rec benchJSON) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base benchJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	floor := 0.9 * base.OpsPS
+	fmt.Printf("   gate: measured %.0f ops/s vs baseline %.0f (floor %.0f)\n", rec.OpsPS, base.OpsPS, floor)
+	if rec.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "catsbench: gate FAIL: %d operations failed\n", rec.Failed)
+		os.Exit(1)
+	}
+	if rec.OpsPS < floor {
+		fmt.Fprintf(os.Stderr, "catsbench: gate FAIL: ops/s regressed >10%% (measured %.0f < floor %.0f)\n", rec.OpsPS, floor)
+		os.Exit(1)
+	}
+	if rec.NonEmptyShards == 0 {
+		fmt.Fprintln(os.Stderr, "catsbench: gate FAIL: no per-shard occupancy exported")
+		os.Exit(1)
+	}
+	fmt.Println("   gate: PASS")
 }

@@ -110,12 +110,18 @@ func runChaos(seed int64, trace, long bool) {
 		r.Crashes, r.Restarts, r.Flaps, r.ChurnDropped)
 	fmt.Printf("  handoff_keys=%d handoff_bytes=%d handoff_transfers=%d max_epoch=%d\n",
 		r.HandoffKeys, r.HandoffBytes, r.HandoffTransfers, r.MaxEpoch)
+	fmt.Printf("  store_keys=%d store_shards_in_use=%d store_max_shard_share=%.2f\n",
+		r.StoreKeys, r.StoreShardsInUse, r.StoreMaxShardShare)
 	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
 	if digest != nil {
 		fmt.Printf("  trace: records=%d digest=%016x\n", digest.n, digest.h.Sum64())
 	}
 	if !r.Linearizable || r.LostAckedWrites != 0 {
 		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED")
+		os.Exit(1)
+	}
+	if r.StoreKeys == 0 || r.StoreShardsInUse == 0 {
+		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED (survivor stores empty after convergence)")
 		os.Exit(1)
 	}
 }

@@ -180,6 +180,10 @@ type Config struct {
 	// one store between the replica and its handoff component; nil creates
 	// a private store (tests).
 	Store *kvstore.Store
+	// NoCoalesce disables quorum coalescing: every phase goes out as its
+	// own single-op message immediately. Exists for A/B benchmarking and
+	// protocol-level tests of the uncoalesced flow.
+	NoCoalesce bool
 }
 
 func (c *Config) applyDefaults() {
@@ -233,9 +237,17 @@ type ABD struct {
 	syncing  bool
 	curRound uint64
 
+	// Quorum coalescing state: phases owed to each peer since the last
+	// flush, in insertion order (map order would be nondeterministic), and
+	// whether a flush timeout is already in flight.
+	pend       map[network.Address]*peerBatch
+	pendOrder  []network.Address
+	flushArmed bool
+
 	statGets, statPuts, statRetries, statFailures  uint64
 	statNacksBusy, statNacksStale, statStaleServed uint64
 	statEpochRestarts                              uint64
+	statBatchesSent, statBatchedOps                uint64
 }
 
 // New creates an ABD component definition.
@@ -245,7 +257,12 @@ func New(cfg Config) *ABD {
 	if st == nil {
 		st = NewStore()
 	}
-	return &ABD{cfg: cfg, store: st, ops: make(map[uint64]*op)}
+	return &ABD{
+		cfg:   cfg,
+		store: st,
+		ops:   make(map[uint64]*op),
+		pend:  make(map[network.Address]*peerBatch),
+	}
 }
 
 var _ core.Definition = (*ABD)(nil)
@@ -277,6 +294,8 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 			"nacks_stale":    int64(a.statNacksStale),
 			"epoch_restarts": int64(a.statEpochRestarts),
 			"syncing":        syncing,
+			"batches_sent":   int64(a.statBatchesSent),
+			"batched_ops":    int64(a.statBatchedOps),
 		}}, st)
 	})
 
@@ -290,7 +309,10 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 	core.Subscribe(ctx, a.net, a.handleWrite)
 	core.Subscribe(ctx, a.net, a.handleWriteAck)
 	core.Subscribe(ctx, a.net, a.handleNack)
+	core.Subscribe(ctx, a.net, a.handleOpBatch)
+	core.Subscribe(ctx, a.net, a.handleOpBatchAck)
 	core.Subscribe(ctx, a.tmr, a.handleTimeout)
+	core.Subscribe(ctx, a.tmr, a.handleFlush)
 }
 
 // Store exposes the local register store (status, tests).
@@ -310,6 +332,16 @@ func (a *ABD) EpochStats() (busy, stale, restarts uint64) {
 
 // Epoch returns the replica's current view epoch (tests).
 func (a *ABD) Epoch() uint64 { return a.localEpoch }
+
+// Syncing reports whether the replica is inside a handoff sync window —
+// refusing quorum phases with Busy nacks (tests and benchmark settling).
+func (a *ABD) Syncing() bool { return a.syncing }
+
+// BatchStats returns coalescing counters: multi-op frames flushed by this
+// coordinator and the quorum phases they carried.
+func (a *ABD) BatchStats() (batches, batchedOps uint64) {
+	return a.statBatchesSent, a.statBatchedOps
+}
 
 // InFlight returns the number of operations currently executing.
 func (a *ABD) InFlight() int { return len(a.ops) }
@@ -393,28 +425,33 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 	o.quorum = len(f.Group)/2 + 1
 	o.phase = phaseRead
 	for _, n := range o.group {
-		a.ctx.Trigger(readMsg{
-			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
+		a.sendRead(n.Addr, readPhase{
 			OpID:    o.id,
 			Attempt: o.attempt,
 			Epoch:   o.epoch,
 			Key:     o.key,
-		}, a.net)
+		})
 	}
 }
 
-// handleReadAck collects the read quorum, then imposes the chosen
-// version+value in phase 2.
+// handleReadAck feeds a legacy single-op read ack into the quorum state
+// machine; batch acks arrive through handleOpBatchAck and share ingest.
 func (a *ABD) handleReadAck(m readAckMsg) {
-	o, ok := a.ops[m.OpID]
-	if !ok || o.phase != phaseRead || m.Attempt != o.attempt {
+	a.ingestReadAck(m.OpID, m.Attempt, m.Version, m.Value, m.Found)
+}
+
+// ingestReadAck collects the read quorum, then imposes the chosen
+// version+value in phase 2.
+func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []byte, found bool) {
+	o, ok := a.ops[opID]
+	if !ok || o.phase != phaseRead || attempt != o.attempt {
 		return // stale ack from a previous attempt: its group may differ
 	}
 	o.readAcks++
-	if o.bestVer.Less(m.Version) {
-		o.bestVer, o.bestVal, o.bestFound = m.Version, m.Value, m.Found
+	if o.bestVer.Less(version) {
+		o.bestVer, o.bestVal, o.bestFound = version, value, found
 		o.bestCount = 1
-	} else if m.Version == o.bestVer {
+	} else if version == o.bestVer {
 		o.bestCount++
 	}
 	if o.readAcks < o.quorum {
@@ -449,22 +486,27 @@ func (a *ABD) handleReadAck(m readAckMsg) {
 		val = o.value
 	}
 	for _, n := range o.group {
-		a.ctx.Trigger(writeMsg{
-			Header:  network.NewHeader(a.cfg.Self.Addr, n.Addr),
+		a.sendWrite(n.Addr, writePhase{
 			OpID:    o.id,
 			Attempt: o.attempt,
 			Epoch:   o.epoch,
 			Key:     o.key,
 			Version: ver,
 			Value:   val,
-		}, a.net)
+		})
 	}
 }
 
-// handleWriteAck collects the write quorum and completes the operation.
+// handleWriteAck feeds a legacy single-op write ack into the quorum state
+// machine; batch acks arrive through handleOpBatchAck and share ingest.
 func (a *ABD) handleWriteAck(m writeAckMsg) {
-	o, ok := a.ops[m.OpID]
-	if !ok || o.phase != phaseWrite || m.Attempt != o.attempt {
+	a.ingestWriteAck(m.OpID, m.Attempt)
+}
+
+// ingestWriteAck collects the write quorum and completes the operation.
+func (a *ABD) ingestWriteAck(opID uint64, attempt int) {
+	o, ok := a.ops[opID]
+	if !ok || o.phase != phaseWrite || attempt != o.attempt {
 		return
 	}
 	o.writeAcks++

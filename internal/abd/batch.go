@@ -1,0 +1,250 @@
+package abd
+
+import (
+	"repro/internal/network"
+	"repro/internal/timer"
+)
+
+// Quorum coalescing. A coordinator under load runs many operations against
+// the same replica set concurrently; sending each read/impose phase as its
+// own frame pays per-message codec and transport overhead N times for
+// traffic that is all going to the same peers. Instead the coordinator
+// queues phases into per-peer batches and flushes them on a zero-delay
+// timer event: every phase generated while the flush event sits in the
+// component's queue rides in the same frame, mirroring the per-worker
+// fanoutBatch idiom in the forwarding layer. Replicas serve a batch in one
+// handler execution and ack all served ops in one reply; the epoch gate
+// stays strictly per-op, so a stale operation inside a batch nacks
+// individually while the rest of the batch acks.
+
+// readPhase is one coalesced phase-1 query.
+type readPhase struct {
+	OpID    uint64
+	Attempt int
+	Epoch   uint64
+	Key     string
+}
+
+// writePhase is one coalesced phase-2 impose.
+type writePhase struct {
+	OpID    uint64
+	Attempt int
+	Epoch   uint64
+	Key     string
+	Version Version
+	Value   []byte
+}
+
+// opBatchMsg carries every phase a coordinator owed one replica at flush
+// time. Batches of one downgrade to the legacy readMsg/writeMsg instead.
+type opBatchMsg struct {
+	network.Header
+	Reads  []readPhase
+	Writes []writePhase
+}
+
+// readAckEntry acknowledges one served readPhase.
+type readAckEntry struct {
+	OpID    uint64
+	Attempt int
+	Version Version
+	Value   []byte
+	Found   bool
+}
+
+// writeAckEntry acknowledges one served writePhase.
+type writeAckEntry struct {
+	OpID    uint64
+	Attempt int
+}
+
+// opBatchAckMsg acks every op of a batch the replica could serve, in one
+// reply. Refused ops are absent — they were nacked individually through
+// nackMsg. Epoch is the replica's post-merge view epoch.
+type opBatchAckMsg struct {
+	network.Header
+	Epoch     uint64
+	ReadAcks  []readAckEntry
+	WriteAcks []writeAckEntry
+}
+
+func init() {
+	network.Register(opBatchMsg{})
+	network.Register(opBatchAckMsg{})
+}
+
+// flushTimeout drains the coordinator's pending per-peer batches. It is
+// scheduled with zero delay: in the deterministic simulation it fires at
+// the current virtual time after already-queued handler executions, and
+// under the real timer it fires on the next pass through the component
+// queue — in both cases long enough for concurrently arriving operations
+// to pile into the same flush.
+type flushTimeout struct {
+	timer.Timeout
+}
+
+// peerBatch accumulates the phases owed to one replica until the next
+// flush. The slices are handed to the outgoing message at flush time and
+// never reused: triggered messages are owned by the transport from then on.
+type peerBatch struct {
+	reads  []readPhase
+	writes []writePhase
+}
+
+// pendFor returns (creating if needed) the pending batch for dst and arms
+// the flush timer. Peer order is insertion order — map iteration order
+// would break run-to-run determinism of the simulation trace.
+func (a *ABD) pendFor(dst network.Address) *peerBatch {
+	if b, ok := a.pend[dst]; ok {
+		return b
+	}
+	b := &peerBatch{}
+	a.pend[dst] = b
+	a.pendOrder = append(a.pendOrder, dst)
+	if !a.flushArmed {
+		a.flushArmed = true
+		a.ctx.Trigger(timer.ScheduleTimeout{
+			Delay:   0,
+			Timeout: flushTimeout{Timeout: timer.Timeout{ID: timer.NextID()}},
+		}, a.tmr)
+	}
+	return b
+}
+
+// sendRead dispatches one phase-1 query to dst: immediately as a legacy
+// readMsg when coalescing is off, else into dst's pending batch.
+func (a *ABD) sendRead(dst network.Address, r readPhase) {
+	if a.cfg.NoCoalesce {
+		a.ctx.Trigger(readMsg{
+			Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+			OpID:    r.OpID,
+			Attempt: r.Attempt,
+			Epoch:   r.Epoch,
+			Key:     r.Key,
+		}, a.net)
+		return
+	}
+	b := a.pendFor(dst)
+	b.reads = append(b.reads, r)
+}
+
+// sendWrite dispatches one phase-2 impose to dst.
+func (a *ABD) sendWrite(dst network.Address, w writePhase) {
+	if a.cfg.NoCoalesce {
+		a.ctx.Trigger(writeMsg{
+			Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+			OpID:    w.OpID,
+			Attempt: w.Attempt,
+			Epoch:   w.Epoch,
+			Key:     w.Key,
+			Version: w.Version,
+			Value:   w.Value,
+		}, a.net)
+		return
+	}
+	b := a.pendFor(dst)
+	b.writes = append(b.writes, w)
+}
+
+// handleFlush drains every pending batch, one frame per peer. A batch
+// carrying a single phase downgrades to the legacy single-op message: the
+// batch envelope buys nothing there, and single-op flows (and their message
+// counts, which tests pin) stay byte-for-byte identical to the uncoalesced
+// protocol.
+func (a *ABD) handleFlush(flushTimeout) {
+	a.flushArmed = false
+	for _, dst := range a.pendOrder {
+		b := a.pend[dst]
+		delete(a.pend, dst)
+		n := len(b.reads) + len(b.writes)
+		if n == 0 {
+			continue
+		}
+		if n == 1 {
+			if len(b.reads) == 1 {
+				r := b.reads[0]
+				a.ctx.Trigger(readMsg{
+					Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+					OpID:    r.OpID,
+					Attempt: r.Attempt,
+					Epoch:   r.Epoch,
+					Key:     r.Key,
+				}, a.net)
+			} else {
+				w := b.writes[0]
+				a.ctx.Trigger(writeMsg{
+					Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+					OpID:    w.OpID,
+					Attempt: w.Attempt,
+					Epoch:   w.Epoch,
+					Key:     w.Key,
+					Version: w.Version,
+					Value:   w.Value,
+				}, a.net)
+			}
+			continue
+		}
+		a.statBatchesSent++
+		a.statBatchedOps += uint64(n)
+		observeBatch(n)
+		a.ctx.Trigger(opBatchMsg{
+			Header: network.NewHeader(a.cfg.Self.Addr, dst),
+			Reads:  b.reads,
+			Writes: b.writes,
+		}, a.net)
+	}
+	a.pendOrder = a.pendOrder[:0]
+}
+
+// --- replica side ---------------------------------------------------------------
+
+// handleOpBatch serves a coalesced frame. Every op passes the epoch gate
+// individually: stale or mid-sync ops nack alone through the legacy
+// nackMsg path, the rest are served and acknowledged together in one
+// opBatchAckMsg. Serving merges newer epochs as it goes, so ops later in
+// the batch are gated against the freshest view the batch itself revealed.
+func (a *ABD) handleOpBatch(m opBatchMsg) {
+	var readAcks []readAckEntry
+	var writeAcks []writeAckEntry
+	for _, r := range m.Reads {
+		if !a.serveEpoch(m, r.OpID, r.Attempt, r.Epoch) {
+			continue
+		}
+		ver, val, found := a.store.Read(r.Key)
+		readAcks = append(readAcks, readAckEntry{
+			OpID:    r.OpID,
+			Attempt: r.Attempt,
+			Version: ver,
+			Value:   val,
+			Found:   found,
+		})
+	}
+	for _, w := range m.Writes {
+		if !a.serveEpoch(m, w.OpID, w.Attempt, w.Epoch) {
+			continue
+		}
+		a.store.Apply(w.Key, w.Version, w.Value)
+		writeAcks = append(writeAcks, writeAckEntry{OpID: w.OpID, Attempt: w.Attempt})
+	}
+	if len(readAcks)+len(writeAcks) == 0 {
+		return // every op nacked individually; nothing to ack
+	}
+	a.ctx.Trigger(opBatchAckMsg{
+		Header:    network.Reply(m),
+		Epoch:     a.localEpoch,
+		ReadAcks:  readAcks,
+		WriteAcks: writeAcks,
+	}, a.net)
+}
+
+// handleOpBatchAck fans a batch ack back into the per-op quorum state
+// machines. Phase-2 imposes generated while ingesting read acks are queued
+// into the pending batches, so they coalesce into the next flush.
+func (a *ABD) handleOpBatchAck(m opBatchAckMsg) {
+	for _, r := range m.ReadAcks {
+		a.ingestReadAck(r.OpID, r.Attempt, r.Version, r.Value, r.Found)
+	}
+	for _, w := range m.WriteAcks {
+		a.ingestWriteAck(w.OpID, w.Attempt)
+	}
+}

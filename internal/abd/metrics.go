@@ -1,0 +1,72 @@
+// Process-wide quorum-coalescing counters, following the internal/handoff
+// pattern: plain atomics aggregated across every ABD component in the
+// process, exposed through the web metrics-source registry and the
+// monitor's runtime rollups. The batch-size distribution is a hand-rolled
+// power-of-two histogram (sizes, not latencies, so core.LatencyStats does
+// not fit).
+package abd
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/web"
+)
+
+// batchSizeBuckets are the histogram upper bounds: batches of size
+// ≤2, ≤4, … ≤64, +Inf. Size-1 batches never exist — they downgrade to
+// legacy single-op messages before sending.
+var batchSizeBuckets = [...]uint64{2, 4, 8, 16, 32, 64}
+
+var (
+	batchesTotal    atomic.Uint64
+	batchedOpsTotal atomic.Uint64
+	batchBuckets    [len(batchSizeBuckets) + 1]atomic.Uint64
+)
+
+// observeBatch records one flushed multi-op frame of n ops.
+func observeBatch(n int) {
+	batchesTotal.Add(1)
+	batchedOpsTotal.Add(uint64(n))
+	i := 0
+	for i < len(batchSizeBuckets) && uint64(n) > batchSizeBuckets[i] {
+		i++
+	}
+	batchBuckets[i].Add(1)
+}
+
+// BatchMetrics is a snapshot of the process-wide coalescing counters.
+type BatchMetrics struct {
+	// Batches is the number of multi-op frames flushed.
+	Batches uint64
+	// BatchedOps is the number of quorum phases carried in those frames.
+	BatchedOps uint64
+}
+
+// GlobalBatchMetrics snapshots the process-wide coalescing counters.
+func GlobalBatchMetrics() BatchMetrics {
+	return BatchMetrics{
+		Batches:    batchesTotal.Load(),
+		BatchedOps: batchedOpsTotal.Load(),
+	}
+}
+
+func init() {
+	web.RegisterMetricsSource("abd", func(m *web.MetricsWriter) {
+		s := GlobalBatchMetrics()
+		m.Header("cats_abd_batches_total", "counter", "Coalesced multi-op quorum frames flushed.")
+		m.Counter("cats_abd_batches_total", s.Batches)
+		m.Header("cats_abd_batched_ops_total", "counter", "Quorum phases carried in coalesced frames.")
+		m.Counter("cats_abd_batched_ops_total", s.BatchedOps)
+		m.Header("cats_abd_batch_size", "histogram", "Ops per coalesced quorum frame.")
+		var cum uint64
+		for i, le := range batchSizeBuckets {
+			cum += batchBuckets[i].Load()
+			m.Counter("cats_abd_batch_size_bucket", cum, "le", strconv.FormatUint(le, 10))
+		}
+		cum += batchBuckets[len(batchSizeBuckets)].Load()
+		m.Counter("cats_abd_batch_size_bucket", cum, "le", "+Inf")
+		m.Counter("cats_abd_batch_size_sum", s.BatchedOps)
+		m.Counter("cats_abd_batch_size_count", s.Batches)
+	})
+}

@@ -87,6 +87,9 @@ type NodeConfig struct {
 	// for lagging members before serving with what transferred
 	// (default 2s).
 	HandoffPullTimeout time.Duration
+	// NoCoalesce disables ABD quorum coalescing, sending every quorum
+	// phase as its own message (A/B benchmarking).
+	NoCoalesce bool
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -215,6 +218,7 @@ func (n *Node) Setup(ctx *core.Ctx) {
 		ReplicationDegree: n.cfg.ReplicationDegree,
 		OpTimeout:         n.cfg.OpTimeout,
 		Store:             store,
+		NoCoalesce:        n.cfg.NoCoalesce,
 	})
 	abdC := ctx.Create("abd", n.ABD)
 	n.Handoff = handoff.New(handoff.Config{

@@ -100,6 +100,13 @@ type ChurnResult struct {
 	HandoffTransfers uint64
 	// MaxEpoch is the highest replica-group epoch any node reached.
 	MaxEpoch uint64
+
+	// Sharded-store occupancy after the audit, summed over alive nodes:
+	// convergence must leave the survivors' stores populated, spread across
+	// shards (not collapsed into one by a broken hash split).
+	StoreKeys          int
+	StoreShardsInUse   int
+	StoreMaxShardShare float64 // largest single-shard fraction of any store
 }
 
 // Churn runs the chaos scenario: quorum puts/gets over a simulated CATS
@@ -273,6 +280,23 @@ func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnRe
 		}
 	}
 	res.Linearizable, res.NonLinearizableKey = linear.CheckPerKey(hist)
+
+	for _, ref := range host.AliveNodes() {
+		p, ok := host.Peer(ref.Key)
+		if !ok || p.Node == nil {
+			continue
+		}
+		st := p.Node.ABD.Store().Stats()
+		res.StoreKeys += st.Keys
+		res.StoreShardsInUse += st.NonEmptyShards
+		if st.Keys > 0 {
+			for _, n := range st.PerShard {
+				if share := float64(n) / float64(st.Keys); share > res.StoreMaxShardShare {
+					res.StoreMaxShardShare = share
+				}
+			}
+		}
+	}
 
 	// Lost-acked-write audit: per key with acknowledged writes, the final
 	// read must succeed and find one of them (or a later unacked write's

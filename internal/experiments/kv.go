@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/abd"
+	"repro/internal/cats"
+	"repro/internal/core"
+	"repro/internal/handoff"
+	"repro/internal/kvstore"
+	"repro/internal/network"
+)
+
+// kvClusterConfig returns relaxed node timings for the real-time KV
+// benchmarks: background protocol periods are slow so the measurement
+// reflects the operation path.
+func kvClusterConfig(noCoalesce bool) cats.NodeConfig {
+	return cats.NodeConfig{
+		ReplicationDegree: 3,
+		// The benchmark clusters are faultless, so the failure detector only
+		// adds noise: on a small machine a CPU-heavy phase (e.g. preloading a
+		// million registers) can delay ping handlers past the suspicion
+		// threshold, and one false eviction cascades into reconfiguration +
+		// full-store handoff that poisons the measurement. Make suspicion
+		// need ~30s of silence.
+		FDInterval:           5 * time.Second,
+		FDSuspectAfterMisses: 6,
+		StabilizePeriod:      time.Second,
+		CyclonPeriod:         2 * time.Second,
+		// Short per-attempt timeout: an op that catches a replica mid-epoch-
+		// sync (Busy nack) only retries on timeout, and a multi-second
+		// straggler would dominate the round's wall-clock in both variants.
+		OpTimeout:  500 * time.Millisecond,
+		NoCoalesce: noCoalesce,
+	}
+}
+
+// buildKVCluster boots a real-time loopback cluster of n nodes with full
+// per-message marshalling (the realistic framed-transport cost coalescing
+// amortizes) and waits for ring convergence. The caller must Shutdown the
+// returned runtime.
+func buildKVCluster(n int, noCoalesce bool) (*core.Runtime, *cats.Simulator, *core.Port) {
+	registry := network.NewLoopbackRegistry(network.WithCodec(network.Codec{}))
+	host := cats.NewSimulator(cats.LoopbackEnv{Registry: registry}, kvClusterConfig(noCoalesce))
+	rt := core.New(core.WithFaultPolicy(core.LogAndContinue))
+	var exp *core.Port
+	rt.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		c := ctx.Create("simulator", host)
+		exp = c.Provided(cats.ExperimentPortType)
+	}))
+	rt.WaitQuiescence(5 * time.Second)
+	for _, k := range spreadKeys(n) {
+		_ = core.TriggerOn(exp, cats.JoinNode{Key: k})
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitForRing(rt, host, n, 30*time.Second)
+	time.Sleep(500 * time.Millisecond) // membership tables settle
+	return rt, host, exp
+}
+
+// percentiles returns p50 and p99 of the (unsorted) latency samples.
+func percentiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2], s[len(s)*99/100]
+}
+
+// QuorumABResult summarizes the interleaved coalescing A/B comparison.
+type QuorumABResult struct {
+	Nodes    int
+	Clients  int
+	OpsRound int
+	Rounds   int
+
+	CoalescedOpsPS float64
+	LegacyOpsPS    float64
+	// Improvement is CoalescedOpsPS/LegacyOpsPS - 1.
+	Improvement  float64
+	CoalescedP50 time.Duration
+	CoalescedP99 time.Duration
+	LegacyP50    time.Duration
+	LegacyP99    time.Duration
+	// Batches/BatchedOps are the frames flushed and ops carried during the
+	// coalesced rounds (coordinator-side counters summed over nodes).
+	Batches    uint64
+	BatchedOps uint64
+}
+
+// quorumRound runs one closed-loop round on a fresh cluster and returns
+// completed ops, elapsed load time, latencies, and the coordinators' batch
+// counters.
+func quorumRound(nodes, clients, ops int, noCoalesce bool) (done uint64, elapsed time.Duration, lat []time.Duration, batches, batchedOps uint64) {
+	rt, host, exp := buildKVCluster(nodes, noCoalesce)
+	defer rt.Shutdown()
+
+	_ = core.TriggerOn(exp, cats.StartLoad{
+		Clients:      clients,
+		TotalOps:     ops,
+		ValueSize:    256,
+		ReadFraction: 0.5,
+		Keys:         64,
+	})
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if m := host.Metrics(); int(m.LoadDone) >= ops {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rt.WaitQuiescence(5 * time.Second)
+
+	m := host.Metrics()
+	for _, ref := range host.AliveNodes() {
+		if p, ok := host.Peer(ref.Key); ok && p.Node != nil {
+			b, bo := p.Node.ABD.BatchStats()
+			batches += b
+			batchedOps += bo
+		}
+	}
+	return m.LoadDone, m.LoadEnd.Sub(m.LoadStart), m.OpLatencies, batches, batchedOps
+}
+
+// QuorumAB measures the coalesced quorum path against the uncoalesced one
+// on the multi-op same-replica-set workload: `nodes` nodes at replication
+// degree 3 (with nodes == 3 every key maps to the same replica set), many
+// closed-loop clients so quorum phases pile up at the coordinators. Rounds
+// are interleaved, alternating which variant goes first, so machine drift
+// cancels instead of biasing one side.
+func QuorumAB(nodes, clients, opsPerRound, rounds int) QuorumABResult {
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if clients <= 0 {
+		clients = 48
+	}
+	if opsPerRound <= 0 {
+		opsPerRound = 4000
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	res := QuorumABResult{Nodes: nodes, Clients: clients, OpsRound: opsPerRound, Rounds: rounds}
+
+	var coDone, legDone uint64
+	var coTime, legTime time.Duration
+	var coLat, legLat []time.Duration
+	runOne := func(noCoalesce bool) {
+		done, elapsed, lat, b, bo := quorumRound(nodes, clients, opsPerRound, noCoalesce)
+		if noCoalesce {
+			legDone += done
+			legTime += elapsed
+			legLat = append(legLat, lat...)
+		} else {
+			coDone += done
+			coTime += elapsed
+			coLat = append(coLat, lat...)
+			res.Batches += b
+			res.BatchedOps += bo
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		if r%2 == 0 {
+			runOne(true)
+			runOne(false)
+		} else {
+			runOne(false)
+			runOne(true)
+		}
+	}
+
+	if coTime > 0 {
+		res.CoalescedOpsPS = float64(coDone) / coTime.Seconds()
+	}
+	if legTime > 0 {
+		res.LegacyOpsPS = float64(legDone) / legTime.Seconds()
+	}
+	if res.LegacyOpsPS > 0 {
+		res.Improvement = res.CoalescedOpsPS/res.LegacyOpsPS - 1
+	}
+	res.CoalescedP50, res.CoalescedP99 = percentiles(coLat)
+	res.LegacyP50, res.LegacyP99 = percentiles(legLat)
+	return res
+}
+
+// MillionKVResult summarizes the large-store open-loop profile.
+type MillionKVResult struct {
+	Nodes       int
+	Keys        int // distinct keys preloaded per replica
+	Ops         int // operations issued open-loop
+	RatePS      int // issue rate
+	Done        uint64
+	Failed      uint64
+	OpsPS       float64
+	P50         time.Duration
+	P99         time.Duration
+	AllocsPerOp float64
+	// Heap occupancy around the load phase (preloaded store resident in
+	// both), to show the sharded store serves traffic with stable memory.
+	HeapBeforeMB float64
+	HeapAfterMB  float64
+	// Per-shard occupancy of one replica's store after the run.
+	ShardKeys      int
+	NonEmptyShards int
+	MinShardKeys   int
+	MaxShardKeys   int
+}
+
+// MillionKV preloads every replica's sharded store with `keys` distinct
+// registers (directly through the store — populating through quorum writes
+// would measure the protocol, not the store) and then drives an open-loop
+// read-heavy workload at ratePS operations per second against the full
+// keyspace, reporting completed throughput, p50/p99, allocation rate, and
+// per-shard occupancy. Open-loop means the issue rate does not adapt to
+// completions: latencies include any queueing the store layer causes.
+func MillionKV(keys, ops, ratePS int) MillionKVResult {
+	if keys <= 0 {
+		keys = 1_000_000
+	}
+	if ops <= 0 {
+		ops = 30_000
+	}
+	if ratePS <= 0 {
+		ratePS = 1_500
+	}
+	const nodes = 3 // degree 3: every replica covers the whole keyspace
+	res := MillionKVResult{Nodes: nodes, Keys: keys, Ops: ops, RatePS: ratePS}
+
+	rt, host, exp := buildKVCluster(nodes, false)
+	defer rt.Shutdown()
+
+	// Preload each replica's store directly, identically (version-gated
+	// Apply makes the stores canonical).
+	val := make([]byte, 64)
+	for _, ref := range host.AliveNodes() {
+		p, ok := host.Peer(ref.Key)
+		if !ok || p.Node == nil {
+			continue
+		}
+		st := p.Node.ABD.Store()
+		for i := 0; i < keys; i++ {
+			st.Apply(millionKey(i), kvstore.Version{Seq: 1, Writer: 1}, val)
+		}
+	}
+
+	// Wait out any reconfiguration the preload provoked: if an epoch bump
+	// slipped in, replicas may be mid-handoff (Busy-nacking every op) for
+	// as long as the sync round over the big store takes. Measure only
+	// once epochs and handoff volume have been still for a few seconds.
+	waitForEpochQuiescence(host, 3*time.Second, 2*time.Minute)
+
+	// Double GC: pooled buffers (codec scratch from any handoff round the
+	// preload provoked) survive one collection and would inflate the
+	// before-measurement.
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	res.HeapBeforeMB = float64(msBefore.HeapAlloc) / (1 << 20)
+
+	// Open-loop issue at a fixed rate across the whole keyspace.
+	rng := rand.New(rand.NewSource(1))
+	interval := time.Second / time.Duration(ratePS)
+	opVal := make([]byte, 128)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		key := millionKey(rng.Intn(keys))
+		node := spreadKeys(nodes)[rng.Intn(nodes)]
+		if rng.Float64() < 0.9 {
+			_ = core.TriggerOn(exp, cats.OpGet{NodeKey: node, Key: key})
+		} else {
+			_ = core.TriggerOn(exp, cats.OpPut{NodeKey: node, Key: key, Value: opVal})
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	var m cats.Metrics
+	for time.Now().Before(deadline) {
+		m = host.Metrics()
+		if m.GetsOK+m.GetsFailed+m.PutsOK+m.PutsFailed >= uint64(ops) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	// GC before the after-measurement so HeapAfterMB is live occupancy
+	// (the preloaded store plus whatever the load retained), not transient
+	// message garbage. Mallocs is cumulative and unaffected.
+	runtime.GC()
+	runtime.ReadMemStats(&msAfter)
+	res.HeapAfterMB = float64(msAfter.HeapAlloc) / (1 << 20)
+	res.Done = m.GetsOK + m.PutsOK
+	res.Failed = m.GetsFailed + m.PutsFailed
+	if elapsed > 0 {
+		res.OpsPS = float64(res.Done) / elapsed.Seconds()
+	}
+	res.P50, res.P99 = percentiles(m.OpLatencies)
+	if res.Done > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Done)
+	}
+
+	if refs := host.AliveNodes(); len(refs) > 0 {
+		if p, ok := host.Peer(refs[0].Key); ok && p.Node != nil {
+			st := p.Node.ABD.Store().Stats()
+			res.ShardKeys = st.Keys
+			res.NonEmptyShards = st.NonEmptyShards
+			res.MinShardKeys, res.MaxShardKeys = st.PerShard[0], st.PerShard[0]
+			for _, n := range st.PerShard[1:] {
+				if n < res.MinShardKeys {
+					res.MinShardKeys = n
+				}
+				if n > res.MaxShardKeys {
+					res.MaxShardKeys = n
+				}
+			}
+		}
+	}
+	return res
+}
+
+// waitForEpochQuiescence blocks until no node's replica-group epoch and no
+// process-wide handoff counter has changed for `still`, or until `max`
+// elapses. Quiesced epochs mean no replica is inside a sync window.
+func waitForEpochQuiescence(host *cats.Simulator, still, max time.Duration) {
+	type snap struct {
+		epochs  []uint64
+		keys    uint64
+		syncing bool
+	}
+	take := func() snap {
+		s := snap{keys: handoff.GlobalMetrics().Keys}
+		for _, ref := range host.AliveNodes() {
+			if p, ok := host.Peer(ref.Key); ok && p.Node != nil {
+				s.epochs = append(s.epochs, p.Node.ABD.Epoch())
+				s.syncing = s.syncing || p.Node.ABD.Syncing()
+			}
+		}
+		return s
+	}
+	eq := func(a, b snap) bool {
+		// A replica inside a sync window is never quiet: the handoff keys
+		// counter only moves when the round completes, so an in-flight
+		// round would otherwise look still.
+		if a.syncing || b.syncing {
+			return false
+		}
+		if a.keys != b.keys || len(a.epochs) != len(b.epochs) {
+			return false
+		}
+		for i := range a.epochs {
+			if a.epochs[i] != b.epochs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(max)
+	last, lastChange := take(), time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(200 * time.Millisecond)
+		cur := take()
+		if !eq(cur, last) {
+			last, lastChange = cur, time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= still {
+			return
+		}
+	}
+}
+
+// millionKey names the i-th preloaded register.
+func millionKey(i int) string { return fmt.Sprintf("m-%d", i) }
+
+// Ensure the abd metrics sources are linked into benchmark binaries even
+// when only this file's experiments are used.
+var _ = abd.GlobalBatchMetrics

@@ -1,0 +1,94 @@
+package handoff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/kvstore"
+	"repro/internal/network"
+)
+
+// coverageInterval must agree exactly with per-key SuccessorsOf membership:
+// a key lies in owner's interval iff owner is among the key's successor
+// group. Randomized over ring layouts, degrees, and probe keys.
+func TestCoverageIntervalMatchesSuccessorsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		degree := 1 + rng.Intn(4)
+		members := make([]ident.NodeRef, n)
+		for i := range members {
+			addr, _ := network.ParseAddress(fmt.Sprintf("10.0.0.%d:4000", i+1))
+			members[i] = ident.NodeRef{Key: ident.Key(rng.Uint64()), Addr: addr}
+		}
+		ident.SortByKey(members)
+		members = ident.Dedup(members)
+		owner := members[rng.Intn(len(members))]
+		from, to, ok := coverageInterval(members, owner, degree)
+		if !ok {
+			// Duplicate ring keys: the fallback path handles it.
+			continue
+		}
+		for probe := 0; probe < 64; probe++ {
+			k := ident.Key(rng.Uint64())
+			inGroup := false
+			for _, o := range ident.SuccessorsOf(members, k, degree) {
+				if o.Addr == owner.Addr && o.Key == owner.Key {
+					inGroup = true
+					break
+				}
+			}
+			if got := k.InHalfOpenInterval(from, to); got != inGroup {
+				t.Fatalf("trial %d: key %d: interval (%d, %d] says %v, SuccessorsOf says %v (n=%d degree=%d)",
+					trial, k, from, to, got, inGroup, len(members), degree)
+			}
+		}
+	}
+}
+
+func TestCoverageIntervalEdgeCases(t *testing.T) {
+	addr := func(i int) network.Address {
+		a, _ := network.ParseAddress(fmt.Sprintf("10.0.0.%d:4000", i))
+		return a
+	}
+	a := ident.NodeRef{Key: 100, Addr: addr(1)}
+	b := ident.NodeRef{Key: 200, Addr: addr(2)}
+	dup := ident.NodeRef{Key: 100, Addr: addr(3)}
+
+	// Owner absent from the view.
+	if _, _, ok := coverageInterval([]ident.NodeRef{a}, b, 2); ok {
+		t.Fatal("absent owner must not yield an interval")
+	}
+	// Duplicate ring keys are ambiguous.
+	if _, _, ok := coverageInterval([]ident.NodeRef{a, dup, b}, b, 1); ok {
+		t.Fatal("duplicate keys must not yield an interval")
+	}
+	// Members <= degree: whole ring (from == to).
+	from, to, ok := coverageInterval([]ident.NodeRef{a, b}, a, 3)
+	if !ok || from != to {
+		t.Fatalf("small view: got (%d, %d] ok=%v, want whole ring", from, to, ok)
+	}
+}
+
+// shardCovered must never skip a shard that holds an uncovered key: it may
+// be conservative (scan a covered shard) but not lossy.
+func TestShardCoveredIsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		from := ident.Key(rng.Uint64())
+		to := ident.Key(rng.Uint64())
+		for si := 0; si < kvstore.ShardCount; si++ {
+			if !shardCovered(si, from, to) {
+				continue
+			}
+			lo, hi := kvstore.ShardSpan(si)
+			for _, k := range []ident.Key{lo, hi, lo + (hi-lo)/2} {
+				if !k.InHalfOpenInterval(from, to) {
+					t.Fatalf("shard %d declared covered by (%d, %d] but key %d is outside", si, from, to, k)
+				}
+			}
+		}
+	}
+}

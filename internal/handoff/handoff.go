@@ -232,31 +232,83 @@ func (h *Handoff) handleGroupView(v ring.GroupView) {
 	}, h.tmr)
 }
 
+// coverageInterval returns the ring interval (from, to] of keys owner
+// replicates under a key-sorted, deduplicated membership view: the keys
+// between owner's degree-th predecessor (exclusive) and owner itself
+// (inclusive). With at most degree members the owner covers the whole
+// ring, returned as from == to. ok is false when the interval form does
+// not apply — owner absent from the view, or duplicate ring keys making
+// predecessor order ambiguous — and callers fall back to per-key group
+// resolution.
+func coverageInterval(sorted []ident.NodeRef, owner ident.NodeRef, degree int) (from, to ident.Key, ok bool) {
+	idx := -1
+	for i, m := range sorted {
+		if i > 0 && m.Key == sorted[i-1].Key {
+			return 0, 0, false
+		}
+		if m.Key == owner.Key && m.Addr == owner.Addr {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, 0, false
+	}
+	to = sorted[idx].Key
+	if len(sorted) <= degree {
+		return to, to, true
+	}
+	from = sorted[(idx-degree+len(sorted))%len(sorted)].Key
+	return from, to, true
+}
+
+// shardCovered reports whether shard si's whole span lies inside the
+// coverage arc (from, to]: its low end is in the arc and walking clockwise
+// to its high end does not pass the arc's end.
+func shardCovered(si int, from, to ident.Key) bool {
+	if from == to {
+		return true
+	}
+	lo, hi := kvstore.ShardSpan(si)
+	return lo.InHalfOpenInterval(from, to) && lo.DistanceTo(hi) <= lo.DistanceTo(to)
+}
+
 // pushReleased sends every stored entry this node no longer replicates to
 // its current owners. Entries are never deleted locally — extra copies are
-// harmless, lost ones are not.
+// harmless, lost ones are not. Iteration is per store shard: shards whose
+// ring span stays fully inside this node's coverage arc hold nothing to
+// push and are skipped without scanning.
 func (h *Handoff) pushReleased(v ring.GroupView) {
 	if len(v.Members) < 2 {
 		return
 	}
+	members := append([]ident.NodeRef(nil), v.Members...)
+	ident.SortByKey(members)
+	members = ident.Dedup(members)
+	covFrom, covTo, covOK := coverageInterval(members, h.cfg.Self, h.cfg.Degree)
+
 	perOwner := make(map[network.Address][]kvstore.Entry)
 	owners := make([]ident.NodeRef, 0, h.cfg.Degree)
-	for _, e := range h.cfg.Store.Entries() {
-		group := ident.SuccessorsOf(v.Members, ident.KeyOfString(e.Key), h.cfg.Degree)
-		covered := false
-		owners = owners[:0]
-		for _, o := range group {
-			if o.Addr == h.cfg.Self.Addr {
-				covered = true
-			} else {
-				owners = append(owners, o)
+	for si := 0; si < h.cfg.Store.NumShards(); si++ {
+		if covOK && shardCovered(si, covFrom, covTo) {
+			continue // everything in this shard is still replicated here
+		}
+		for _, e := range h.cfg.Store.ShardEntries(si) {
+			group := ident.SuccessorsOf(members, ident.KeyOfString(e.Key), h.cfg.Degree)
+			covered := false
+			owners = owners[:0]
+			for _, o := range group {
+				if o.Addr == h.cfg.Self.Addr {
+					covered = true
+				} else {
+					owners = append(owners, o)
+				}
 			}
-		}
-		if covered {
-			continue
-		}
-		for _, o := range owners {
-			perOwner[o.Addr] = append(perOwner[o.Addr], e)
+			if covered {
+				continue
+			}
+			for _, o := range owners {
+				perOwner[o.Addr] = append(perOwner[o.Addr], e)
+			}
 		}
 	}
 	// Iterate owners in the deterministic member order, not map order.
@@ -298,33 +350,57 @@ func (h *Handoff) handlePullReq(m pullReqMsg) {
 	ident.SortByKey(merged)
 	merged = ident.Dedup(merged)
 
-	var items []kvstore.Entry
-	for _, e := range h.cfg.Store.Entries() {
-		group := ident.SuccessorsOf(merged, ident.KeyOfString(e.Key), h.cfg.Degree)
-		for _, o := range group {
-			if o.Addr == m.Requester.Addr {
-				items = append(items, e)
-				break
+	// The requester's covered range is one ring interval, so only the
+	// store shards overlapping it are scanned, and chunks never straddle a
+	// shard: each partition streams out as its own run of itemsMsg frames.
+	var shardItems [][]kvstore.Entry
+	total := 0
+	if covFrom, covTo, covOK := coverageInterval(merged, m.Requester, h.cfg.Degree); covOK {
+		for _, si := range kvstore.ShardsInRange(covFrom, covTo) {
+			items := h.cfg.Store.ShardEntriesInRange(si, covFrom, covTo)
+			if len(items) > 0 {
+				shardItems = append(shardItems, items)
+				total += len(items)
 			}
+		}
+	} else {
+		// Ambiguous view (duplicate ring keys): resolve per key.
+		var items []kvstore.Entry
+		for _, e := range h.cfg.Store.Entries() {
+			group := ident.SuccessorsOf(merged, ident.KeyOfString(e.Key), h.cfg.Degree)
+			for _, o := range group {
+				if o.Addr == m.Requester.Addr {
+					items = append(items, e)
+					break
+				}
+			}
+		}
+		if len(items) > 0 {
+			shardItems = append(shardItems, items)
+			total = len(items)
 		}
 	}
 	h.pullsServed++
-	if len(items) == 0 {
+	if total == 0 {
 		h.ctx.Trigger(itemsMsg{Header: network.Reply(m), Epoch: m.Epoch, Round: m.Round, Done: true}, h.net)
 		return
 	}
-	for start := 0; start < len(items); start += h.cfg.ChunkSize {
-		end := start + h.cfg.ChunkSize
-		if end > len(items) {
-			end = len(items)
+	sent := 0
+	for _, items := range shardItems {
+		for start := 0; start < len(items); start += h.cfg.ChunkSize {
+			end := start + h.cfg.ChunkSize
+			if end > len(items) {
+				end = len(items)
+			}
+			sent += end - start
+			h.ctx.Trigger(itemsMsg{
+				Header: network.Reply(m),
+				Epoch:  m.Epoch,
+				Round:  m.Round,
+				Items:  items[start:end],
+				Done:   sent == total,
+			}, h.net)
 		}
-		h.ctx.Trigger(itemsMsg{
-			Header: network.Reply(m),
-			Epoch:  m.Epoch,
-			Round:  m.Round,
-			Items:  items[start:end],
-			Done:   end == len(items),
-		}, h.net)
 	}
 }
 

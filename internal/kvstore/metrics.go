@@ -1,0 +1,69 @@
+// Process-wide kvstore counters, following the internal/handoff pattern:
+// plain atomics aggregated across every store in the process (one per node
+// in simulations), exposed through the web metrics-source registry and the
+// monitor's runtime rollups. Counters only ever grow — short-lived
+// simulation stores come and go, so per-shard occupancy is exported as the
+// monotone count of keys materialized per shard, and live per-store
+// occupancy is read through Store.Stats where the store is at hand.
+package kvstore
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/web"
+)
+
+var (
+	storesTotal    atomic.Uint64
+	readsTotal     atomic.Uint64
+	appliesTotal   atomic.Uint64
+	rejectedTotal  atomic.Uint64
+	shardKeysTotal [ShardCount]atomic.Uint64
+)
+
+// Metrics is a snapshot of the process-wide kvstore counters.
+type Metrics struct {
+	// Stores is the number of stores created in this process.
+	Stores uint64
+	// Reads is the number of Read calls across all stores.
+	Reads uint64
+	// Applies is the number of writes that advanced a register version.
+	Applies uint64
+	// Rejected is the number of writes refused by the version gate.
+	Rejected uint64
+	// ShardKeys counts keys materialized per shard across all stores.
+	ShardKeys [ShardCount]uint64
+}
+
+// GlobalMetrics snapshots the process-wide kvstore counters.
+func GlobalMetrics() Metrics {
+	m := Metrics{
+		Stores:   storesTotal.Load(),
+		Reads:    readsTotal.Load(),
+		Applies:  appliesTotal.Load(),
+		Rejected: rejectedTotal.Load(),
+	}
+	for i := range shardKeysTotal {
+		m.ShardKeys[i] = shardKeysTotal[i].Load()
+	}
+	return m
+}
+
+func init() {
+	web.RegisterMetricsSource("kvstore", func(m *web.MetricsWriter) {
+		s := GlobalMetrics()
+		m.Header("cats_kvstore_stores_total", "counter", "Stores created in this process.")
+		m.Counter("cats_kvstore_stores_total", s.Stores)
+		m.Header("cats_kvstore_reads_total", "counter", "Register reads across all stores.")
+		m.Counter("cats_kvstore_reads_total", s.Reads)
+		m.Header("cats_kvstore_applies_total", "counter", "Writes that advanced a register version.")
+		m.Counter("cats_kvstore_applies_total", s.Applies)
+		m.Header("cats_kvstore_rejected_total", "counter", "Writes refused by the version gate.")
+		m.Counter("cats_kvstore_rejected_total", s.Rejected)
+		m.Header("cats_kvstore_shard_keys_total", "counter", "Keys materialized per shard across all stores.")
+		for i := range s.ShardKeys {
+			m.Counter("cats_kvstore_shard_keys_total", s.ShardKeys[i], "shard", strconv.Itoa(i))
+		}
+	})
+}

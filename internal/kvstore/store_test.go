@@ -61,6 +61,121 @@ func TestEntriesInRangeFiltersByHashedKey(t *testing.T) {
 	}
 }
 
+// Shard iteration must partition the store exactly: every key lands in the
+// shard its ring hash selects, per-shard iteration is key-sorted, and the
+// concatenation of all shards equals the whole store.
+func TestShardPartitioning(t *testing.T) {
+	s := New()
+	const n = 512
+	for i := 0; i < n; i++ {
+		s.Apply(fmt.Sprintf("k-%d", i), Version{Seq: 1, Writer: 1}, []byte{byte(i)})
+	}
+	if s.NumShards() != ShardCount {
+		t.Fatalf("NumShards %d, want %d", s.NumShards(), ShardCount)
+	}
+	total := 0
+	seen := make(map[string]bool, n)
+	for i := 0; i < s.NumShards(); i++ {
+		es := s.ShardEntries(i)
+		if len(es) != s.ShardLen(i) {
+			t.Fatalf("shard %d: entries %d != len %d", i, len(es), s.ShardLen(i))
+		}
+		total += len(es)
+		for j, e := range es {
+			if got := ShardOf(ident.KeyOfString(e.Key)); got != i {
+				t.Fatalf("key %q in shard %d, hashes to %d", e.Key, i, got)
+			}
+			if j > 0 && es[j-1].Key >= e.Key {
+				t.Fatalf("shard %d entries not sorted", i)
+			}
+			seen[e.Key] = true
+		}
+		lo, hi := ShardSpan(i)
+		for _, e := range es {
+			h := ident.KeyOfString(e.Key)
+			if h < lo || h > hi {
+				t.Fatalf("key %q hash %d outside shard %d span [%d, %d]", e.Key, h, i, lo, hi)
+			}
+		}
+	}
+	if total != n || len(seen) != n {
+		t.Fatalf("shards cover %d keys (%d distinct), want %d", total, len(seen), n)
+	}
+	if st := s.Stats(); st.Keys != n || st.NonEmptyShards == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// ShardsInRange must select exactly the shards holding keys of the
+// interval: a range query over only those shards returns the same result as
+// a brute-force full scan, for wrapping and non-wrapping arcs.
+func TestShardsInRangeMatchesBruteForce(t *testing.T) {
+	s := New()
+	const n = 256
+	for i := 0; i < n; i++ {
+		s.Apply(fmt.Sprintf("k-%d", i), Version{Seq: 1, Writer: 1}, nil)
+	}
+	brute := func(from, to ident.Key) map[string]bool {
+		out := make(map[string]bool)
+		for _, e := range s.Entries() {
+			if ident.KeyOfString(e.Key).InHalfOpenInterval(from, to) {
+				out[e.Key] = true
+			}
+		}
+		return out
+	}
+	arcs := []struct{ from, to ident.Key }{
+		{0, 1 << 63},           // non-wrapping half
+		{1 << 63, 0},           // other half
+		{1 << 62, 3 << 62},     // middle
+		{3 << 62, 1 << 62},     // wrapping
+		{42, 42},               // whole ring
+		{1<<60 + 5, 1<<60 + 6}, // tiny arc inside one shard
+		{^ident.Key(0) - 3, 3}, // tiny wrapping arc
+	}
+	for _, a := range arcs {
+		want := brute(a.from, a.to)
+		got := s.EntriesInRange(a.from, a.to)
+		if len(got) != len(want) {
+			t.Fatalf("arc (%d, %d]: got %d entries, want %d", a.from, a.to, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e.Key] {
+				t.Fatalf("arc (%d, %d]: unexpected key %q", a.from, a.to, e.Key)
+			}
+		}
+		// Shard-level union must equal the store-level result too.
+		var viaShards int
+		for _, i := range ShardsInRange(a.from, a.to) {
+			viaShards += len(s.ShardEntriesInRange(i, a.from, a.to))
+		}
+		if viaShards != len(want) {
+			t.Fatalf("arc (%d, %d]: per-shard union %d, want %d", a.from, a.to, viaShards, len(want))
+		}
+	}
+	// Skipping is real: a one-shard arc must not visit all shards.
+	if got := ShardsInRange(1<<60+5, 1<<60+6); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("one-shard arc selected shards %v", got)
+	}
+}
+
+// Version.String is used in hot-path error/trace strings; the strconv
+// rendering must cost at most the single unavoidable string allocation.
+func TestVersionStringAlloc(t *testing.T) {
+	v := Version{Seq: 18446744073709551615, Writer: 9999999999999}
+	if got, want := v.String(), "18446744073709551615.9999999999999"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	var sink string
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = v.String()
+	})
+	_ = sink
+	if allocs > 1 {
+		t.Fatalf("Version.String allocs/op = %v, want <= 1", allocs)
+	}
+}
+
 // The store is shared between the ABD replica and the handoff component of
 // one node, which run on different scheduler workers: concurrent reads,
 // writes, and range iterations must be safe (run under -race).

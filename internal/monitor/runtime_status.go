@@ -1,8 +1,10 @@
 package monitor
 
 import (
+	"repro/internal/abd"
 	"repro/internal/core"
 	"repro/internal/handoff"
+	"repro/internal/kvstore"
 	"repro/internal/network"
 	"repro/internal/status"
 )
@@ -88,5 +90,12 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 	m["handoff.bytes"] = int64(h.Bytes)
 	m["handoff.transfers"] = int64(h.Transfers)
 	m["group.epoch"] = int64(h.Epoch)
+	k := kvstore.GlobalMetrics()
+	m["kv.reads"] = int64(k.Reads)
+	m["kv.applies"] = int64(k.Applies)
+	m["kv.rejected"] = int64(k.Rejected)
+	b := abd.GlobalBatchMetrics()
+	m["abd.batches"] = int64(b.Batches)
+	m["abd.batched_ops"] = int64(b.BatchedOps)
 	return m
 }
