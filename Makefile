@@ -78,6 +78,7 @@ chaos:
 	/tmp/catssim -mode chaos -seed 3 -trace > /tmp/chaos-b.txt
 	diff -u /tmp/chaos-a.txt /tmp/chaos-b.txt && cat /tmp/chaos-a.txt
 	@! grep -q 'handoff_transfers=0 ' /tmp/chaos-a.txt || { echo "no handoff sync rounds completed"; exit 1; }
+	@grep -q 'timelines=[1-9]' /tmp/chaos-a.txt || { echo "no trace timelines assembled"; exit 1; }
 	/tmp/catssim -mode chaos -seed 11 -long -trace > /tmp/chaos-long-a.txt
 	/tmp/catssim -mode chaos -seed 11 -long -trace > /tmp/chaos-long-b.txt
 	diff -u /tmp/chaos-long-a.txt /tmp/chaos-long-b.txt && cat /tmp/chaos-long-a.txt

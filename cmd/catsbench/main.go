@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | million | all")
+		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | trace | million | all")
 		seed    = flag.Int64("seed", 2012, "random seed")
 		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		jsonDir = flag.String("json-dir", "", "directory to write BENCH_<name>.json results into")
@@ -43,7 +43,7 @@ func main() {
 	run := map[string]bool{}
 	if *exp == "all" {
 		run["table1"], run["latency"], run["scaling"], run["stealing"] = true, true, true, true
-		run["quorum"], run["million"] = true, true
+		run["quorum"], run["trace"], run["million"] = true, true, true
 	} else {
 		run[*exp] = true
 	}
@@ -66,6 +66,10 @@ func main() {
 	}
 	if run["quorum"] {
 		quorum(*quick, *jsonDir)
+		any = true
+	}
+	if run["trace"] {
+		traceOverhead(*quick, *jsonDir)
 		any = true
 	}
 	if run["million"] {
@@ -257,6 +261,52 @@ func quorum(quick bool, jsonDir string) {
 		LegacyP99Mic: float64(r.LegacyP99.Microseconds()),
 		Batches:      r.Batches,
 		BatchedOps:   r.BatchedOps,
+	})
+}
+
+// traceOverhead measures the span layer's cost on the coalesced quorum
+// workload at three sampling rates. The acceptance gate is on default
+// sampling: within 3% of tracing-off throughput.
+func traceOverhead(quick bool, jsonDir string) {
+	clients, ops, rounds := 48, 4000, 3
+	if quick {
+		clients, ops, rounds = 32, 1200, 2
+	}
+	fmt.Println("== C6: distributed-tracing overhead on the quorum workload (A/B/C) ==")
+	fmt.Println("   (same 3-node coalesced quorum workload as C4, run at three sampling")
+	fmt.Println("    rates with rounds interleaved in rotating order so drift cancels;")
+	fmt.Println("    unsampled ops must stay allocation-free, so 1-in-64 should be noise)")
+	fmt.Println()
+	r := experiments.QuorumTraceAB(3, clients, ops, rounds)
+	fmt.Printf("%12s  %12s  %10s  %10s  %10s  %10s\n", "Sampling", "ops/s", "P50", "P99", "Spans", "vs off")
+	arm := func(name string, a experiments.QuorumTraceArm, overhead float64, gated string) {
+		fmt.Printf("%12s  %12.0f  %10v  %10v  %10d  %9.1f%%%s\n", name, a.OpsPS,
+			a.P50.Round(time.Microsecond), a.P99.Round(time.Microsecond), a.Spans, 100*overhead, gated)
+	}
+	arm("off", r.Off, 0, "")
+	gated := "  (gate <=3%)"
+	arm("1-in-64", r.Sampled, r.SampledOverhead, gated)
+	arm("always", r.Always, r.AlwaysOverhead, "")
+	rps := func(name string, a experiments.QuorumTraceArm) {
+		fmt.Printf("   per-round ops/s %-8s", name)
+		for _, ps := range a.RoundPS {
+			fmt.Printf(" %8.0f", ps)
+		}
+		fmt.Println()
+	}
+	rps("off:", r.Off)
+	rps("1-in-64:", r.Sampled)
+	rps("always:", r.Always)
+	fmt.Println()
+	writeJSON(jsonDir, benchJSON{
+		Name:         "trace",
+		OpsPS:        r.Sampled.OpsPS,
+		P50Micros:    float64(r.Sampled.P50.Microseconds()),
+		P99Micros:    float64(r.Sampled.P99.Microseconds()),
+		LegacyOpsPS:  r.Off.OpsPS,
+		Improvement:  -r.SampledOverhead,
+		LegacyP50Mic: float64(r.Off.P50.Microseconds()),
+		LegacyP99Mic: float64(r.Off.P99.Microseconds()),
 	})
 }
 

@@ -1,31 +1,39 @@
 // catsctl is a small operator CLI for a running CATS deployment: it talks
 // to a node's embedded web interface (catsnode -web) to get and put keys
 // and to inspect node status, and to the monitoring server's web interface
-// for the global view.
+// for the global view and assembled trace timelines.
 //
 //	catsctl -node 127.0.0.1:8081 put city montreal
 //	catsctl -node 127.0.0.1:8082 get city
 //	catsctl -node 127.0.0.1:8081 status
-//	catsctl -node 127.0.0.1:8090 view        # monitor server global view
+//	catsctl -node 127.0.0.1:8090 view                  # monitor server global view
+//	catsctl -node 127.0.0.1:8090 trace 00a1b2c3d4e5f607  # one op's cross-node timeline
+//	catsctl -node 127.0.0.1:8090 traces -slowest 5     # slowest assembled timelines
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
+	"strings"
 	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/tracing"
 )
 
 func main() {
 	var (
-		node    = flag.String("node", "127.0.0.1:8080", "web address of the node (or monitor server for 'view')")
+		node    = flag.String("node", "127.0.0.1:8080", "web address of the node (or monitor server for 'view'/'trace'/'traces')")
 		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: catsctl [-node host:port] <get KEY | put KEY VALUE | status | view>\n")
+		fmt.Fprintf(os.Stderr, "usage: catsctl [-node host:port] <get KEY | put KEY VALUE | status | view | trace ID | traces [-slowest N] [-phase NAME] [-restarts N]>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,6 +61,31 @@ func main() {
 		reqURL = fmt.Sprintf("http://%s/status", *node)
 	case "view":
 		reqURL = fmt.Sprintf("http://%s/", *node)
+	case "trace":
+		if len(args) != 2 {
+			fatal("trace requires exactly one trace ID (16 hex digits)")
+		}
+		if _, err := tracing.ParseID(args[1]); err != nil {
+			fatal(err.Error())
+		}
+		runTraces(client, *node, url.Values{"id": {args[1]}}, true)
+		return
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		slowest := fs.Int("slowest", 10, "show the N slowest timelines")
+		phase := fs.String("phase", "", "only timelines containing a span with this name")
+		restarts := fs.Int("restarts", 0, "only timelines with at least N epoch restarts")
+		full := fs.Bool("full", false, "render every span ladder, not just the summary table")
+		_ = fs.Parse(args[1:])
+		q := url.Values{"slowest": {fmt.Sprint(*slowest)}}
+		if *phase != "" {
+			q.Set("phase", *phase)
+		}
+		if *restarts > 0 {
+			q.Set("restarts", fmt.Sprint(*restarts))
+		}
+		runTraces(client, *node, q, *full)
+		return
 	default:
 		fatal(fmt.Sprintf("unknown command %q", args[0]))
 	}
@@ -69,6 +102,116 @@ func main() {
 	fmt.Println(string(body))
 	if resp.StatusCode != http.StatusOK {
 		os.Exit(1)
+	}
+}
+
+// runTraces fetches assembled timelines from the monitor's /traces
+// endpoint and renders them.
+func runTraces(client *http.Client, node string, q url.Values, full bool) {
+	resp, err := client.Get(fmt.Sprintf("http://%s/traces?%s", node, q.Encode()))
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(strings.TrimSpace(string(body)))
+	}
+	var reply monitor.TracesReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		fatal("bad /traces reply: " + err.Error())
+	}
+
+	names := make([]string, 0, len(reply.ScrapeErrors))
+	for n := range reply.ScrapeErrors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "catsctl: node %s not scraped: %s\n", n, reply.ScrapeErrors[n])
+	}
+	if len(reply.Result) == 0 {
+		fmt.Println("no matching timelines")
+		return
+	}
+	if !full {
+		fmt.Printf("%-16s  %-4s %-12s %-8s %9s  %8s  %s\n",
+			"TRACE", "OP", "KEY", "OUTCOME", "DURATION", "RESTARTS", "NODES")
+		for _, tl := range reply.Result {
+			fmt.Printf("%-16s  %-4s %-12s %-8s %9s  %8d  %s\n",
+				tl.TraceHex, tl.Name, tl.Key, tl.Outcome,
+				tl.Duration.Round(time.Microsecond), tl.Restarts, strings.Join(tl.Nodes, ","))
+		}
+		fmt.Println("\nrun `catsctl trace <TRACE>` for a span ladder")
+		return
+	}
+	for i, tl := range reply.Result {
+		if i > 0 {
+			fmt.Println()
+		}
+		printTimeline(os.Stdout, tl)
+	}
+}
+
+// printTimeline renders one timeline as an indented span ladder with a
+// proportional time bar:
+//
+//	trace 00a1… put key=city ok 12.3ms restarts=1 nodes=[a,b]
+//	  put              ok        0s  12.3ms |########################|
+//	    attempt        restart   0s   4.0ms |########                | ↩
+func printTimeline(w io.Writer, tl tracing.Timeline) {
+	fmt.Fprintf(w, "trace %s  %s", tl.TraceHex, tl.Name)
+	if tl.Key != "" {
+		fmt.Fprintf(w, " key=%s", tl.Key)
+	}
+	fmt.Fprintf(w, "  %s  %s  restarts=%d  nodes=[%s]\n",
+		tl.Outcome, tl.Duration.Round(time.Microsecond), tl.Restarts, strings.Join(tl.Nodes, ","))
+
+	// Depth by parent links; spans referencing a parent outside the
+	// snapshot (ring wrap) indent one level.
+	depth := map[uint64]int{}
+	spanDepth := func(s tracing.Span) int {
+		if s.Parent == 0 {
+			return 0
+		}
+		if d, ok := depth[s.Parent]; ok {
+			return d + 1
+		}
+		return 1
+	}
+	const barWidth = 24
+	total := tl.Duration
+	if total <= 0 {
+		total = 1
+	}
+	for _, s := range tl.Spans {
+		d := spanDepth(s)
+		depth[s.ID] = d
+		off := s.Start.Sub(tl.Start)
+		dur := s.Duration()
+		lead := int(int64(barWidth) * int64(off) / int64(total))
+		fill := int(int64(barWidth) * int64(dur) / int64(total))
+		if fill < 1 {
+			fill = 1
+		}
+		if lead+fill > barWidth {
+			fill = barWidth - lead
+		}
+		bar := strings.Repeat(" ", lead) + strings.Repeat("#", fill) +
+			strings.Repeat(" ", barWidth-lead-fill)
+		label := strings.Repeat("  ", d+1) + s.Name
+		if s.Attempt > 0 {
+			label += fmt.Sprintf("#%d", s.Attempt)
+		}
+		fmt.Fprintf(w, "%-26s %-10s %8s %9s |%s| %s",
+			label, s.Outcome, off.Round(time.Microsecond), dur.Round(time.Microsecond), bar, s.Node)
+		if s.Link != 0 {
+			fmt.Fprintf(w, "  ↩ restarts %016x", s.Link)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ident"
 	"repro/internal/network"
+	"repro/internal/tracing"
 	"repro/internal/web"
 )
 
@@ -41,8 +42,10 @@ func main() {
 		replicas   = flag.Int("replication", 3, "replication degree")
 		compress   = flag.Bool("compress", false, "zlib-compress network messages")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the web listener")
+		traceEvery = flag.Int("trace-sample", 64, "trace one operation in N (rounded up to a power of two; 1: every op, 0: tracing off)")
 	)
 	flag.Parse()
+	tracing.SetSampleEvery(*traceEvery)
 
 	addr, err := network.ParseAddress(*addrS)
 	if err != nil {
@@ -89,7 +92,7 @@ func main() {
 
 	fmt.Printf("catsnode: %s up (replication=%d", self, *replicas)
 	if *webS != "" {
-		fmt.Printf(", web http://%s/status, metrics http://%s/metrics", *webS, *webS)
+		fmt.Printf(", web http://%s/status, metrics http://%s/metrics, spans http://%s/debug/trace", *webS, *webS, *webS)
 	}
 	fmt.Println(")")
 

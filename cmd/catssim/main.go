@@ -113,10 +113,22 @@ func runChaos(seed int64, trace, long bool) {
 	fmt.Printf("  store_keys=%d store_shards_in_use=%d store_max_shard_share=%.2f\n",
 		r.StoreKeys, r.StoreShardsInUse, r.StoreMaxShardShare)
 	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
+	fmt.Printf("  spans=%d timelines=%d cross_node=%d restart_traces=%d trace_digest=%016x\n",
+		r.TraceSpans, r.TraceTimelines, r.CrossNodeTraces, r.RestartTraces, r.TraceDigest)
 	if digest != nil {
 		fmt.Printf("  trace: records=%d digest=%016x\n", digest.n, digest.h.Sum64())
 	}
 	if !r.Linearizable || r.LostAckedWrites != 0 {
+		// Cite the offending operations' assembled cross-node timelines so
+		// the failure is debuggable from the report alone.
+		for _, tl := range r.ViolationTimelines() {
+			fmt.Fprintf(os.Stderr, "catssim chaos: implicated op: trace=%s %s key=%s outcome=%s restarts=%d nodes=%v spans=%d\n",
+				tl.TraceHex, tl.Name, tl.Key, tl.Outcome, tl.Restarts, tl.Nodes, len(tl.Spans))
+			for _, s := range tl.Spans {
+				fmt.Fprintf(os.Stderr, "    %-14s %-10s attempt=%d epoch=%d node=%s span=%016x parent=%016x link=%016x\n",
+					s.Name, s.Outcome, s.Attempt, s.Epoch, s.Node, s.ID, s.Parent, s.Link)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED")
 		os.Exit(1)
 	}

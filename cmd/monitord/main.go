@@ -42,8 +42,8 @@ func main() {
 		bridge := ctx.Create("web", web.NewBridge(web.BridgeConfig{Listen: *webS, EnablePprof: *pprofOn}))
 		ctx.Connect(srv.Provided(web.PortType), bridge.Required(web.PortType))
 	}))
-	fmt.Printf("monitord: reports on %s, global view at http://%s/, alerts at http://%s/alerts, federated metrics at http://%s/federate\n",
-		addr, *webS, *webS, *webS)
+	fmt.Printf("monitord: reports on %s, global view at http://%s/, alerts at http://%s/alerts, federated metrics at http://%s/federate, trace timelines at http://%s/traces\n",
+		addr, *webS, *webS, *webS, *webS)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

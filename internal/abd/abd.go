@@ -12,6 +12,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/status"
 	"repro/internal/timer"
+	"repro/internal/tracing"
 )
 
 // Client-facing PutGet events (the paper's PutGet port).
@@ -62,6 +63,7 @@ var PutGetPortType = core.NewPortType("PutGet",
 
 type readMsg struct {
 	network.Header
+	tracing.Context
 	OpID    uint64
 	Attempt int
 	Epoch   uint64
@@ -80,6 +82,7 @@ type readAckMsg struct {
 
 type writeMsg struct {
 	network.Header
+	tracing.Context
 	OpID    uint64
 	Attempt int
 	Epoch   uint64
@@ -164,6 +167,16 @@ type op struct {
 	retries       int
 	epochRestarts int
 	timerID       timer.ID
+
+	// Tracing state: zero traceID means the op is unsampled and every
+	// tracing hook is a no-op (see trace.go for the span model).
+	traceID      uint64
+	rootSpan     uint64
+	attemptSpan  uint64
+	linkSpan     uint64 // restart link owed to the next attempt span
+	opStart      time.Time
+	attemptStart time.Time
+	phaseStart   time.Time
 }
 
 // Config parameterizes the ABD component.
@@ -215,6 +228,9 @@ type ABD struct {
 	store *Store
 	ops   map[uint64]*op
 	seq   uint64
+	// ids mints trace and span IDs; nodeName labels this node's spans.
+	ids      *tracing.IDSource
+	nodeName string
 	// lamport is the coordinator's write clock: it advances past every
 	// version observed in read phases, so two writes coordinated
 	// concurrently by this node never reuse a (Seq, Writer) pair — without
@@ -270,6 +286,8 @@ var _ core.Definition = (*ABD)(nil)
 // Setup declares ports and handlers.
 func (a *ABD) Setup(ctx *core.Ctx) {
 	a.ctx = ctx
+	a.nodeName = a.cfg.Self.Addr.String()
+	a.ids = tracing.NewIDSource(a.nodeName)
 	a.pg = ctx.Provides(PutGetPortType)
 	a.rout = ctx.Requires(router.PortType)
 	a.hop = ctx.Requires(handoff.PortType)
@@ -381,6 +399,7 @@ func (a *ABD) handlePut(p PutRequest) {
 func (a *ABD) startOp(o *op) {
 	a.seq++
 	o.id = a.seq
+	a.beginTrace(o)
 	a.ops[o.id] = o
 	a.beginAttempt(o)
 }
@@ -389,6 +408,7 @@ func (a *ABD) startOp(o *op) {
 func (a *ABD) beginAttempt(o *op) {
 	o.phase = phaseRoute
 	o.attempt++
+	a.beginAttemptTrace(o)
 	o.readAcks, o.writeAcks, o.bestCount = 0, 0, 0
 	o.bestVer, o.bestVal, o.bestFound = Version{}, nil, false
 	o.timerID = timer.NextID()
@@ -423,9 +443,11 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 		o.epoch = a.localEpoch
 	}
 	o.quorum = len(f.Group)/2 + 1
+	a.endPhase(o, outcomeOK)
 	o.phase = phaseRead
 	for _, n := range o.group {
 		a.sendRead(n.Addr, readPhase{
+			Context: o.wireCtx(),
 			OpID:    o.id,
 			Attempt: o.attempt,
 			Epoch:   o.epoch,
@@ -457,6 +479,7 @@ func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []b
 	if o.readAcks < o.quorum {
 		return
 	}
+	a.endPhase(o, outcomeOK)
 	// A read that found no written value anywhere in the quorum completes
 	// without an impose round: there is nothing to write back, and
 	// returning "not found" linearizes before any still-incomplete write.
@@ -487,6 +510,7 @@ func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []b
 	}
 	for _, n := range o.group {
 		a.sendWrite(n.Addr, writePhase{
+			Context: o.wireCtx(),
 			OpID:    o.id,
 			Attempt: o.attempt,
 			Epoch:   o.epoch,
@@ -513,6 +537,7 @@ func (a *ABD) ingestWriteAck(opID uint64, attempt int) {
 	if o.writeAcks < o.quorum {
 		return
 	}
+	a.endPhase(o, outcomeOK)
 	a.finish(o, "")
 }
 
@@ -537,12 +562,17 @@ func (a *ABD) handleNack(m nackMsg) {
 	// wider than the timeout budget but finite: a node that can never catch
 	// up must fail the op rather than spin.
 	if o.epochRestarts >= 2*a.cfg.MaxRetries {
+		a.endPhase(o, outcomeFail)
 		a.finish(o, "stale epoch: view kept changing")
 		return
 	}
 	o.epochRestarts++
 	a.statEpochRestarts++
 	a.ctx.Trigger(timer.CancelTimeout{ID: o.timerID}, a.tmr)
+	// The restarted attempt keeps the trace: the superseded attempt span
+	// ends with outcome "restart" and the next one links back to it.
+	a.endPhase(o, outcomeRestart)
+	a.restartTrace(o)
 	a.beginAttempt(o)
 }
 
@@ -552,6 +582,9 @@ func (a *ABD) finish(o *op, errMsg string) {
 	a.ctx.Trigger(timer.CancelTimeout{ID: o.timerID}, a.tmr)
 	if errMsg != "" {
 		a.statFailures++
+		a.endTrace(o, "fail")
+	} else {
+		a.endTrace(o, "ok")
 	}
 	switch o.kind {
 	case opGet:
@@ -584,11 +617,14 @@ func (a *ABD) handleTimeout(t opTimeout) {
 		a.ctx.Log().Warn("abd: operation failed after retries",
 			"op", o.id, "key", o.key, "phase", int(o.phase), "group", fmt.Sprintf("%v", o.group),
 			"readAcks", o.readAcks, "writeAcks", o.writeAcks, "quorum", o.quorum)
+		a.endPhase(o, outcomeTimeout)
 		a.finish(o, "timeout: no quorum after retries")
 		return
 	}
 	o.retries++
 	a.statRetries++
+	a.endPhase(o, outcomeTimeout)
+	a.endAttempt(o, "timeout")
 	a.beginAttempt(o)
 }
 
@@ -600,9 +636,10 @@ func (a *ABD) handleTimeout(t opTimeout) {
 // and served epochs merge into the replica's own — per-node epochs are
 // Lamport clocks, not globally equal counters, so "equal or newer" is the
 // servable condition.
-func (a *ABD) serveEpoch(m network.Message, opID uint64, attempt int, epoch uint64) bool {
+func (a *ABD) serveEpoch(m network.Message, tc tracing.Context, kind string, opID uint64, attempt int, epoch uint64) bool {
 	if epoch < a.localEpoch {
 		a.statStaleServed++
+		a.recordServe(tc, kind, opID, attempt, "nack-stale")
 		a.ctx.Trigger(nackMsg{
 			Header: network.Reply(m), OpID: opID, Attempt: attempt,
 			Epoch: a.localEpoch, Busy: false,
@@ -610,6 +647,7 @@ func (a *ABD) serveEpoch(m network.Message, opID uint64, attempt int, epoch uint
 		return false
 	}
 	if a.syncing {
+		a.recordServe(tc, kind, opID, attempt, "nack-busy")
 		a.ctx.Trigger(nackMsg{
 			Header: network.Reply(m), OpID: opID, Attempt: attempt,
 			Epoch: a.localEpoch, Busy: true,
@@ -623,10 +661,11 @@ func (a *ABD) serveEpoch(m network.Message, opID uint64, attempt int, epoch uint
 }
 
 func (a *ABD) handleRead(m readMsg) {
-	if !a.serveEpoch(m, m.OpID, m.Attempt, m.Epoch) {
+	if !a.serveEpoch(m, m.Context, "serve.read", m.OpID, m.Attempt, m.Epoch) {
 		return
 	}
 	ver, val, found := a.store.Read(m.Key)
+	a.recordServe(m.Context, "serve.read", m.OpID, m.Attempt, "ok")
 	a.ctx.Trigger(readAckMsg{
 		Header:  network.Reply(m),
 		OpID:    m.OpID,
@@ -639,9 +678,10 @@ func (a *ABD) handleRead(m readMsg) {
 }
 
 func (a *ABD) handleWrite(m writeMsg) {
-	if !a.serveEpoch(m, m.OpID, m.Attempt, m.Epoch) {
+	if !a.serveEpoch(m, m.Context, "serve.write", m.OpID, m.Attempt, m.Epoch) {
 		return
 	}
 	a.store.Apply(m.Key, m.Version, m.Value)
+	a.recordServe(m.Context, "serve.write", m.OpID, m.Attempt, "ok")
 	a.ctx.Trigger(writeAckMsg{Header: network.Reply(m), OpID: m.OpID, Attempt: m.Attempt, Epoch: a.localEpoch}, a.net)
 }

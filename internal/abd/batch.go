@@ -3,6 +3,7 @@ package abd
 import (
 	"repro/internal/network"
 	"repro/internal/timer"
+	"repro/internal/tracing"
 )
 
 // Quorum coalescing. A coordinator under load runs many operations against
@@ -17,8 +18,10 @@ import (
 // stays strictly per-op, so a stale operation inside a batch nacks
 // individually while the rest of the batch acks.
 
-// readPhase is one coalesced phase-1 query.
+// readPhase is one coalesced phase-1 query. The embedded trace context is
+// per-op: each sampled operation inside a batch keeps its own identity.
 type readPhase struct {
+	tracing.Context
 	OpID    uint64
 	Attempt int
 	Epoch   uint64
@@ -27,6 +30,7 @@ type readPhase struct {
 
 // writePhase is one coalesced phase-2 impose.
 type writePhase struct {
+	tracing.Context
 	OpID    uint64
 	Attempt int
 	Epoch   uint64
@@ -37,8 +41,12 @@ type writePhase struct {
 
 // opBatchMsg carries every phase a coordinator owed one replica at flush
 // time. Batches of one downgrade to the legacy readMsg/writeMsg instead.
+// The envelope's trace context is the first sampled entry's — it annotates
+// the transport frame (net.send spans) without the transport having to
+// look inside the batch.
 type opBatchMsg struct {
 	network.Header
+	tracing.Context
 	Reads  []readPhase
 	Writes []writePhase
 }
@@ -117,6 +125,7 @@ func (a *ABD) sendRead(dst network.Address, r readPhase) {
 	if a.cfg.NoCoalesce {
 		a.ctx.Trigger(readMsg{
 			Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+			Context: r.Context,
 			OpID:    r.OpID,
 			Attempt: r.Attempt,
 			Epoch:   r.Epoch,
@@ -133,6 +142,7 @@ func (a *ABD) sendWrite(dst network.Address, w writePhase) {
 	if a.cfg.NoCoalesce {
 		a.ctx.Trigger(writeMsg{
 			Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+			Context: w.Context,
 			OpID:    w.OpID,
 			Attempt: w.Attempt,
 			Epoch:   w.Epoch,
@@ -165,6 +175,7 @@ func (a *ABD) handleFlush(flushTimeout) {
 				r := b.reads[0]
 				a.ctx.Trigger(readMsg{
 					Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+					Context: r.Context,
 					OpID:    r.OpID,
 					Attempt: r.Attempt,
 					Epoch:   r.Epoch,
@@ -174,6 +185,7 @@ func (a *ABD) handleFlush(flushTimeout) {
 				w := b.writes[0]
 				a.ctx.Trigger(writeMsg{
 					Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+					Context: w.Context,
 					OpID:    w.OpID,
 					Attempt: w.Attempt,
 					Epoch:   w.Epoch,
@@ -187,10 +199,28 @@ func (a *ABD) handleFlush(flushTimeout) {
 		a.statBatchesSent++
 		a.statBatchedOps += uint64(n)
 		observeBatch(n)
+		// The frame-level context is the first sampled op's: enough for
+		// transport-layer send spans to attach to some trace in the batch.
+		var fc tracing.Context
+		for _, r := range b.reads {
+			if r.TraceID != 0 {
+				fc = r.Context
+				break
+			}
+		}
+		if fc.TraceID == 0 {
+			for _, w := range b.writes {
+				if w.TraceID != 0 {
+					fc = w.Context
+					break
+				}
+			}
+		}
 		a.ctx.Trigger(opBatchMsg{
-			Header: network.NewHeader(a.cfg.Self.Addr, dst),
-			Reads:  b.reads,
-			Writes: b.writes,
+			Header:  network.NewHeader(a.cfg.Self.Addr, dst),
+			Context: fc,
+			Reads:   b.reads,
+			Writes:  b.writes,
 		}, a.net)
 	}
 	a.pendOrder = a.pendOrder[:0]
@@ -207,10 +237,11 @@ func (a *ABD) handleOpBatch(m opBatchMsg) {
 	var readAcks []readAckEntry
 	var writeAcks []writeAckEntry
 	for _, r := range m.Reads {
-		if !a.serveEpoch(m, r.OpID, r.Attempt, r.Epoch) {
+		if !a.serveEpoch(m, r.Context, "serve.read", r.OpID, r.Attempt, r.Epoch) {
 			continue
 		}
 		ver, val, found := a.store.Read(r.Key)
+		a.recordServe(r.Context, "serve.read", r.OpID, r.Attempt, "ok")
 		readAcks = append(readAcks, readAckEntry{
 			OpID:    r.OpID,
 			Attempt: r.Attempt,
@@ -220,10 +251,11 @@ func (a *ABD) handleOpBatch(m opBatchMsg) {
 		})
 	}
 	for _, w := range m.Writes {
-		if !a.serveEpoch(m, w.OpID, w.Attempt, w.Epoch) {
+		if !a.serveEpoch(m, w.Context, "serve.write", w.OpID, w.Attempt, w.Epoch) {
 			continue
 		}
 		a.store.Apply(w.Key, w.Version, w.Value)
+		a.recordServe(w.Context, "serve.write", w.OpID, w.Attempt, "ok")
 		writeAcks = append(writeAcks, writeAckEntry{OpID: w.OpID, Attempt: w.Attempt})
 	}
 	if len(readAcks)+len(writeAcks) == 0 {

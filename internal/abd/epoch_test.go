@@ -333,7 +333,12 @@ func TestEndlessViewChangesFailOp(t *testing.T) {
 // under churn — concurrent ops, rolling sync windows, and a crashed
 // replica — and checks every op resolves and nothing leaks. Run with
 // -race this doubles as the concurrency check on the epoch machinery.
-func TestEpochChurnStress(t *testing.T) {
+// The body lives in epochChurnStress so the tracing tests can re-run the
+// identical workload with span recording enabled.
+func TestEpochChurnStress(t *testing.T) { epochChurnStress(t) }
+
+func epochChurnStress(t *testing.T) {
+	t.Helper()
 	sim, emu, nodes, _ := newEpochWorld(t, 5, 36)
 	rng := rand.New(rand.NewSource(36))
 

@@ -7,9 +7,13 @@
 package abd
 
 import (
+	"math/bits"
 	"strconv"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/tracing"
 	"repro/internal/web"
 )
 
@@ -51,6 +55,89 @@ func GlobalBatchMetrics() BatchMetrics {
 	}
 }
 
+// --- phase-latency histograms with trace exemplars -------------------------------
+
+// phaseCell is one (phase, outcome) latency histogram: the core
+// power-of-two bucket layout (so web.MetricsWriter.Histogram renders it),
+// plus the most recent sampled trace ID as the exemplar. Fed only by
+// sampled (traced) operations, mirroring the handler-latency sampling
+// discipline — the unsampled hot path never touches these.
+type phaseCell struct {
+	counts   [core.LatencyBuckets]atomic.Uint64
+	sum      atomic.Uint64
+	n        atomic.Uint64
+	exemplar atomic.Uint64 // latest trace ID observed into this cell
+}
+
+func (c *phaseCell) snapshot() core.LatencyStats {
+	var s core.LatencyStats
+	for i := range c.counts {
+		s.Buckets[i] = c.counts[i].Load()
+	}
+	s.SumNanos = c.sum.Load()
+	s.Samples = c.n.Load()
+	return s
+}
+
+// phaseCells is indexed [phase-1][outcome] over the phaseLabelNames ×
+// phaseOutcomeNames matrix (see trace.go).
+var phaseCells [len(phaseLabelNames)][outcomeCount]phaseCell
+
+// observePhase records one sampled phase completion.
+func observePhase(p phase, outcome int, d time.Duration, trace uint64) {
+	if d < 0 {
+		d = 0
+	}
+	c := &phaseCells[int(p)-1][outcome]
+	idx := bits.Len64(uint64(d))
+	if idx >= core.LatencyBuckets {
+		idx = core.LatencyBuckets - 1
+	}
+	c.counts[idx].Add(1)
+	c.sum.Add(uint64(d))
+	c.n.Add(1)
+	c.exemplar.Store(trace)
+}
+
+// writePhaseMetrics renders cats_abd_phase_seconds{phase,outcome}
+// histograms plus cats_abd_phase_exemplar{phase,outcome,trace_id} gauges
+// carrying each cell's latest sampled trace ID. Cells that never observed
+// a sample are omitted.
+func writePhaseMetrics(m *web.MetricsWriter) {
+	wroteHeader := false
+	for pi := range phaseCells {
+		for oi := range phaseCells[pi] {
+			c := &phaseCells[pi][oi]
+			if c.n.Load() == 0 {
+				continue
+			}
+			if !wroteHeader {
+				m.Header("cats_abd_phase_seconds", "histogram", "Sampled ABD quorum-phase latency by phase and outcome.")
+				wroteHeader = true
+			}
+			m.Histogram("cats_abd_phase_seconds", c.snapshot(),
+				"phase", phaseLabelNames[pi], "outcome", phaseOutcomeNames[oi])
+		}
+	}
+	wroteHeader = false
+	for pi := range phaseCells {
+		for oi := range phaseCells[pi] {
+			c := &phaseCells[pi][oi]
+			ex := c.exemplar.Load()
+			if ex == 0 {
+				continue
+			}
+			if !wroteHeader {
+				m.Header("cats_abd_phase_exemplar", "gauge", "Latest sampled trace ID per phase/outcome (exemplar; value is always 1).")
+				wroteHeader = true
+			}
+			m.Gauge("cats_abd_phase_exemplar", 1,
+				"phase", phaseLabelNames[pi], "outcome", phaseOutcomeNames[oi],
+				"trace_id", tracing.FormatID(ex))
+		}
+	}
+}
+
 func init() {
 	web.RegisterMetricsSource("abd", func(m *web.MetricsWriter) {
 		s := GlobalBatchMetrics()
@@ -68,5 +155,6 @@ func init() {
 		m.Counter("cats_abd_batch_size_bucket", cum, "le", "+Inf")
 		m.Counter("cats_abd_batch_size_sum", s.BatchedOps)
 		m.Counter("cats_abd_batch_size_count", s.Batches)
+		writePhaseMetrics(m)
 	})
 }

@@ -1,0 +1,73 @@
+package abd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/web"
+)
+
+// TestPhaseMetricsExposition is the golden exposition test for the
+// tracing-fed metric families: cats_abd_phase_seconds{phase,outcome}
+// histograms and the cats_abd_phase_exemplar trace-ID gauges must render
+// in valid Prometheus 0.0.4 text form with cumulative buckets. Cells are
+// process-global, so the test asserts containment of the lines it feeds,
+// not an exact transcript.
+func TestPhaseMetricsExposition(t *testing.T) {
+	const trace = uint64(0x00000000000ae0ff)
+	observePhase(phaseRead, outcomeOK, 3*time.Millisecond, trace)
+	observePhase(phaseRead, outcomeOK, 5*time.Millisecond, trace)
+	observePhase(phaseWrite, outcomeRestart, 9*time.Millisecond, trace+1)
+
+	var b strings.Builder
+	writePhaseMetrics(web.NewMetricsWriter(&b))
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE cats_abd_phase_seconds histogram\n",
+		`cats_abd_phase_seconds_bucket{phase="read",outcome="ok",le="+Inf"}`,
+		`cats_abd_phase_seconds_count{phase="read",outcome="ok"}`,
+		`cats_abd_phase_seconds_sum{phase="read",outcome="ok"}`,
+		`cats_abd_phase_seconds_count{phase="write",outcome="restart"}`,
+		"# TYPE cats_abd_phase_exemplar gauge\n",
+		`cats_abd_phase_exemplar{phase="read",outcome="ok",trace_id="00000000000ae0ff"} 1`,
+		`cats_abd_phase_exemplar{phase="write",outcome="restart",trace_id="00000000000ae100"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: the +Inf bucket equals _count.
+	if !bucketMatchesCount(out, `phase="read",outcome="ok"`) {
+		t.Fatalf("+Inf bucket != count for read/ok:\n%s", out)
+	}
+
+	// The full registered exposition (what /metrics serves) carries the
+	// same families through the "abd" source.
+	var full strings.Builder
+	if err := web.WriteRegisteredMetrics(&full); err != nil {
+		t.Fatalf("WriteRegisteredMetrics: %v", err)
+	}
+	for _, want := range []string{"cats_abd_phase_seconds_bucket", "cats_abd_phase_exemplar"} {
+		if !strings.Contains(full.String(), want) {
+			t.Fatalf("/metrics exposition missing %s", want)
+		}
+	}
+}
+
+// bucketMatchesCount extracts the +Inf bucket and _count lines for the
+// given label set and reports whether they agree.
+func bucketMatchesCount(out, labels string) bool {
+	var inf, count string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cats_abd_phase_seconds_bucket{"+labels+`,le="+Inf"}`) {
+			inf = line[strings.LastIndex(line, " ")+1:]
+		}
+		if strings.HasPrefix(line, "cats_abd_phase_seconds_count{"+labels+"}") {
+			count = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	return inf != "" && inf == count
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/ident"
 	"repro/internal/linear"
 	"repro/internal/simulation"
+	"repro/internal/tracing"
 )
 
 // ChurnConfig parameterizes the chaos scenario: a simulated CATS cluster
@@ -107,6 +110,58 @@ type ChurnResult struct {
 	StoreKeys          int
 	StoreShardsInUse   int
 	StoreMaxShardShare float64 // largest single-shard fraction of any store
+
+	// Tracing: the chaos run samples every operation into a private span
+	// ring so a violation report can cite the offending op's cross-node
+	// timeline rather than a bare verdict.
+	TraceSpans      int
+	TraceTimelines  int
+	CrossNodeTraces int    // timelines with spans from >= 2 nodes
+	RestartTraces   int    // timelines that crossed >= 1 epoch restart
+	TraceDigest     uint64 // FNV-1a over all timelines; per-seed deterministic
+	LostKeys        []string
+	Timelines       []tracing.Timeline
+}
+
+// TimelineDigest folds assembled timelines into one FNV-1a fingerprint.
+// Under the deterministic simulation a seed fixes the spans, their IDs,
+// and their virtual timestamps, so the digest is byte-stable across
+// same-seed runs — the chaos determinism check diffs it.
+func TimelineDigest(tls []tracing.Timeline) uint64 {
+	h := fnv.New64a()
+	for _, tl := range tls {
+		fmt.Fprintf(h, "t %016x %s %s %s %d %v\n",
+			tl.Trace, tl.Name, tl.Key, tl.Outcome, tl.Restarts, tl.Nodes)
+		for _, s := range tl.Spans {
+			fmt.Fprintf(h, "s %016x %016x %016x %s %s %s %d %d %d %d\n",
+				s.ID, s.Parent, s.Link, s.Node, s.Name, s.Outcome,
+				s.Attempt, s.Epoch, s.Start.UnixNano(), s.End.UnixNano())
+		}
+	}
+	return h.Sum64()
+}
+
+// ViolationTimelines returns the timelines of the operations implicated in
+// a failed run: every traced op on the non-linearizable key and on keys
+// whose acknowledged writes the audit lost. Empty on a clean run.
+func (r ChurnResult) ViolationTimelines() []tracing.Timeline {
+	bad := map[string]bool{}
+	if r.NonLinearizableKey != "" {
+		bad[r.NonLinearizableKey] = true
+	}
+	for _, k := range r.LostKeys {
+		bad[k] = true
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	var out []tracing.Timeline
+	for _, tl := range r.Timelines {
+		if bad[tl.Key] {
+			out = append(out, tl)
+		}
+	}
+	return out
 }
 
 // Churn runs the chaos scenario: quorum puts/gets over a simulated CATS
@@ -125,6 +180,17 @@ type ChurnResult struct {
 // evicted node — not just transport resilience.
 func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnResult {
 	cfg.applyDefaults()
+
+	// Trace every operation into a private ring for the run's duration:
+	// the violation report must be able to cite any op's timeline, and the
+	// process-wide ring and sampling rate must come back untouched.
+	ring := tracing.NewRing(1 << 16)
+	prevRing := tracing.SwapDefault(ring)
+	prevSample := tracing.SetSampleEvery(1)
+	defer func() {
+		tracing.SetSampleEvery(prevSample)
+		tracing.SwapDefault(prevRing)
+	}()
 
 	nodeCfg := simNodeConfig()
 	// Suspicion threshold: 3 consecutive silent 2s rounds. Crash windows
@@ -314,7 +380,22 @@ func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnRe
 		r, ok := finalRead[key]
 		if !ok || !r.OK || !r.Found {
 			res.LostAckedWrites++
+			res.LostKeys = append(res.LostKeys, key)
 		}
 	}
+
+	// Assemble the run's trace rollup from the private ring.
+	res.Timelines = tracing.Assemble(ring.Snapshot())
+	res.TraceTimelines = len(res.Timelines)
+	for _, tl := range res.Timelines {
+		res.TraceSpans += len(tl.Spans)
+		if len(tl.Nodes) >= 2 {
+			res.CrossNodeTraces++
+		}
+		if tl.Restarts > 0 {
+			res.RestartTraces++
+		}
+	}
+	res.TraceDigest = TimelineDigest(res.Timelines)
 	return res
 }

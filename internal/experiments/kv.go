@@ -13,6 +13,7 @@ import (
 	"repro/internal/handoff"
 	"repro/internal/kvstore"
 	"repro/internal/network"
+	"repro/internal/tracing"
 )
 
 // kvClusterConfig returns relaxed node timings for the real-time KV
@@ -186,6 +187,130 @@ func QuorumAB(nodes, clients, opsPerRound, rounds int) QuorumABResult {
 	}
 	res.CoalescedP50, res.CoalescedP99 = percentiles(coLat)
 	res.LegacyP50, res.LegacyP99 = percentiles(legLat)
+	return res
+}
+
+// QuorumTraceArm is one sampling configuration in the tracing-overhead
+// comparison.
+type QuorumTraceArm struct {
+	SampleEvery int // 0 = tracing off, 64 = default sampling, 1 = every op
+	OpsPS       float64
+	P50, P99    time.Duration
+	Spans       uint64    // spans recorded during this arm's rounds
+	RoundPS     []float64 // per-round ops/s, in round order (noise diagnostic)
+}
+
+// QuorumTraceABResult summarizes the tracing-overhead A/B/C comparison on
+// the coalesced quorum workload.
+type QuorumTraceABResult struct {
+	Nodes    int
+	Clients  int
+	OpsRound int
+	Rounds   int
+
+	Off     QuorumTraceArm // tracing disabled
+	Sampled QuorumTraceArm // default 1-in-64 sampling
+	Always  QuorumTraceArm // every op traced
+
+	// Overheads are 1 - median over rounds of (arm ops/s ÷ same-round off
+	// ops/s): positive means the arm is slower than tracing-off. Pairing
+	// within a round compares runs seconds apart, so slow machine drift
+	// across a multi-minute run cancels instead of polluting the estimate;
+	// the median discards rounds a noise spike ruined. Gate: Sampled <= 3%.
+	SampledOverhead float64
+	AlwaysOverhead  float64
+}
+
+// QuorumTraceAB measures the cost of the span layer on the coalesced
+// quorum workload at three sampling rates — off, the default 1 in 64, and
+// every op — with rounds interleaved in rotating order so machine drift
+// cancels instead of biasing one arm. Each arm runs against a fresh
+// private span ring; the process sampling rate and ring are restored on
+// return.
+func QuorumTraceAB(nodes, clients, opsPerRound, rounds int) QuorumTraceABResult {
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if clients <= 0 {
+		clients = 48
+	}
+	if opsPerRound <= 0 {
+		opsPerRound = 4000
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	res := QuorumTraceABResult{Nodes: nodes, Clients: clients, OpsRound: opsPerRound, Rounds: rounds}
+	res.Off.SampleEvery, res.Sampled.SampleEvery, res.Always.SampleEvery = 0, 64, 1
+
+	type acc struct {
+		done    uint64
+		time    time.Duration
+		lat     []time.Duration
+		spans   uint64
+		roundPS []float64 // per-round ops/s, indexed by round
+	}
+	accs := map[int]*acc{0: {}, 64: {}, 1: {}}
+	runOne := func(every int) {
+		a := accs[every]
+		ring := tracing.NewRing(1 << 15)
+		prevRing := tracing.SwapDefault(ring)
+		prevSample := tracing.SetSampleEvery(every)
+		done, elapsed, lat, _, _ := quorumRound(nodes, clients, opsPerRound, false)
+		tracing.SetSampleEvery(prevSample)
+		tracing.SwapDefault(prevRing)
+		a.done += done
+		a.time += elapsed
+		a.lat = append(a.lat, lat...)
+		a.spans += ring.Recorded()
+		ps := 0.0
+		if elapsed > 0 {
+			ps = float64(done) / elapsed.Seconds()
+		}
+		a.roundPS = append(a.roundPS, ps)
+	}
+	// One discarded warm-up round: the first round of a process run absorbs
+	// cold caches and any initial CPU-quota burst, which would otherwise be
+	// credited entirely to whichever arm runs first.
+	warm, _, _, _, _ := quorumRound(nodes, clients, opsPerRound, false)
+	_ = warm
+
+	order := []int{0, 64, 1}
+	for r := 0; r < rounds; r++ {
+		for i := range order {
+			runOne(order[(r+i)%len(order)])
+		}
+	}
+
+	fill := func(arm *QuorumTraceArm) {
+		a := accs[arm.SampleEvery]
+		if a.time > 0 {
+			arm.OpsPS = float64(a.done) / a.time.Seconds()
+		}
+		arm.P50, arm.P99 = percentiles(a.lat)
+		arm.Spans = a.spans
+		arm.RoundPS = a.roundPS
+	}
+	fill(&res.Off)
+	fill(&res.Sampled)
+	fill(&res.Always)
+	overhead := func(every int) float64 {
+		off := accs[0].roundPS
+		arm := accs[every].roundPS
+		ratios := make([]float64, 0, len(arm))
+		for r := range arm {
+			if r < len(off) && off[r] > 0 {
+				ratios = append(ratios, arm[r]/off[r])
+			}
+		}
+		if len(ratios) == 0 {
+			return 0
+		}
+		sort.Float64s(ratios)
+		return 1 - ratios[len(ratios)/2]
+	}
+	res.SampledOverhead = overhead(64)
+	res.AlwaysOverhead = overhead(1)
 	return res
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/status"
 	"repro/internal/timer"
+	"repro/internal/tracing"
 )
 
 // SyncStarted announces that a new group view arrived and the node is
@@ -50,9 +51,12 @@ var PortType = core.NewPortType("Handoff",
 
 // Wire messages.
 
-// pullReqMsg asks a view member for the entries the requester covers.
+// pullReqMsg asks a view member for the entries the requester covers. The
+// trace context carries the round's trace with the per-target pull span,
+// so responder-side serve spans join the puller's round timeline.
 type pullReqMsg struct {
 	network.Header
+	tracing.Context
 	Epoch     uint64
 	Round     uint64
 	Requester ident.NodeRef
@@ -60,9 +64,11 @@ type pullReqMsg struct {
 
 // itemsMsg carries one chunk of entries. Push marks unsolicited transfers
 // (ranges the sender no longer covers); pull answers echo the round and set
-// Done on the final chunk.
+// Done on the final chunk. Pull answers echo the request's trace context;
+// pushes carry the pusher's round trace.
 type itemsMsg struct {
 	network.Header
+	tracing.Context
 	Epoch uint64
 	Round uint64
 	Items []kvstore.Entry
@@ -133,6 +139,17 @@ type Handoff struct {
 	roundKeys  int
 	roundBytes int
 
+	// Round tracing: handoff rounds are rare (reconfiguration events), so
+	// every round is traced whenever tracing is enabled at all. rtc is the
+	// round's trace context (SpanID = the round root span); pullSpans maps
+	// each pull target to its per-peer span, recorded when the target's
+	// Done arrives (or the round times out).
+	ids        *tracing.IDSource
+	nodeName   string
+	rtc        tracing.Context
+	roundStart time.Time
+	pullSpans  map[network.Address]uint64
+
 	// Counters for status reporting.
 	rounds, partials, abandoned uint64
 	pullsServed, pushesSent     uint64
@@ -154,6 +171,8 @@ var _ core.Definition = (*Handoff)(nil)
 // Setup declares ports and handlers.
 func (h *Handoff) Setup(ctx *core.Ctx) {
 	h.ctx = ctx
+	h.nodeName = h.cfg.Self.Addr.String()
+	h.ids = tracing.NewIDSource(h.nodeName)
 	h.hop = ctx.Provides(PortType)
 	h.rng = ctx.Requires(ring.PortType)
 	h.net = ctx.Requires(network.PortType)
@@ -193,11 +212,13 @@ func (h *Handoff) handleGroupView(v ring.GroupView) {
 		h.abandoned++
 		h.ctx.Trigger(timer.CancelTimeout{ID: h.tid}, h.tmr)
 		h.syncing = false
+		h.endRoundTrace("abandoned")
 	}
 	h.epoch = v.Epoch
 	h.round++
 	observeEpoch(v.Epoch)
 	h.view = v.Members
+	h.beginRoundTrace()
 
 	h.pushReleased(v)
 
@@ -211,7 +232,7 @@ func (h *Handoff) handleGroupView(v ring.GroupView) {
 	h.ctx.Trigger(SyncStarted{Epoch: h.epoch, Round: h.round}, h.hop)
 	h.roundKeys, h.roundBytes = 0, 0
 	if len(targets) == 0 {
-		h.finishRound()
+		h.finishRound("ok")
 		return
 	}
 	h.syncing = true
@@ -220,6 +241,7 @@ func (h *Handoff) handleGroupView(v ring.GroupView) {
 		h.pending[t.Addr] = struct{}{}
 		h.ctx.Trigger(pullReqMsg{
 			Header:    network.NewHeader(h.cfg.Self.Addr, t.Addr),
+			Context:   h.pullCtx(t.Addr),
 			Epoch:     h.epoch,
 			Round:     h.round,
 			Requester: h.cfg.Self,
@@ -323,15 +345,17 @@ func (h *Handoff) pushReleased(v ring.GroupView) {
 				end = len(items)
 			}
 			h.ctx.Trigger(itemsMsg{
-				Header: network.NewHeader(h.cfg.Self.Addr, m.Addr),
-				Epoch:  h.epoch,
-				Round:  h.round,
-				Items:  items[start:end],
-				Done:   end == len(items),
-				Push:   true,
+				Header:  network.NewHeader(h.cfg.Self.Addr, m.Addr),
+				Context: h.rtc,
+				Epoch:   h.epoch,
+				Round:   h.round,
+				Items:   items[start:end],
+				Done:    end == len(items),
+				Push:    true,
 			}, h.net)
 		}
 		h.pushesSent++
+		h.recordInstant("handoff.push", h.rtc, "ok")
 	}
 }
 
@@ -381,8 +405,9 @@ func (h *Handoff) handlePullReq(m pullReqMsg) {
 		}
 	}
 	h.pullsServed++
+	h.recordInstant("handoff.serve", m.Context, "ok")
 	if total == 0 {
-		h.ctx.Trigger(itemsMsg{Header: network.Reply(m), Epoch: m.Epoch, Round: m.Round, Done: true}, h.net)
+		h.ctx.Trigger(itemsMsg{Header: network.Reply(m), Context: m.Context, Epoch: m.Epoch, Round: m.Round, Done: true}, h.net)
 		return
 	}
 	sent := 0
@@ -394,11 +419,12 @@ func (h *Handoff) handlePullReq(m pullReqMsg) {
 			}
 			sent += end - start
 			h.ctx.Trigger(itemsMsg{
-				Header: network.Reply(m),
-				Epoch:  m.Epoch,
-				Round:  m.Round,
-				Items:  items[start:end],
-				Done:   sent == total,
+				Header:  network.Reply(m),
+				Context: m.Context,
+				Epoch:   m.Epoch,
+				Round:   m.Round,
+				Items:   items[start:end],
+				Done:    sent == total,
 			}, h.net)
 		}
 	}
@@ -430,9 +456,10 @@ func (h *Handoff) handleItems(m itemsMsg) {
 	h.roundBytes += bytes
 	if m.Done {
 		delete(h.pending, m.Src)
+		h.endPullTrace(m.Src, "ok")
 		if len(h.pending) == 0 {
 			h.ctx.Trigger(timer.CancelTimeout{ID: h.tid}, h.tmr)
-			h.finishRound()
+			h.finishRound("ok")
 		}
 	}
 }
@@ -446,13 +473,14 @@ func (h *Handoff) handleTimeout(t pullTimeout) {
 		return
 	}
 	h.partials++
-	h.finishRound()
+	h.finishRound("partial")
 }
 
-func (h *Handoff) finishRound() {
+func (h *Handoff) finishRound(outcome string) {
 	h.syncing = false
 	h.rounds++
 	addTransfer()
+	h.endRoundTrace(outcome)
 	h.ctx.Trigger(Synced{Epoch: h.epoch, Round: h.round, Keys: h.roundKeys, Bytes: h.roundBytes}, h.hop)
 }
 

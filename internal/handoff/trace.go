@@ -1,0 +1,126 @@
+package handoff
+
+import (
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/tracing"
+)
+
+// Handoff round tracing. Reconfiguration rounds are rare events, so every
+// round is traced whenever tracing is enabled at all (no per-round
+// sampling decision): one root "handoff.round" span per sync round, one
+// "handoff.pull" child per pull target (closed by that target's Done, or
+// by the round ending first), instant "handoff.push" spans per push
+// target, and responder-side "handoff.serve" spans that join the puller's
+// timeline through the wire context.
+
+// beginRoundTrace mints the trace for a freshly started sync round.
+func (h *Handoff) beginRoundTrace() {
+	h.rtc = tracing.Context{}
+	h.pullSpans = nil
+	if !tracing.Enabled() {
+		return
+	}
+	h.rtc = tracing.Context{TraceID: h.ids.Next(), SpanID: h.ids.Next()}
+	h.roundStart = h.ctx.Now()
+}
+
+// pullCtx mints the per-target pull span and returns the context stamped
+// on that target's pullReqMsg.
+func (h *Handoff) pullCtx(addr network.Address) tracing.Context {
+	if h.rtc.TraceID == 0 {
+		return tracing.Context{}
+	}
+	if h.pullSpans == nil {
+		h.pullSpans = make(map[network.Address]uint64)
+	}
+	id := h.ids.Next()
+	h.pullSpans[addr] = id
+	return tracing.Context{TraceID: h.rtc.TraceID, SpanID: id}
+}
+
+// endPullTrace closes one pull target's span (Done arrived).
+func (h *Handoff) endPullTrace(addr network.Address, outcome string) {
+	id, ok := h.pullSpans[addr]
+	if !ok {
+		return
+	}
+	delete(h.pullSpans, addr)
+	tracing.Record(tracing.Span{
+		Trace:   h.rtc.TraceID,
+		ID:      id,
+		Parent:  h.rtc.SpanID,
+		Node:    h.nodeName,
+		Name:    "handoff.pull",
+		Op:      h.round,
+		Epoch:   h.epoch,
+		Outcome: outcome,
+		Start:   h.roundStart,
+		End:     h.ctx.Now(),
+	})
+}
+
+// endRoundTrace closes the round root span, first closing any pull spans
+// whose Done never arrived — "timeout" on a partial round, the round's
+// own outcome otherwise (an abandoned round's pulls end "abandoned").
+func (h *Handoff) endRoundTrace(outcome string) {
+	if h.rtc.TraceID == 0 {
+		return
+	}
+	pullOutcome := outcome
+	if outcome == "partial" {
+		pullOutcome = "timeout"
+	}
+	// Drain in deterministic order: pending insertion order is lost in the
+	// map, but pull targets were minted in target order — iterate the view
+	// members to keep span order seed-stable.
+	for _, m := range h.view {
+		if _, ok := h.pullSpans[m.Addr]; ok {
+			h.endPullTrace(m.Addr, pullOutcome)
+		}
+	}
+	if len(h.pullSpans) > 0 { // any target no longer in the view
+		rest := make([]network.Address, 0, len(h.pullSpans))
+		for addr := range h.pullSpans {
+			rest = append(rest, addr)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].String() < rest[j].String() })
+		for _, addr := range rest {
+			h.endPullTrace(addr, pullOutcome)
+		}
+	}
+	tracing.Record(tracing.Span{
+		Trace:   h.rtc.TraceID,
+		ID:      h.rtc.SpanID,
+		Node:    h.nodeName,
+		Name:    "handoff.round",
+		Op:      h.round,
+		Epoch:   h.epoch,
+		Outcome: outcome,
+		Start:   h.roundStart,
+		End:     h.ctx.Now(),
+	})
+	h.rtc = tracing.Context{}
+}
+
+// recordInstant records a zero-duration span parented under ctx (push and
+// serve events).
+func (h *Handoff) recordInstant(name string, tc tracing.Context, outcome string) {
+	if tc.TraceID == 0 {
+		return
+	}
+	now := h.ctx.Now()
+	tracing.Record(tracing.Span{
+		Trace:   tc.TraceID,
+		ID:      h.ids.Next(),
+		Parent:  tc.SpanID,
+		Node:    h.nodeName,
+		Name:    name,
+		Op:      h.round,
+		Epoch:   h.epoch,
+		Outcome: outcome,
+		Start:   now,
+		End:     now,
+	})
+}

@@ -180,7 +180,8 @@ type Server struct {
 	alerts      map[string][]Alert
 	depthHWM    map[string]int64
 
-	fed *Federator
+	fed    *Federator
+	traces *TraceCollector
 }
 
 // NewServer creates a monitor server component definition.
@@ -198,6 +199,7 @@ func NewServer(cfg ServerConfig) *Server {
 		alerts:      make(map[string][]Alert),
 		depthHWM:    make(map[string]int64),
 		fed:         NewFederator(cfg.ScrapeTimeout),
+		traces:      NewTraceCollector(cfg.ScrapeTimeout),
 	}
 }
 
@@ -224,7 +226,8 @@ func (s *Server) handleReport(m reportMsg) {
 }
 
 // handleWeb renders the global view as a plain HTML page; /alerts serves
-// the firing alert list, /federate the merged per-node metrics scrape.
+// the firing alert list, /federate the merged per-node metrics scrape,
+// /traces the cross-node span timelines joined from every node's ring.
 func (s *Server) handleWeb(r web.Request) {
 	if r.Path == "/alerts" {
 		s.renderAlerts(r)
@@ -232,6 +235,10 @@ func (s *Server) handleWeb(r web.Request) {
 	}
 	if r.Path == "/federate" {
 		s.renderFederate(r)
+		return
+	}
+	if r.Path == "/traces" {
+		s.renderTraces(r)
 		return
 	}
 	s.expire()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/network"
 	"repro/internal/status"
+	"repro/internal/tracing"
 )
 
 // RuntimeStatus is a Status producer that answers with the node's runtime
@@ -72,6 +73,7 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 		"net.reconnects":    int64(n.Reconnects),
 		"net.requeued":      int64(n.Requeued),
 		"net.abandoned":     int64(n.Abandoned),
+		"net.traced":        int64(n.TracedFrames),
 		"net.peers_up":      n.PeersUp,
 		"net.peers_backoff": n.PeersBackoff,
 	}
@@ -97,5 +99,8 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 	b := abd.GlobalBatchMetrics()
 	m["abd.batches"] = int64(b.Batches)
 	m["abd.batched_ops"] = int64(b.BatchedOps)
+	recorded, dropped := tracing.Stats()
+	m["spans.recorded"] = int64(recorded)
+	m["spans.dropped"] = int64(dropped)
 	return m
 }

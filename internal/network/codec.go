@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/tracing"
 )
 
 // Register makes a concrete message type known to the codec. Every concrete
@@ -63,6 +65,12 @@ var encBufPool = sync.Pool{
 
 // Encode serializes a message into a self-contained payload.
 func (c Codec) Encode(m Message) ([]byte, error) {
+	// Trace-annotated frames (messages carrying a sampled trace context)
+	// are counted at the wire boundary: the ratio against encoded_msgs is
+	// the observed sampling rate actually crossing the network.
+	if tm, ok := m.(tracing.Traced); ok && tm.TraceContext().TraceID != 0 {
+		gTracedFrames.Add(1)
+	}
 	buf := encBufPool.Get().(*bytes.Buffer)
 	defer encBufPool.Put(buf)
 	buf.Reset()

@@ -23,6 +23,8 @@ var (
 	gReconnects atomic.Uint64 // successful dials after a failure or broken connection
 	gRequeued   atomic.Uint64 // frames preserved across a broken write for redelivery
 	gAbandoned  atomic.Uint64 // queued frames dropped when a peer's retry budget ran out
+
+	gTracedFrames atomic.Uint64 // encoded messages carrying a sampled trace context
 )
 
 // gPeerStates counts live outbound peer connections per PeerState
@@ -52,6 +54,7 @@ type Metrics struct {
 	Reconnects       uint64 `json:"reconnects"`
 	Requeued         uint64 `json:"requeued"`
 	Abandoned        uint64 `json:"abandoned"`
+	TracedFrames     uint64 `json:"traced_frames"`
 	PeersConnecting  int64  `json:"peers_connecting"`
 	PeersUp          int64  `json:"peers_up"`
 	PeersBackoff     int64  `json:"peers_backoff"`
@@ -75,6 +78,7 @@ func GlobalMetrics() Metrics {
 		Reconnects:       gReconnects.Load(),
 		Requeued:         gRequeued.Load(),
 		Abandoned:        gAbandoned.Load(),
+		TracedFrames:     gTracedFrames.Load(),
 		PeersConnecting:  gPeerStates[PeerConnecting].Load(),
 		PeersUp:          gPeerStates[PeerUp].Load(),
 		PeersBackoff:     gPeerStates[PeerBackoff].Load(),

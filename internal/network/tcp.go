@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/tracing"
 )
 
 // maxFrame bounds a single message frame (16 MiB), protecting receivers
@@ -78,6 +79,7 @@ type TCP struct {
 
 	ctx  *core.Ctx
 	port *core.Port
+	ids  *tracing.IDSource
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -90,11 +92,26 @@ type TCP struct {
 	reconnects, requeued, abandoned         atomic.Uint64
 }
 
+// outFrame is one queued outbound frame: the encoded payload plus the
+// trace context of the message it carries. The transport records at most
+// ONE "net.send" span per frame, at its final resolution (delivered or
+// abandoned) — never per write attempt. `spanned` enforces that: a frame
+// preserved across a broken write (requeued, retransmitted first on the
+// next connection) must not grow a second span on redial. Keepalives are
+// bare length prefixes written directly by serveConn; they never become
+// outFrames and so can never carry or inherit span annotations.
+type outFrame struct {
+	payload  []byte
+	trace    tracing.Context
+	attempts int  // write attempts so far; >1 means the frame crossed a redial
+	spanned  bool // the frame's single transport span has been recorded
+}
+
 // peerConn is one outbound peer: its send queue and the connection
 // manager goroutine that owns dialing, backoff, and writing.
 type peerConn struct {
 	addr  Address
-	ch    chan []byte
+	ch    chan outFrame
 	close chan struct{}
 	once  sync.Once
 	state atomic.Int32 // PeerState; gauge updates go through TCP.setState
@@ -159,6 +176,7 @@ func NewTCP(self Address, opts ...TCPOption) *TCP {
 		backoffMax:   defaultBackoffMax,
 		dialAttempts: defaultDialAttempts,
 		queueLen:     sendQueueLen,
+		ids:          tracing.NewIDSource(self.String()),
 	}
 	for _, o := range opts {
 		o(t)
@@ -279,7 +297,11 @@ func (t *TCP) handleSend(m Message) {
 		t.log.Warn("tcp: encode failed", "type", fmt.Sprintf("%T", m), "err", err)
 		return
 	}
-	t.enqueue(m.Destination(), payload)
+	var tc tracing.Context
+	if tm, ok := m.(tracing.Traced); ok {
+		tc = tm.TraceContext()
+	}
+	t.enqueue(m.Destination(), payload, tc)
 }
 
 // enqueue places one encoded frame on dst's queue, creating the peer's
@@ -287,7 +309,7 @@ func (t *TCP) handleSend(m Message) {
 // transport lock so a frame can never slip onto a queue after its manager
 // has drained it: retirement also removes the peer under the lock, and a
 // later send simply starts a fresh manager.
-func (t *TCP) enqueue(dst Address, payload []byte) {
+func (t *TCP) enqueue(dst Address, payload []byte, tc tracing.Context) {
 	t.mu.Lock()
 	if t.stopped {
 		t.mu.Unlock()
@@ -297,7 +319,7 @@ func (t *TCP) enqueue(dst Address, payload []byte) {
 	if !ok {
 		pc = &peerConn{
 			addr:  dst,
-			ch:    make(chan []byte, t.queueLen),
+			ch:    make(chan outFrame, t.queueLen),
 			close: make(chan struct{}),
 		}
 		pc.state.Store(int32(PeerConnecting))
@@ -307,7 +329,7 @@ func (t *TCP) enqueue(dst Address, payload []byte) {
 		go t.writeLoop(pc)
 	}
 	select {
-	case pc.ch <- payload:
+	case pc.ch <- outFrame{payload: payload, trace: tc}:
 		t.mu.Unlock()
 		t.sent.Add(1)
 		gSent.Add(1)
@@ -345,15 +367,17 @@ func (t *TCP) retirePeer(pc *peerConn) {
 // counts every frame. Called after retirePeer, so nothing can race new
 // frames in: the silent-loss hole this replaces stranded up to a full
 // queue with no counter.
-func (t *TCP) abandonQueue(pc *peerConn, pending []byte) {
+func (t *TCP) abandonQueue(pc *peerConn, pending *outFrame) {
 	var n uint64
-	if pending != nil {
+	if pending.payload != nil {
 		n++
+		t.recordSendSpan(pending, "abandoned")
 	}
 	for {
 		select {
-		case <-pc.ch:
+		case f := <-pc.ch:
 			n++
+			t.recordSendSpan(&f, "abandoned")
 		default:
 			if n > 0 {
 				t.abandoned.Add(n)
@@ -363,6 +387,32 @@ func (t *TCP) abandonQueue(pc *peerConn, pending []byte) {
 			return
 		}
 	}
+}
+
+// recordSendSpan records the one transport-layer span a traced frame is
+// allowed: an instant "net.send" event parented under the wire context the
+// frame carries (the coordinator's phase or attempt span), stamped with
+// the final outcome and the number of write attempts the frame took.
+// Idempotent via outFrame.spanned — a requeued frame retransmitted on a
+// fresh connection never records twice. Untraced frames (TraceID 0, which
+// includes every unsampled op) cost one predicate here and nothing else.
+func (t *TCP) recordSendSpan(f *outFrame, outcome string) {
+	if f.trace.TraceID == 0 || f.spanned {
+		return
+	}
+	f.spanned = true
+	now := time.Now()
+	tracing.Record(tracing.Span{
+		Trace:   f.trace.TraceID,
+		ID:      t.ids.Next(),
+		Parent:  f.trace.SpanID,
+		Node:    t.self.String(),
+		Name:    "net.send",
+		Attempt: f.attempts,
+		Outcome: outcome,
+		Start:   now,
+		End:     now,
+	})
 }
 
 // emitStatus publishes a PeerStatus transition on the Network port.
@@ -389,7 +439,7 @@ var errPeerClosed = errors.New("peer closed")
 // retransmitted first on the next connection.
 func (t *TCP) writeLoop(pc *peerConn) {
 	defer t.wg.Done()
-	var pending []byte
+	var pending outFrame
 	everUp := false
 	for {
 		conn, retried := t.dialWithBackoff(pc)
@@ -399,7 +449,7 @@ func (t *TCP) writeLoop(pc *peerConn) {
 			t.setState(pc, PeerDown)
 			down := everUp
 			t.retirePeer(pc)
-			t.abandonQueue(pc, pending)
+			t.abandonQueue(pc, &pending)
 			if down || retried {
 				t.emitStatus(pc.addr, false)
 			}
@@ -417,7 +467,7 @@ func (t *TCP) writeLoop(pc *peerConn) {
 		_ = conn.Close()
 		if errors.Is(err, errPeerClosed) {
 			t.retirePeer(pc)
-			t.abandonQueue(pc, pending)
+			t.abandonQueue(pc, &pending)
 			return
 		}
 		t.log.Debug("tcp: connection broke", "peer", pc.addr.String(), "err", err)
@@ -476,35 +526,42 @@ func (t *TCP) backoff(attempt int) time.Duration {
 // serveConn writes framed payloads (and idle keepalives) until the
 // connection breaks or the peer is closed. A frame whose write fails is
 // stored in *pending — counted as requeued — so the reconnected peer
-// transmits it first.
-func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *[]byte) error {
+// transmits it first, ahead of anything queued behind it. The frame's
+// span bookkeeping rides in the outFrame across the redial: the
+// retransmission finishes the original frame's story, it does not start a
+// new one.
+func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *outFrame) error {
 	var lenBuf [4]byte
-	writeFrame := func(payload []byte) error {
+	writeFrame := func(f *outFrame) error {
+		f.attempts++
 		if t.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
 		}
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.payload)))
 		if _, err := conn.Write(lenBuf[:]); err != nil {
 			return err
 		}
-		_, err := conn.Write(payload)
-		return err
+		if _, err := conn.Write(f.payload); err != nil {
+			return err
+		}
+		t.recordSendSpan(f, "ok")
+		return nil
 	}
-	fail := func(payload []byte, err error) error {
-		*pending = payload
+	fail := func(f outFrame, err error) error {
+		*pending = f
 		t.requeued.Add(1)
 		gRequeued.Add(1)
 		t.sendErrors.Add(1)
 		gSendErrors.Add(1)
 		return err
 	}
-	if p := *pending; p != nil {
-		if err := writeFrame(p); err != nil {
+	if pending.payload != nil {
+		if err := writeFrame(pending); err != nil {
 			t.sendErrors.Add(1)
 			gSendErrors.Add(1)
 			return err // already counted as requeued when first preserved
 		}
-		*pending = nil
+		*pending = outFrame{}
 	}
 	var ka <-chan time.Time
 	if t.keepalive > 0 {
@@ -514,16 +571,19 @@ func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *[]byte) error {
 	}
 	for {
 		select {
-		case payload := <-pc.ch:
-			if len(payload) > maxFrame {
+		case f := <-pc.ch:
+			if len(f.payload) > maxFrame {
 				t.sendErrors.Add(1)
 				gSendErrors.Add(1)
 				continue
 			}
-			if err := writeFrame(payload); err != nil {
-				return fail(payload, err)
+			if err := writeFrame(&f); err != nil {
+				return fail(f, err)
 			}
 		case <-ka:
+			// Keepalives are a bare magic length prefix: no payload, no
+			// outFrame, and by construction no trace annotation — an idle
+			// probe must never surface in an op's timeline.
 			if t.writeTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
 			}

@@ -1,0 +1,122 @@
+package tracing
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Timeline is one operation's assembled cross-node view: every span
+// sharing a trace ID, joined from any number of node rings, ordered by
+// start time. This is the unit the monitor serves at /traces and the
+// chaos report cites on violations.
+type Timeline struct {
+	// Trace is the trace ID, also rendered as TraceHex for humans.
+	Trace    uint64 `json:"trace"`
+	TraceHex string `json:"trace_hex"`
+	// Name/Key/Outcome come from the root span (the coordinator's op
+	// span), when present.
+	Name    string `json:"name,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	// Start/End bound the whole timeline; Duration = End − Start.
+	Start    time.Time     `json:"start"`
+	End      time.Time     `json:"end"`
+	Duration time.Duration `json:"duration_ns"`
+	// Restarts counts restart links (epoch-restart hops) in the trace.
+	Restarts int `json:"restarts"`
+	// Nodes lists every node that contributed a span, sorted.
+	Nodes []string `json:"nodes"`
+	// Spans holds the joined spans ordered by (Start, Seq, ID).
+	Spans []Span `json:"spans"`
+}
+
+// FormatID renders a trace or span ID the way every endpoint and tool
+// prints it: 16 lowercase hex digits.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses a FormatID-rendered (or any hex) trace ID.
+func ParseID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tracing: bad trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// Assemble joins spans by trace ID into per-operation timelines. Spans
+// with a zero trace ID are ignored. The result is deterministic for a
+// deterministic span set: spans order by (Start, Seq, ID) within a
+// timeline, and timelines order by start time (ties by trace ID).
+func Assemble(spans []Span) []Timeline {
+	byTrace := make(map[uint64][]Span)
+	for _, s := range spans {
+		if s.Trace == 0 {
+			continue
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	out := make([]Timeline, 0, len(byTrace))
+	for id, ss := range byTrace {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.Before(ss[j].Start)
+			}
+			if ss[i].Seq != ss[j].Seq {
+				return ss[i].Seq < ss[j].Seq
+			}
+			return ss[i].ID < ss[j].ID
+		})
+		tl := Timeline{Trace: id, TraceHex: FormatID(id), Start: ss[0].Start, End: ss[0].End}
+		nodes := map[string]bool{}
+		for _, s := range ss {
+			if s.End.After(tl.End) {
+				tl.End = s.End
+			}
+			if s.Link != 0 {
+				tl.Restarts++
+			}
+			if s.Parent == 0 && tl.Name == "" {
+				tl.Name, tl.Key, tl.Outcome = s.Name, s.Key, s.Outcome
+			}
+			nodes[s.Node] = true
+		}
+		for n := range nodes {
+			tl.Nodes = append(tl.Nodes, n)
+		}
+		sort.Strings(tl.Nodes)
+		tl.Duration = tl.End.Sub(tl.Start)
+		tl.Spans = ss
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// SortSlowest reorders timelines slowest-first (ties by trace ID, so the
+// order is stable under deterministic inputs).
+func SortSlowest(tls []Timeline) {
+	sort.Slice(tls, func(i, j int) bool {
+		if tls[i].Duration != tls[j].Duration {
+			return tls[i].Duration > tls[j].Duration
+		}
+		return tls[i].Trace < tls[j].Trace
+	})
+}
+
+// HasPhase reports whether any span in the timeline carries the given
+// name (phase filter on /traces).
+func (t Timeline) HasPhase(name string) bool {
+	for _, s := range t.Spans {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}

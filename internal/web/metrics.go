@@ -13,11 +13,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/tracing"
 )
 
 // PromContentType is the Content-Type of the Prometheus text exposition
 // format version 0.0.4.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// The tracing package is dependency-free by design, so web registers its
+// exposition on its behalf (tracing cannot import the registry without a
+// cycle).
+func init() {
+	RegisterMetricsSource("tracing", func(m *MetricsWriter) {
+		recorded, dropped := tracing.Stats()
+		m.Header("cats_tracing_spans_recorded_total", "counter", "Spans recorded into the process span ring.")
+		m.Counter("cats_tracing_spans_recorded_total", recorded)
+		m.Header("cats_tracing_spans_dropped_total", "counter", "Spans evicted by span-ring wrap-around.")
+		m.Counter("cats_tracing_spans_dropped_total", dropped)
+		m.Header("cats_tracing_sample_every", "gauge", "Trace sampling period (0 = tracing disabled).")
+		m.Gauge("cats_tracing_sample_every", float64(tracing.SampleEvery()))
+	})
+}
 
 // MetricsWriter emits metric families in the Prometheus text exposition
 // format: a HELP/TYPE header per family followed by one sample line per
@@ -266,6 +282,8 @@ func WriteNetworkMetrics(w io.Writer, n network.Metrics) error {
 	m.Counter("cats_network_requeued_total", n.Requeued)
 	m.Header("cats_network_abandoned_total", "counter", "Queued frames dropped when a peer's retry budget ran out.")
 	m.Counter("cats_network_abandoned_total", n.Abandoned)
+	m.Header("cats_network_traced_frames_total", "counter", "Encoded messages carrying a sampled trace context.")
+	m.Counter("cats_network_traced_frames_total", n.TracedFrames)
 	m.Header("cats_network_peers", "gauge", "Outbound peer connections by circuit-breaker state.")
 	m.Gauge("cats_network_peers", float64(n.PeersConnecting), "state", "connecting")
 	m.Gauge("cats_network_peers", float64(n.PeersUp), "state", "up")

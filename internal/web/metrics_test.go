@@ -52,8 +52,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"cats_network_reconnects_total",
 		"cats_network_requeued_total",
 		"cats_network_abandoned_total",
+		"cats_network_traced_frames_total",
 		`cats_network_peers{state="backoff"}`,
 		"cats_runtime_components_live",
+		"cats_tracing_spans_recorded_total",
+		"cats_tracing_spans_dropped_total",
+		"cats_tracing_sample_every",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("missing series %s", series)

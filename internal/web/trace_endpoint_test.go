@@ -1,0 +1,60 @@
+package web
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// TestBridgeServesTraceRing pins the /debug/trace contract the monitor's
+// collector depends on: the endpoint dumps the process span ring as a
+// TraceDump JSON document, and ?trace= filters to one trace's spans.
+func TestBridgeServesTraceRing(t *testing.T) {
+	ring := tracing.NewRing(64)
+	prev := tracing.SwapDefault(ring)
+	t.Cleanup(func() { tracing.SwapDefault(prev) })
+
+	base := time.Unix(100, 0)
+	tracing.Record(tracing.Span{Trace: 0xAA, ID: 1, Node: "n1", Name: "get", Outcome: "ok", Start: base, End: base.Add(time.Millisecond)})
+	tracing.Record(tracing.Span{Trace: 0xAA, ID: 2, Parent: 1, Node: "n1", Name: "read", Outcome: "ok", Start: base, End: base.Add(time.Millisecond)})
+	tracing.Record(tracing.Span{Trace: 0xBB, ID: 3, Node: "n1", Name: "put", Outcome: "ok", Start: base, End: base})
+
+	_, bridge := newWebWorld(t, &echoApp{}, 5*time.Second)
+
+	code, body := httpGet(t, "http://"+bridge.Addr()+"/debug/trace")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(dump.Spans) != 3 || dump.Recorded < 3 {
+		t.Fatalf("dump = %+v, want 3 spans", dump)
+	}
+	if dump.SampleEvery != tracing.SampleEvery() {
+		t.Fatalf("sample_every = %d, want %d", dump.SampleEvery, tracing.SampleEvery())
+	}
+
+	code, body = httpGet(t, "http://"+bridge.Addr()+"/debug/trace?trace="+tracing.FormatID(0xAA))
+	if code != 200 {
+		t.Fatalf("filtered status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 2 {
+		t.Fatalf("filter returned %d spans, want 2", len(dump.Spans))
+	}
+	for _, s := range dump.Spans {
+		if s.Trace != 0xAA {
+			t.Fatalf("filter leaked span %+v", s)
+		}
+	}
+
+	if code, _ := httpGet(t, "http://"+bridge.Addr()+"/debug/trace?trace=zzz"); code != 400 {
+		t.Fatalf("bad trace id got status %d, want 400", code)
+	}
+}

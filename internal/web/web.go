@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/tracing"
 )
 
 // Request is one web request entering the component system.
@@ -142,6 +143,7 @@ func (b *Bridge) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", b.serveMetrics)
 	mux.HandleFunc("/debug/runtime", b.serveRuntimeJSON)
+	mux.HandleFunc("/debug/trace", b.serveTraceJSON)
 	if b.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -189,6 +191,51 @@ func (b *Bridge) serveRuntimeJSON(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(out)
+}
+
+// TraceDump is the JSON document served at /debug/trace: the node's span
+// ring snapshot plus span accounting. The monitor's trace collector
+// scrapes this from every member node and joins the spans by trace ID.
+type TraceDump struct {
+	// SampleEvery is the node's sampling period (0 = tracing disabled).
+	SampleEvery int `json:"sample_every"`
+	// Recorded and Dropped are the process-wide span counters.
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+	// Spans is the ring snapshot, oldest first.
+	Spans []tracing.Span `json:"spans"`
+}
+
+// serveTraceJSON dumps the process-global span ring. ?trace=<hex id>
+// filters to one trace's spans (what an operator pastes from an exemplar
+// or a violation report).
+func (b *Bridge) serveTraceJSON(w http.ResponseWriter, r *http.Request) {
+	spans := tracing.Default().Snapshot()
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := tracing.ParseID(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.Trace == id {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	recorded, dropped := tracing.Stats()
+	dump := TraceDump{
+		SampleEvery: tracing.SampleEvery(),
+		Recorded:    recorded,
+		Dropped:     dropped,
+		Spans:       spans,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dump)
 }
 
 // serveHTTP wraps one HTTP request into a Request event and waits for the

@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/tracing"
+)
+
+// traceAllocMsg mirrors how wire messages opt into tracing: they embed
+// tracing.Context, which promotes TraceContext and satisfies
+// tracing.Traced. The codec and the TCP send path type-assert this
+// interface on every outgoing message — traced or not — so the assert and
+// the zero-ID short-circuit are on the hot path for all traffic.
+type traceAllocMsg struct {
+	tracing.Context
+	Seq uint64
+}
+
+// perOpTracingWork runs the tracing-layer work every operation and every
+// frame pays regardless of sampling: the coordinator's sampling decision,
+// the per-attempt/per-phase zero-ID guards, and the transport's Traced
+// assert + context extraction. A non-zero result here would tax all
+// traffic, so the CI alloc job gates it at exactly zero.
+func perOpTracingWork(opID uint64, m any) uint64 {
+	var spans uint64
+	if tracing.Sampled(opID) {
+		spans++ // never reached for the IDs the tests feed in
+	}
+	// Coordinator guards: unsampled ops carry a zero trace ID and every
+	// span helper returns immediately on it.
+	var wire tracing.Context
+	if wire.Sampled() {
+		spans++
+	}
+	// Transport: annotate an outgoing frame from the message's context.
+	if tm, ok := m.(tracing.Traced); ok {
+		if tc := tm.TraceContext(); tc.TraceID != 0 {
+			spans++
+		}
+	}
+	return spans
+}
+
+var traceAllocSink uint64
+
+// TestTracingDisabledZeroAlloc pins the tracing-off hot path at 0
+// allocs/op: with SampleEvery(0) no operation samples, and the decision +
+// guard + frame-annotation sequence must not allocate.
+func TestTracingDisabledZeroAlloc(t *testing.T) {
+	prev := tracing.SetSampleEvery(0)
+	defer tracing.SetSampleEvery(prev)
+
+	var m any = &traceAllocMsg{Seq: 9} // boxed once; dispatch isn't charged for it
+	op := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		op++
+		traceAllocSink += perOpTracingWork(op, m)
+	})
+	if allocs != 0 {
+		t.Fatalf("tracing-off per-op work allocates %.1f allocs/op, want 0", allocs)
+	}
+	if traceAllocSink != 0 {
+		t.Fatalf("disabled tracing sampled %d ops, want 0", traceAllocSink)
+	}
+}
+
+// TestTracingUnsampledZeroAlloc pins the default-sampling unsampled path
+// at 0 allocs/op: tracing enabled at 1 in 64, fed operation IDs that never
+// hit the sampling mask. This is the path 63 of 64 operations take in a
+// default deployment, so it must stay free.
+func TestTracingUnsampledZeroAlloc(t *testing.T) {
+	prev := tracing.SetSampleEvery(64)
+	defer tracing.SetSampleEvery(prev)
+
+	var m any = &traceAllocMsg{Seq: 9}
+	op := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		op += 2
+		traceAllocSink += perOpTracingWork(op|1, m) // odd IDs: never n&63 == 0
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled per-op work allocates %.1f allocs/op, want 0", allocs)
+	}
+	if traceAllocSink != 0 {
+		t.Fatalf("unsampled run recorded %d samples, want 0", traceAllocSink)
+	}
+}
