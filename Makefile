@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHCPU ?= 4
 
-.PHONY: all help build vet test test-race bench bench-dispatch bench-gate determinism chaos ci
+.PHONY: all help build vet test test-race bench bench-dispatch bench-gate determinism chaos recovery ci ci-local
 
 all: build
 
@@ -20,11 +20,16 @@ help:
 	@echo "  bench-dispatch  hot-path microbenchmarks only: dispatch, fan-out,"
 	@echo "                  ping-pong, deque. Pinned -benchtime $(BENCHTIME) -cpu $(BENCHCPU);"
 	@echo "                  override with BENCHTIME=... BENCHCPU=..."
-	@echo "  bench-gate      million-key catsbench profile (reduced scale) gated"
-	@echo "                  against bench/BENCH_baseline_million.json"
+	@echo "  bench-gate      million-key + WAL durability catsbench profiles (reduced"
+	@echo "                  scale) gated against the bench/BENCH_baseline_*.json floors"
 	@echo "  determinism     run the simulation twice per seed and diff trace digests"
-	@echo "  chaos           churn scenario under -race plus a two-run chaos report diff"
+	@echo "  chaos           churn scenario under -race plus two-run chaos report diffs"
+	@echo "                  (memory, long-outage, and durable WAL-backed variants)"
+	@echo "  recovery        SIGKILL a durable cluster mid-churn, rebuild from WAL +"
+	@echo "                  snapshots, assert linearizable + no lost acked writes"
 	@echo "  ci              vet + build + test-race"
+	@echo "  ci-local        full local mirror of the gating CI matrix (lint, tests,"
+	@echo "                  alloc gates, determinism, chaos, recovery, bench-gate)"
 
 build:
 	$(GO) build ./...
@@ -52,11 +57,12 @@ bench-dispatch:
 	$(GO) test -run '^$$' -bench 'BenchmarkWSDeque|BenchmarkStealPingPong' -benchmem -benchtime $(BENCHTIME) -cpu $(BENCHCPU) -count=3 ./internal/core/
 
 # Local mirror of the CI bench-gate job: the reduced-scale million-key
-# profile must complete cleanly within 10% of the checked-in throughput
-# baseline (see bench/README.md).
+# profile and the WAL durability A/B must complete cleanly within 10% of
+# their checked-in throughput baselines (see bench/README.md).
 bench-gate:
 	$(GO) build -o /tmp/catsbench ./cmd/catsbench
 	/tmp/catsbench -exp million -quick -json-dir /tmp/bench -gate bench/BENCH_baseline_million.json
+	/tmp/catsbench -exp wal -quick -json-dir /tmp/bench -wal-gate bench/BENCH_baseline_wal.json
 
 # Local mirror of the CI determinism job: one seed, two runs, diff all
 # deterministic output lines (wall time filtered) including the -trace digest.
@@ -83,5 +89,53 @@ chaos:
 	/tmp/catssim -mode chaos -seed 11 -long -trace > /tmp/chaos-long-b.txt
 	diff -u /tmp/chaos-long-a.txt /tmp/chaos-long-b.txt && cat /tmp/chaos-long-a.txt
 	@! grep -q 'handoff_transfers=0 ' /tmp/chaos-long-a.txt || { echo "no handoff sync rounds completed (long)"; exit 1; }
+	# Durable variant: same churn on WAL-backed stores. The data dir must
+	# start empty each run or replay shifts the (diffed) WAL counters.
+	for run in a b; do \
+		rm -rf /tmp/chaos-wal; \
+		/tmp/catssim -mode chaos -seed 5 -trace -wal-dir /tmp/chaos-wal > /tmp/chaos-wal-$$run.txt || exit 1; \
+	done
+	diff -u /tmp/chaos-wal-a.txt /tmp/chaos-wal-b.txt && cat /tmp/chaos-wal-a.txt
+	@grep -q 'wal_appends=[1-9]' /tmp/chaos-wal-a.txt || { echo "durable chaos produced no WAL appends"; exit 1; }
+
+# Local mirror of the CI recovery job, one seed: phase 1 SIGKILLs its own
+# process mid-churn (exit 137 is the expected outcome), phase 2 rebuilds
+# the cluster from the data directory alone — twice, byte-identically —
+# and must report a linearizable history with zero lost acked writes plus
+# real WAL replay, snapshot, and handoff activity.
+recovery:
+	$(GO) test -race -count=1 -run 'Recovery|HistoryLog|ReplayCompletes' ./internal/experiments/ ./internal/abd/ ./internal/handoff/
+	$(GO) build -o /tmp/catssim ./cmd/catssim
+	# Phase 2 is itself durable (audit handoff appends to the WALs), so
+	# determinism is asserted over the whole crash->recover pair: run the
+	# pair twice from scratch and the recovery reports must match.
+	for run in a b; do \
+		rm -rf /tmp/recovery-local; \
+		/tmp/catssim -mode recovery -phase crash -seed 3 -wal-dir /tmp/recovery-local; \
+		status=$$?; [ $$status -eq 137 ] || { echo "crash phase exited $$status, want 137"; exit 1; }; \
+		/tmp/catssim -mode recovery -phase recover -seed 3 -wal-dir /tmp/recovery-local > /tmp/recover-$$run.txt || exit 1; \
+	done
+	diff -u /tmp/recover-a.txt /tmp/recover-b.txt && cat /tmp/recover-a.txt
+	@grep -q 'linearizable=true lost_acked_writes=0' /tmp/recover-a.txt || { echo "recovery lost acked writes"; exit 1; }
+	@grep -q 'wal_replayed=[1-9]' /tmp/recover-a.txt || { echo "no WAL records replayed"; exit 1; }
+	@grep -q 'snapshots_loaded=[1-9]' /tmp/recover-a.txt || { echo "no snapshots loaded"; exit 1; }
+	@grep -q 'handoff_transfers=[1-9]' /tmp/recover-a.txt || { echo "no handoff rounds after recovery"; exit 1; }
 
 ci: vet build test-race
+
+# Everything the gating CI matrix runs, locally and in one command. The
+# two alloc-gate suites and the scenario gates mirror .github/workflows/
+# ci.yml; the -race pass is unsharded here (sharding only buys wall-clock
+# on parallel runners).
+ci-local: vet build
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) test -count=1 ./...
+	$(GO) test -race -count=1 ./...
+	$(GO) test -run 'ZeroAlloc' -count=1 .
+	$(GO) test -run 'WALAppendSteadyStateAllocs|WALGroupSyncAllocs|VersionStringAlloc' -count=1 ./internal/kvstore/
+	$(GO) test -run 'MetricsEndpoint|MetricsWriter|RegisteredMetricsSources' -count=1 ./internal/web/
+	$(GO) test -run 'PhaseMetricsExposition' -count=1 ./internal/abd/
+	$(MAKE) determinism
+	$(MAKE) chaos
+	$(MAKE) recovery
+	$(MAKE) bench-gate

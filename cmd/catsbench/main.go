@@ -7,6 +7,7 @@
 //	catsbench -exp stealing  # C3: work-stealing batch ablation
 //	catsbench -exp quorum    # C4: coalesced vs uncoalesced quorum A/B
 //	catsbench -exp million   # C5: 1M-key sharded-store open-loop profile
+//	catsbench -exp wal       # C7: durability (WAL sync policy) A/B
 //	catsbench -exp all
 //
 // -json-dir writes a machine-readable BENCH_<name>.json per experiment so
@@ -32,18 +33,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | trace | million | all")
+		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | trace | million | wal | all")
 		seed    = flag.Int64("seed", 2012, "random seed")
 		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		jsonDir = flag.String("json-dir", "", "directory to write BENCH_<name>.json results into")
 		gate    = flag.String("gate", "", "baseline BENCH_million.json to gate the million profile against (>10% ops/s regression fails)")
+		walGate = flag.String("wal-gate", "", "baseline BENCH_wal.json to gate the durability-on (sync=always) throughput against (>10% regression fails)")
 	)
 	flag.Parse()
 
 	run := map[string]bool{}
 	if *exp == "all" {
 		run["table1"], run["latency"], run["scaling"], run["stealing"] = true, true, true, true
-		run["quorum"], run["trace"], run["million"] = true, true, true
+		run["quorum"], run["trace"], run["million"], run["wal"] = true, true, true, true
 	} else {
 		run[*exp] = true
 	}
@@ -74,6 +76,10 @@ func main() {
 	}
 	if run["million"] {
 		million(*quick, *jsonDir, *gate)
+		any = true
+	}
+	if run["wal"] {
+		wal(*quick, *jsonDir, *walGate)
 		any = true
 	}
 	if !any {
@@ -342,6 +348,86 @@ func million(quick bool, jsonDir, gate string) {
 	if gate != "" {
 		gateMillion(gate, rec)
 	}
+}
+
+// wal runs the durability A/B: the same write-heavy closed-loop workload
+// against the in-memory store and against the per-shard WAL under each
+// sync policy, on a real loopback cluster with framed per-message codecs.
+func wal(quick bool, jsonDir, gate string) {
+	clients, ops, rounds := 48, 4000, 3
+	if quick {
+		clients, ops, rounds = 32, 1200, 2
+	}
+	fmt.Println("== C7: per-shard WAL durability cost (A/B across sync policies) ==")
+	fmt.Println("   (3 nodes at replication degree 3, write-heavy closed loop; every")
+	fmt.Println("    acked put is WAL-appended on all replicas before the ack, so the")
+	fmt.Println("    arms price the append alone (never), group commit (interval, 2ms)")
+	fmt.Println("    and fsync-per-append (always) against no durability at all (mem);")
+	fmt.Println("    rounds rotate arm order so machine drift cancels)")
+	fmt.Println()
+	r, err := experiments.WALBench(clients, ops, rounds, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: wal: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%10s  %12s  %10s  %10s  %12s  %12s  %10s\n",
+		"Policy", "ops/s", "P50", "P99", "WAL appends", "WAL MiB", "fsyncs")
+	var memPS, alwaysPS float64
+	var alwaysArm experiments.WALBenchArm
+	for _, a := range r.Arms {
+		fmt.Printf("%10s  %12.0f  %10v  %10v  %12d  %12.1f  %10d\n",
+			a.Policy, a.OpsPS, a.P50.Round(time.Microsecond), a.P99.Round(time.Microsecond),
+			a.WALAppends, float64(a.WALBytes)/(1<<20), a.WALSyncs)
+		switch a.Policy {
+		case "mem":
+			memPS = a.OpsPS
+		case "always":
+			alwaysPS = a.OpsPS
+			alwaysArm = a
+		}
+	}
+	fmt.Printf("\n   durability cost: always %.1f%%, interval %.1f%% (vs mem)\n\n",
+		100*r.DurabilityCost, 100*r.IntervalCost)
+	writeJSON(jsonDir, benchJSON{
+		Name:        "wal",
+		OpsPS:       alwaysPS, // the gated number: durability-on throughput
+		P50Micros:   float64(alwaysArm.P50.Microseconds()),
+		P99Micros:   float64(alwaysArm.P99.Microseconds()),
+		LegacyOpsPS: memPS,
+		Improvement: -r.DurabilityCost,
+	})
+	if gate != "" {
+		gateWAL(gate, alwaysPS, alwaysArm)
+	}
+}
+
+// gateWAL fails the run when durability-on (sync=always) throughput
+// regresses more than 10% below the checked-in baseline, or when the
+// run's WAL activity looks inert.
+func gateWAL(baselinePath string, alwaysPS float64, arm experiments.WALBenchArm) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: wal gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base benchJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: wal gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	floor := 0.9 * base.OpsPS
+	fmt.Printf("   wal gate: measured %.0f ops/s (sync=always) vs baseline %.0f (floor %.0f)\n",
+		alwaysPS, base.OpsPS, floor)
+	if arm.WALAppends == 0 || arm.WALSyncs == 0 {
+		fmt.Fprintln(os.Stderr, "catsbench: wal gate FAIL: sync=always arm recorded no WAL activity")
+		os.Exit(1)
+	}
+	if alwaysPS < floor {
+		fmt.Fprintf(os.Stderr, "catsbench: wal gate FAIL: durability-on ops/s regressed >10%% (measured %.0f < floor %.0f)\n",
+			alwaysPS, floor)
+		os.Exit(1)
+	}
+	fmt.Println("   wal gate: PASS")
 }
 
 // gateMillion fails the run when the measured million-profile throughput

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cats"
 	"repro/internal/core"
 	"repro/internal/ident"
+	"repro/internal/kvstore"
 	"repro/internal/network"
 	"repro/internal/tracing"
 	"repro/internal/web"
@@ -43,6 +44,11 @@ func main() {
 		compress   = flag.Bool("compress", false, "zlib-compress network messages")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the web listener")
 		traceEvery = flag.Int("trace-sample", 64, "trace one operation in N (rounded up to a power of two; 1: every op, 0: tracing off)")
+
+		dataDir    = flag.String("data-dir", "", "durable storage directory: per-shard WAL + snapshots, replayed on boot (empty: memory only)")
+		walSync    = flag.String("wal-sync", "always", "WAL sync policy: always | interval | never (with -data-dir)")
+		walSyncInt = flag.Duration("wal-sync-interval", kvstore.DefaultSyncEvery, "group-fsync period for -wal-sync=interval")
+		snapBytes  = flag.Int64("snapshot-bytes", kvstore.DefaultSnapshotBytes, "per-shard WAL size that triggers a snapshot and log truncation")
 	)
 	flag.Parse()
 	tracing.SetSampleEvery(*traceEvery)
@@ -57,6 +63,14 @@ func main() {
 	}
 
 	cfg := cats.NodeConfig{Self: self, ReplicationDegree: *replicas}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
+		if cfg.WALSync, err = kvstore.ParseSyncPolicy(*walSync); err != nil {
+			fatal(err)
+		}
+		cfg.WALSyncEvery = *walSyncInt
+		cfg.WALSnapshotBytes = *snapBytes
+	}
 	if *bootstrapS != "" {
 		if cfg.BootstrapServer, err = network.ParseAddress(*bootstrapS); err != nil {
 			fatal(err)
@@ -91,6 +105,9 @@ func main() {
 	}))
 
 	fmt.Printf("catsnode: %s up (replication=%d", self, *replicas)
+	if *dataDir != "" {
+		fmt.Printf(", wal %s sync=%s", *dataDir, *walSync)
+	}
 	if *webS != "" {
 		fmt.Printf(", web http://%s/status, metrics http://%s/metrics, spans http://%s/debug/trace", *webS, *webS, *webS)
 	}

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "sim", "execution mode: sim | local | chaos")
+		mode    = flag.String("mode", "sim", "execution mode: sim | local | chaos | recovery")
 		seed    = flag.Int64("seed", 42, "random seed (schedule and simulation)")
 		boot    = flag.Int("boot", 100, "nodes joined by the boot process")
 		churn   = flag.Int("churn", 50, "churn events (half joins, half failures)")
@@ -45,11 +45,17 @@ func main() {
 		tail    = flag.Duration("tail", 30*time.Second, "extra run time after the scenario ends")
 		trace   = flag.Bool("trace", false, "sim mode: digest every handler execution and print it (determinism check)")
 		long    = flag.Bool("long", false, "chaos mode: long-outage variant (crash windows double the suspicion threshold)")
+		phase   = flag.String("phase", "", "recovery mode: crash (run workload, SIGKILL the whole cluster) | recover (rebuild from -wal-dir and audit)")
+		walDir  = flag.String("wal-dir", "", "recovery mode: data directory root holding per-node WAL/snapshot state; chaos mode: run durable (must start empty for a deterministic diff)")
 	)
 	flag.Parse()
 
 	if *mode == "chaos" {
-		runChaos(*seed, *trace, *long)
+		runChaos(*seed, *trace, *long, *walDir)
+		return
+	}
+	if *mode == "recovery" {
+		runRecovery(*seed, *phase, *walDir)
 		return
 	}
 
@@ -87,8 +93,11 @@ func main() {
 // exits non-zero unless the recorded history is linearizable with zero
 // lost acknowledged writes. Output is purely virtual-time derived, so two
 // runs with one seed must print byte-identical reports — the CI chaos job
-// diffs them (plus the trace digest under -trace).
-func runChaos(seed int64, trace, long bool) {
+// diffs them (plus the trace digest under -trace). With -wal-dir the
+// cluster runs on durable stores (WAL counters in the report become
+// non-zero); the directory must start empty for the diff to hold, since
+// replaying a previous run's state shifts the counters.
+func runChaos(seed int64, trace, long bool, walDir string) {
 	var digest *traceDigest
 	simOpts := []simulation.SimOption{}
 	if trace {
@@ -101,6 +110,10 @@ func runChaos(seed int64, trace, long bool) {
 		cfg = experiments.LongOutageChurnConfig()
 		variant = "long-outage"
 	}
+	cfg.DataDir = walDir
+	if walDir != "" {
+		variant += "+durable"
+	}
 	r := experiments.Churn(seed, cfg, simOpts...)
 	fmt.Printf("catssim chaos: seed=%d variant=%s nodes=%d keys=%d simulated=%v events=%d execs=%d\n",
 		seed, variant, r.Nodes, r.Keys, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
@@ -112,6 +125,8 @@ func runChaos(seed int64, trace, long bool) {
 		r.HandoffKeys, r.HandoffBytes, r.HandoffTransfers, r.MaxEpoch)
 	fmt.Printf("  store_keys=%d store_shards_in_use=%d store_max_shard_share=%.2f\n",
 		r.StoreKeys, r.StoreShardsInUse, r.StoreMaxShardShare)
+	fmt.Printf("  durability: wal_appends=%d wal_syncs=%d wal_snapshots=%d wal_replays=%d wal_errors=%d\n",
+		r.WALAppends, r.WALSyncs, r.WALSnapshots, r.WALReplays, r.WALErrors)
 	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
 	fmt.Printf("  spans=%d timelines=%d cross_node=%d restart_traces=%d trace_digest=%016x\n",
 		r.TraceSpans, r.TraceTimelines, r.CrossNodeTraces, r.RestartTraces, r.TraceDigest)
@@ -135,6 +150,66 @@ func runChaos(seed int64, trace, long bool) {
 	if r.StoreKeys == 0 || r.StoreShardsInUse == 0 {
 		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED (survivor stores empty after convergence)")
 		os.Exit(1)
+	}
+	if walDir != "" && (r.WALAppends == 0 || r.WALSyncs == 0) {
+		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED (durable run produced no WAL activity)")
+		os.Exit(1)
+	}
+}
+
+// runRecovery drives the durability gate's two phases (see
+// internal/experiments/recovery.go). Phase "crash" is expected to DIE —
+// the scheduled whole-cluster SIGKILL exits with code 137, which the CI
+// recovery job asserts; reaching the end of the schedule alive is the
+// failure case. Phase "recover" rebuilds a cluster from nothing but the
+// WAL directory, audits it, and prints a report derived purely from
+// virtual time and on-disk state — byte-identical across runs of one
+// seed, diffed by CI.
+func runRecovery(seed int64, phase, walDir string) {
+	if walDir == "" {
+		fmt.Fprintln(os.Stderr, "catssim recovery: -wal-dir is required")
+		os.Exit(2)
+	}
+	cfg := experiments.RecoveryConfig{}
+	switch phase {
+	case "crash":
+		fmt.Printf("catssim recovery: seed=%d phase=crash wal_dir_set=true\n", seed)
+		err := experiments.RecoveryCrash(seed, cfg, walDir)
+		// Returning at all means the SIGKILL never fired.
+		fmt.Fprintln(os.Stderr, "catssim recovery: FAILED:", err)
+		os.Exit(1)
+	case "recover":
+		r, err := experiments.RecoveryRecover(seed, cfg, walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catssim recovery: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("catssim recovery: seed=%d phase=recover nodes=%d keys=%d simulated=%v events=%d execs=%d\n",
+			seed, r.Nodes, r.Keys, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
+		fmt.Printf("  phase1: acked_puts=%d failed_puts=%d ok_gets=%d unresolved=%d\n",
+			r.AckedPuts, r.FailedPuts, r.OKGets, r.UnresolvedOps)
+		fmt.Printf("  recovered: snapshots_loaded=%d snapshot_entries=%d wal_replayed=%d torn_tails=%d recovered_keys=%d\n",
+			r.SnapshotsLoaded, r.SnapshotEntries, r.WALReplayed, r.TornTails, r.RecoveredKeys)
+		fmt.Printf("  converge: handoff_keys=%d handoff_transfers=%d max_epoch=%d audit_ok=%d audit_failed=%d\n",
+			r.HandoffKeys, r.HandoffTransfers, r.MaxEpoch, r.AuditOKGets, r.AuditFailed)
+		fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
+		if !r.Linearizable || r.LostAckedWrites != 0 {
+			if r.NonLinearizableKey != "" {
+				fmt.Fprintf(os.Stderr, "catssim recovery: non-linearizable key: %s\n", r.NonLinearizableKey)
+			}
+			for _, k := range r.LostKeys {
+				fmt.Fprintf(os.Stderr, "catssim recovery: lost acked writes on key: %s\n", k)
+			}
+			fmt.Fprintln(os.Stderr, "catssim recovery: FAILED")
+			os.Exit(1)
+		}
+		if r.RecoveredKeys == 0 || r.WALReplayed+r.SnapshotEntries == 0 {
+			fmt.Fprintln(os.Stderr, "catssim recovery: FAILED (nothing recovered from disk — the scenario proved nothing)")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "catssim recovery: unknown -phase %q (want crash|recover)\n", phase)
+		os.Exit(2)
 	}
 }
 

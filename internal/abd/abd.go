@@ -681,7 +681,16 @@ func (a *ABD) handleWrite(m writeMsg) {
 	if !a.serveEpoch(m, m.Context, "serve.write", m.OpID, m.Attempt, m.Epoch) {
 		return
 	}
-	a.store.Apply(m.Key, m.Version, m.Value)
+	// The ack is the durability promise: on a durable store ApplyDurable
+	// returns only after the write is in the shard's WAL (fsynced under
+	// sync=always). A WAL failure therefore withholds the ack — the
+	// coordinator retries or fails the op, but never reports a write
+	// stored that a restart would lose.
+	if _, err := a.store.ApplyDurable(m.Key, m.Version, m.Value); err != nil {
+		a.recordServe(m.Context, "serve.write", m.OpID, m.Attempt, "wal-error")
+		a.ctx.Log().Warn("abd: wal append failed; write not acked", "key", m.Key, "err", err)
+		return
+	}
 	a.recordServe(m.Context, "serve.write", m.OpID, m.Attempt, "ok")
 	a.ctx.Trigger(writeAckMsg{Header: network.Reply(m), OpID: m.OpID, Attempt: m.Attempt, Epoch: a.localEpoch}, a.net)
 }

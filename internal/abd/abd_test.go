@@ -44,6 +44,7 @@ type abdNode struct {
 	group []ident.NodeRef
 	sim   *simulation.Simulation
 	emu   *simulation.NetworkEmulator
+	store *Store // optional pre-built (e.g. recovered) store
 
 	ctx     *core.Ctx
 	ABD     *ABD
@@ -64,6 +65,7 @@ func (n *abdNode) Setup(ctx *core.Ctx) {
 		ReplicationDegree: len(n.group),
 		OpTimeout:         300 * time.Millisecond,
 		MaxRetries:        3,
+		Store:             n.store,
 	})
 	abdC := ctx.Create("abd", n.ABD)
 	ctx.Connect(abdC.Required(network.PortType), tr.Provided(network.PortType))

@@ -254,7 +254,14 @@ func (a *ABD) handleOpBatch(m opBatchMsg) {
 		if !a.serveEpoch(m, w.Context, "serve.write", w.OpID, w.Attempt, w.Epoch) {
 			continue
 		}
-		a.store.Apply(w.Key, w.Version, w.Value)
+		// Same durability gate as the unbatched path: no WAL append, no
+		// ack entry — the op times out at the coordinator instead of
+		// being acked un-durably.
+		if _, err := a.store.ApplyDurable(w.Key, w.Version, w.Value); err != nil {
+			a.recordServe(w.Context, "serve.write", w.OpID, w.Attempt, "wal-error")
+			a.ctx.Log().Warn("abd: wal append failed; batched write not acked", "key", w.Key, "err", err)
+			continue
+		}
 		a.recordServe(w.Context, "serve.write", w.OpID, w.Attempt, "ok")
 		writeAcks = append(writeAcks, writeAckEntry{OpID: w.OpID, Attempt: w.Attempt})
 	}

@@ -90,6 +90,22 @@ type NodeConfig struct {
 	// NoCoalesce disables ABD quorum coalescing, sending every quorum
 	// phase as its own message (A/B benchmarking).
 	NoCoalesce bool
+
+	// DataDir, when set, makes the register store durable: per-shard
+	// write-ahead logs + snapshots live under this directory and are
+	// replayed — synchronously, before any component starts — when the
+	// node boots, so ABD phases and handoff pulls serve recovered state
+	// after a whole-process restart. Empty keeps the store memory-only.
+	DataDir string
+	// WALSync is the WAL fsync policy for durable stores
+	// (default kvstore.SyncNever).
+	WALSync kvstore.SyncPolicy
+	// WALSyncEvery is the group-commit period under kvstore.SyncInterval
+	// (default kvstore.DefaultSyncEvery).
+	WALSyncEvery time.Duration
+	// WALSnapshotBytes is the per-shard WAL size that triggers a snapshot
+	// + log truncation (0: kvstore default; negative: never snapshot).
+	WALSnapshotBytes int64
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -137,6 +153,8 @@ type Node struct {
 	ABD     *abd.ABD
 	Handoff *handoff.Handoff
 
+	store *kvstore.Store
+
 	ringOuter   *core.Port
 	cyclonOuter *core.Port
 	bootOuter   *core.Port
@@ -178,6 +196,23 @@ func (n *Node) Self() ident.NodeRef { return n.cfg.Self }
 // Joined reports whether the node has joined the ring.
 func (n *Node) Joined() bool { return n.joined }
 
+// Store returns the node's register store (nil before Setup).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// openStore creates the register store: durable (recovered from
+// DataDir's snapshots + WAL tails) when a data directory is configured,
+// memory-only otherwise.
+func (n *Node) openStore() (*kvstore.Store, error) {
+	if n.cfg.DataDir == "" {
+		return kvstore.New(), nil
+	}
+	return kvstore.Open(n.cfg.DataDir, kvstore.Options{
+		Sync:          n.cfg.WALSync,
+		SyncEvery:     n.cfg.WALSyncEvery,
+		SnapshotBytes: n.cfg.WALSnapshotBytes,
+	})
+}
+
 // Setup assembles the node's internal architecture.
 func (n *Node) Setup(ctx *core.Ctx) {
 	n.ctx = ctx
@@ -212,7 +247,21 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	routC := ctx.Create("router", n.Router)
 	// The replica and the handoff component share one register store: the
 	// data handoff pulls in must be the data quorum phases serve out.
-	store := kvstore.New()
+	// With a DataDir the store recovers from its snapshot + WAL tail
+	// right here — Setup runs before any child handles an event, so
+	// replay strictly precedes the first served ABD phase or handoff
+	// pull. A store that cannot open is fatal: a stateful node must not
+	// silently boot empty over unreadable state.
+	store, err := n.openStore()
+	if err != nil {
+		panic(fmt.Sprintf("cats: node %s: open durable store at %q: %v", self, n.cfg.DataDir, err))
+	}
+	n.store = store
+	// Close (flush + release) the WAL when the node is destroyed, so
+	// simulated crash-restart cycles can reopen the same directory.
+	core.Subscribe(ctx, ctx.Control(), func(core.Stop) {
+		store.Close()
+	})
 	n.ABD = abd.New(abd.Config{
 		Self:              self,
 		ReplicationDegree: n.cfg.ReplicationDegree,

@@ -2,6 +2,7 @@ package cats
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -165,6 +166,17 @@ type Simulator struct {
 	// RecordOps captures every explicit put/get (not closed-loop load ops)
 	// as an OpRecord for post-run linearizability checking.
 	RecordOps bool
+	// DataDirRoot, when set, gives every created node a durable store at
+	// <DataDirRoot>/node-<key> (WAL policy from Defaults). A node joining
+	// with a key that has run here before — e.g. after a whole-process
+	// restart — recovers its registers from that directory before serving.
+	DataDirRoot string
+	// OpSink, when set (requires RecordOps), observes each explicit op
+	// twice: at invocation with zero End, and at resolution with the full
+	// record. The recovery scenario streams these into an fsynced on-disk
+	// history log so a mid-run SIGKILL cannot erase an acked write's
+	// record.
+	OpSink func(rec OpRecord)
 
 	ctx *core.Ctx
 	exp *core.Port
@@ -276,6 +288,18 @@ func (s *Simulator) record(r OpRecord) {
 	s.mu.Lock()
 	s.history = append(s.history, r)
 	s.mu.Unlock()
+	if s.OpSink != nil {
+		s.OpSink(r)
+	}
+}
+
+// sinkInvocation streams an op's invocation to the OpSink (zero End
+// marks it in-flight).
+func (s *Simulator) sinkInvocation(kind, key, value string, start time.Time) {
+	if !s.RecordOps || s.OpSink == nil {
+		return
+	}
+	s.OpSink(OpRecord{Kind: kind, Key: key, Value: value, Start: start})
 }
 
 // AliveCount returns the number of currently deployed nodes.
@@ -357,6 +381,9 @@ func (s *Simulator) handleJoin(j JoinNode) {
 	cfg := s.Defaults
 	cfg.Self = self
 	cfg.Seeds = seeds
+	if s.DataDirRoot != "" {
+		cfg.DataDir = filepath.Join(s.DataDirRoot, fmt.Sprintf("node-%d", uint64(j.Key)))
+	}
 	peer := NewPeer(s.Env, cfg)
 	comp := s.ctx.Create(fmt.Sprintf("peer-%d", uint64(j.Key)), peer)
 	h := &peerHandle{
@@ -411,7 +438,9 @@ func (s *Simulator) handlePut(p OpPut) {
 		return
 	}
 	id := simReqBase + NextReqID()
-	s.pending[id] = &pendingOp{kind: "put", key: p.Key, value: string(p.Value), start: s.ctx.Now()}
+	now := s.ctx.Now()
+	s.pending[id] = &pendingOp{kind: "put", key: p.Key, value: string(p.Value), start: now}
+	s.sinkInvocation("put", p.Key, string(p.Value), now)
 	s.ctx.Trigger(abd.PutRequest{ReqID: id, Key: p.Key, Value: p.Value}, h.putget)
 }
 
@@ -422,7 +451,9 @@ func (s *Simulator) handleGet(g OpGet) {
 		return
 	}
 	id := simReqBase + NextReqID()
-	s.pending[id] = &pendingOp{kind: "get", key: g.Key, start: s.ctx.Now()}
+	now := s.ctx.Now()
+	s.pending[id] = &pendingOp{kind: "get", key: g.Key, start: now}
+	s.sinkInvocation("get", g.Key, "", now)
 	s.ctx.Trigger(abd.GetRequest{ReqID: id, Key: g.Key}, h.putget)
 }
 

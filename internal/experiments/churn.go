@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/handoff"
 	"repro/internal/ident"
+	"repro/internal/kvstore"
 	"repro/internal/linear"
 	"repro/internal/simulation"
 	"repro/internal/tracing"
@@ -31,6 +32,14 @@ type ChurnConfig struct {
 	FlapDown  time.Duration // how long a flapped link stays down (default 900ms)
 	OpWindow  time.Duration // virtual-time window the workload and churn are spread over (default 40s)
 	Tail      time.Duration // settle time after the window before the audit reads (default 20s)
+
+	// DataDir, when non-empty, runs every node on a durable store
+	// (per-node WAL + snapshots under this root, sync=always) so the
+	// chaos scenario also exercises the write-ahead path under churn.
+	// For a deterministic two-run diff the directory must start empty
+	// each run — recovery replay of a previous run's state shifts the
+	// WAL counters.
+	DataDir string
 }
 
 func (c *ChurnConfig) applyDefaults() {
@@ -103,6 +112,14 @@ type ChurnResult struct {
 	HandoffTransfers uint64
 	// MaxEpoch is the highest replica-group epoch any node reached.
 	MaxEpoch uint64
+
+	// Durability activity during the scenario (deltas of the process-wide
+	// WAL counters; all zero when DataDir is unset).
+	WALAppends   uint64
+	WALSyncs     uint64
+	WALReplays   uint64
+	WALSnapshots uint64
+	WALErrors    uint64
 
 	// Sharded-store occupancy after the audit, summed over alive nodes:
 	// convergence must leave the survivors' stores populated, spread across
@@ -200,8 +217,23 @@ func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnRe
 	nodeCfg.FDSuspectAfterMisses = 3
 
 	handoffBefore := handoff.GlobalMetrics()
+	kvBefore := kvstore.GlobalMetrics()
 
-	sim, emu, host, exp := buildSimCluster(seed, cfg.Nodes, nodeCfg, simOpts...)
+	var (
+		sim  *simulation.Simulation
+		emu  *simulation.NetworkEmulator
+		host *cats.Simulator
+		exp  *core.Port
+	)
+	if cfg.DataDir != "" {
+		// Durable chaos: WALs fsync on every ack and snapshots roll
+		// aggressively so even a short run truncates logs under churn.
+		nodeCfg.WALSync = kvstore.SyncAlways
+		nodeCfg.WALSnapshotBytes = 1 << 12
+		sim, emu, host, exp = buildDurableSimCluster(seed, spreadKeys(cfg.Nodes), nodeCfg, cfg.DataDir, nil, simOpts...)
+	} else {
+		sim, emu, host, exp = buildSimCluster(seed, cfg.Nodes, nodeCfg, simOpts...)
+	}
 	host.RecordOps = true
 
 	refs := host.AliveNodes()
@@ -302,6 +334,12 @@ func Churn(seed int64, cfg ChurnConfig, simOpts ...simulation.SimOption) ChurnRe
 	res.HandoffBytes = handoffAfter.Bytes - handoffBefore.Bytes
 	res.HandoffTransfers = handoffAfter.Transfers - handoffBefore.Transfers
 	res.MaxEpoch = handoffAfter.Epoch
+	kvAfter := kvstore.GlobalMetrics()
+	res.WALAppends = kvAfter.WALAppends - kvBefore.WALAppends
+	res.WALSyncs = kvAfter.WALSyncs - kvBefore.WALSyncs
+	res.WALReplays = kvAfter.WALReplays - kvBefore.WALReplays
+	res.WALSnapshots = kvAfter.Snapshots - kvBefore.Snapshots
+	res.WALErrors = kvAfter.WALErrors - kvBefore.WALErrors
 
 	// Build the per-key linearizability history. Failed or unresolved puts
 	// may or may not have taken effect, so they enter as writes with an

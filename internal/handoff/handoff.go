@@ -436,7 +436,16 @@ func (h *Handoff) handlePullReq(m pullReqMsg) {
 func (h *Handoff) handleItems(m itemsMsg) {
 	applied, bytes := 0, 0
 	for _, e := range m.Items {
-		if h.cfg.Store.Apply(e.Key, e.Version, e.Value) {
+		// ApplyDurable keeps transferred ranges on the same durability
+		// path as replica writes: a handed-off entry is in the WAL before
+		// it counts toward the sync round, so a restart mid-handoff
+		// replays it instead of silently shrinking the covered range.
+		ok, err := h.cfg.Store.ApplyDurable(e.Key, e.Version, e.Value)
+		if err != nil {
+			h.ctx.Log().Warn("handoff: wal append failed; transfer entry dropped", "key", e.Key, "err", err)
+			continue
+		}
+		if ok {
 			applied++
 			bytes += len(e.Value)
 		}

@@ -1,0 +1,88 @@
+package handoff
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+// TestReplayCompletesBeforeFirstPullAnswered is the handoff side of the
+// recovery event-stream ordering: a node whose store was rebuilt from
+// WAL + snapshot must have finished every shard's replay before it
+// answers a peer's handoff pull — the pulled entries come from the
+// recovered map, never from a half-replayed one. As with the ABD test,
+// the order is structural (kvstore.Open is synchronous, the component
+// gets the store afterwards); the stream assertion pins it.
+func TestReplayCompletesBeforeFirstPullAnswered(t *testing.T) {
+	dir := t.TempDir()
+	keys := []string{"ho-alpha", "ho-bravo", "ho-charlie", "ho-delta", "ho-echo"}
+
+	seed, err := kvstore.Open(dir, kvstore.Options{Sync: kvstore.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if ok, err := seed.ApplyDurable(k, kvstore.Version{Seq: uint64(i + 1), Writer: 9}, []byte("durable-"+k)); !ok || err != nil {
+			t.Fatalf("seed %q: ok=%v err=%v", k, ok, err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []string
+	add := func(ev string) { mu.Lock(); events = append(events, ev); mu.Unlock() }
+
+	recovered, err := kvstore.Open(dir, kvstore.Options{
+		Sync: kvstore.SyncAlways,
+		OnShardRecovered: func(shard, snapEntries, walEntries int, torn bool) {
+			add(fmt.Sprintf("replay shard=%d", shard))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if rec := recovered.Recovery(); rec.Keys != len(keys) || rec.TornTails != 0 {
+		t.Fatalf("recovery stats: %+v, want %d keys and no torn tails", rec, len(keys))
+	}
+
+	w := newHoWorld(t, 51, 2)
+	a, b := w.nodes[0], w.nodes[1]
+	a.h.cfg.Store = recovered // node a serves pulls from the recovered store
+
+	// Degree 2, two members: b covers everything and pulls it all from a.
+	w.feedView(1, 4, w.members(0, 1))
+	if len(b.synced) != 1 || b.synced[0].Keys != len(keys) {
+		t.Fatalf("pull from recovered store: synced=%+v, want %d keys", b.synced, len(keys))
+	}
+	add("pull answered")
+
+	for _, k := range keys {
+		_, v, ok := b.store.Read(k)
+		if !ok || string(v) != "durable-"+k {
+			t.Fatalf("pulled %q: ok=%t value=%q, want the recovered value", k, ok, v)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	replays, pullIdx := 0, -1
+	for i, ev := range events {
+		if strings.HasPrefix(ev, "replay") {
+			replays++
+			if pullIdx >= 0 {
+				t.Fatalf("replay event %q at %d after pull answered at %d:\n%v", ev, i, pullIdx, events)
+			}
+		} else if ev == "pull answered" {
+			pullIdx = i
+		}
+	}
+	if replays != kvstore.ShardCount || pullIdx < 0 {
+		t.Fatalf("stream: %d replay events (want %d), pull at %d:\n%v", replays, kvstore.ShardCount, pullIdx, events)
+	}
+}

@@ -20,6 +20,20 @@ var (
 	appliesTotal   atomic.Uint64
 	rejectedTotal  atomic.Uint64
 	shardKeysTotal [ShardCount]atomic.Uint64
+
+	// WAL + snapshot counters (durable stores only). Appends/bytes/syncs
+	// count the live write path; replays counts records replayed during
+	// Open; truncations counts torn tails cut off during recovery.
+	walAppendsTotal     atomic.Uint64
+	walBytesTotal       atomic.Uint64
+	walSyncsTotal       atomic.Uint64
+	walReplaysTotal     atomic.Uint64
+	walTruncationsTotal atomic.Uint64
+	walErrorsTotal      atomic.Uint64
+	snapshotsTotal      atomic.Uint64
+	snapshotLastEntries atomic.Uint64
+	snapshotLastBytes   atomic.Uint64
+	durableStoresOpen   atomic.Uint64
 )
 
 // Metrics is a snapshot of the process-wide kvstore counters.
@@ -34,6 +48,27 @@ type Metrics struct {
 	Rejected uint64
 	// ShardKeys counts keys materialized per shard across all stores.
 	ShardKeys [ShardCount]uint64
+	// WALAppends is the number of records appended to shard WALs.
+	WALAppends uint64
+	// WALBytes is the framed bytes appended to shard WALs.
+	WALBytes uint64
+	// WALSyncs is the number of fsyncs (per-append, group-commit, or
+	// close-time).
+	WALSyncs uint64
+	// WALReplays is the number of records replayed from WAL tails at Open.
+	WALReplays uint64
+	// WALTruncations is the number of torn tails truncated at Open.
+	WALTruncations uint64
+	// WALErrors is the number of append/sync/snapshot I/O failures.
+	WALErrors uint64
+	// Snapshots is the number of shard snapshots written.
+	Snapshots uint64
+	// SnapshotLastEntries is the entry count of the most recent snapshot.
+	SnapshotLastEntries uint64
+	// SnapshotLastBytes is the byte size of the most recent snapshot.
+	SnapshotLastBytes uint64
+	// DurableStoresOpen is the number of durable stores currently open.
+	DurableStoresOpen uint64
 }
 
 // GlobalMetrics snapshots the process-wide kvstore counters.
@@ -47,6 +82,16 @@ func GlobalMetrics() Metrics {
 	for i := range shardKeysTotal {
 		m.ShardKeys[i] = shardKeysTotal[i].Load()
 	}
+	m.WALAppends = walAppendsTotal.Load()
+	m.WALBytes = walBytesTotal.Load()
+	m.WALSyncs = walSyncsTotal.Load()
+	m.WALReplays = walReplaysTotal.Load()
+	m.WALTruncations = walTruncationsTotal.Load()
+	m.WALErrors = walErrorsTotal.Load()
+	m.Snapshots = snapshotsTotal.Load()
+	m.SnapshotLastEntries = snapshotLastEntries.Load()
+	m.SnapshotLastBytes = snapshotLastBytes.Load()
+	m.DurableStoresOpen = durableStoresOpen.Load()
 	return m
 }
 
@@ -65,5 +110,25 @@ func init() {
 		for i := range s.ShardKeys {
 			m.Counter("cats_kvstore_shard_keys_total", s.ShardKeys[i], "shard", strconv.Itoa(i))
 		}
+		m.Header("cats_wal_appends_total", "counter", "Records appended to shard write-ahead logs.")
+		m.Counter("cats_wal_appends_total", s.WALAppends)
+		m.Header("cats_wal_bytes_total", "counter", "Framed bytes appended to shard write-ahead logs.")
+		m.Counter("cats_wal_bytes_total", s.WALBytes)
+		m.Header("cats_wal_syncs_total", "counter", "WAL fsyncs (per-append, group-commit, or close-time).")
+		m.Counter("cats_wal_syncs_total", s.WALSyncs)
+		m.Header("cats_wal_replays_total", "counter", "Records replayed from WAL tails during recovery.")
+		m.Counter("cats_wal_replays_total", s.WALReplays)
+		m.Header("cats_wal_truncations_total", "counter", "Torn WAL tails truncated during recovery.")
+		m.Counter("cats_wal_truncations_total", s.WALTruncations)
+		m.Header("cats_wal_errors_total", "counter", "WAL append/sync/snapshot I/O failures.")
+		m.Counter("cats_wal_errors_total", s.WALErrors)
+		m.Header("cats_wal_snapshots_total", "counter", "Shard snapshots written.")
+		m.Counter("cats_wal_snapshots_total", s.Snapshots)
+		m.Header("cats_snapshot_last_entries", "gauge", "Entry count of the most recent shard snapshot.")
+		m.Gauge("cats_snapshot_last_entries", float64(s.SnapshotLastEntries))
+		m.Header("cats_snapshot_last_bytes", "gauge", "Byte size of the most recent shard snapshot.")
+		m.Gauge("cats_snapshot_last_bytes", float64(s.SnapshotLastBytes))
+		m.Header("cats_wal_open_stores", "gauge", "Durable stores currently open in this process.")
+		m.Gauge("cats_wal_open_stores", float64(s.DurableStoresOpen))
 	})
 }

@@ -104,6 +104,12 @@ type shard struct {
 // share between the ABD replica and the handoff component of one node.
 type Store struct {
 	shards [ShardCount]shard
+
+	// dur is nil for memory-only stores (New); durable stores (Open)
+	// append every accepted write to the shard's WAL before it lands in
+	// the map — the map is the memtable, the log is the truth.
+	dur      *durability
+	recovery RecoveryStats
 }
 
 // New creates an empty store.
@@ -134,9 +140,23 @@ func (s *Store) Read(key string) (Version, []byte, bool) {
 // Apply stores (version, value) under key iff version advances the stored
 // one. Zero-version writes are rejected: they denote "never written" and
 // must not materialize a record. It reports whether the write was applied.
+// On a durable store a WAL failure drops the write (reported false);
+// callers that must distinguish "version-rejected" from "not durable" —
+// the replica ack paths — use ApplyDurable.
 func (s *Store) Apply(key string, v Version, value []byte) bool {
+	ok, _ := s.ApplyDurable(key, v, value)
+	return ok
+}
+
+// ApplyDurable is Apply with the durability verdict: on a durable store
+// the write is appended (and, under SyncAlways, fsynced) to the shard's
+// WAL before it is materialized in the memtable, so when ApplyDurable
+// returns (true, nil) the write is on disk and safe to acknowledge. A
+// non-nil error means the write is neither applied nor durable and must
+// not be acked.
+func (s *Store) ApplyDurable(key string, v Version, value []byte) (bool, error) {
 	if v.IsZero() {
-		return false
+		return false, nil
 	}
 	h := ident.KeyOfString(key)
 	si := ShardOf(h)
@@ -146,15 +166,27 @@ func (s *Store) Apply(key string, v Version, value []byte) bool {
 	if ok && !cur.version.Less(v) {
 		sh.mu.Unlock()
 		rejectedTotal.Add(1)
-		return false
+		return false, nil
+	}
+	needSnap := false
+	if s.dur != nil {
+		var err error
+		needSnap, err = s.dur.shards[si].append(key, v, value, s.dur.syncAlways, s.dur.snapshotBytes)
+		if err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
 	}
 	sh.m[key] = record{version: v, value: value, hash: h}
+	if needSnap {
+		s.dur.maybeSnapshot(si, sh.m)
+	}
 	sh.mu.Unlock()
 	appliesTotal.Add(1)
 	if !ok {
 		shardKeysTotal[si].Add(1)
 	}
-	return true
+	return true, nil
 }
 
 // Len returns the number of keys stored.

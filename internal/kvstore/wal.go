@@ -1,0 +1,220 @@
+// Write-ahead log: the durability layer under the sharded store. Each of
+// the ShardCount ring-span shards owns one append-only log file; the
+// in-memory shard maps act as memtables in front of them. A write is
+// framed, appended to its shard's log, and only then materialized in the
+// map — so an acknowledged write is on disk before the ack leaves the
+// node (under SyncAlways it is also fsynced; under SyncInterval a
+// background group-commit bounds the loss window; under SyncNever the OS
+// decides).
+//
+// Frame layout, designed for cheap torn-tail detection:
+//
+//	[4B little-endian payload length][4B little-endian CRC32(payload)][payload]
+//
+// Payload encoding is hand-rolled (uvarint key length, key bytes, uvarint
+// seq, uvarint writer, uvarint value length, value bytes) into pooled
+// scratch buffers — the same pooled-buffer idiom as the codec hot path —
+// so a steady-state append allocates nothing beyond the entry payload the
+// caller already owns.
+//
+// Recovery replays snapshot + WAL tail per shard (see snapshot.go and
+// Open in durable.go). A torn final record — short header, short payload,
+// or CRC mismatch — marks the end of the usable log: the file is
+// truncated back to the last whole record and replay stops. Records are
+// applied through the same version gate as live writes, so replaying a
+// log that overlaps a snapshot (crash between snapshot rename and log
+// truncation) is harmless.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	// frameHeader is [len u32le][crc u32le].
+	frameHeader = 8
+	// maxFrame bounds a single record so a corrupt length field cannot
+	// drive replay into a multi-gigabyte read.
+	maxFrame = 64 << 20
+)
+
+// errWALClosed is returned by appends after Close or Crash.
+var errWALClosed = errors.New("kvstore: wal closed")
+
+// walBuf is a pooled encode scratch buffer (pointer-to-struct so Put does
+// not allocate an interface box).
+type walBuf struct{ b []byte }
+
+var walBufPool = sync.Pool{New: func() any { return &walBuf{b: make([]byte, 0, 512)} }}
+
+// appendFrame appends one framed record for (key, v, value) to b.
+func appendFrame(b []byte, key string, v Version, value []byte) []byte {
+	start := len(b)
+	// Reserve the header; filled in once the payload length is known.
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, v.Seq)
+	b = binary.AppendUvarint(b, v.Writer)
+	b = binary.AppendUvarint(b, uint64(len(value)))
+	b = append(b, value...)
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// decodePayload parses one record payload. The returned key and value
+// alias freshly allocated memory (replay-only path; never hot).
+func decodePayload(p []byte) (key string, v Version, value []byte, err error) {
+	kl, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < kl {
+		return "", Version{}, nil, errors.New("kvstore: wal record: bad key length")
+	}
+	p = p[n:]
+	key = string(p[:kl])
+	p = p[kl:]
+	if v.Seq, n = binary.Uvarint(p); n <= 0 {
+		return "", Version{}, nil, errors.New("kvstore: wal record: bad seq")
+	}
+	p = p[n:]
+	if v.Writer, n = binary.Uvarint(p); n <= 0 {
+		return "", Version{}, nil, errors.New("kvstore: wal record: bad writer")
+	}
+	p = p[n:]
+	vl, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) != vl {
+		return "", Version{}, nil, errors.New("kvstore: wal record: bad value length")
+	}
+	value = append([]byte(nil), p[n:]...)
+	return key, v, value, nil
+}
+
+// walShard is the durable half of one shard: its log file plus the
+// appended/durable byte watermarks. appended is how far the log has been
+// written; durable is how far it has been fsynced — the watermark a
+// simulated power-loss crash truncates back to (see Store.Crash). Guarded
+// by its own mutex because the group-commit syncer touches it from
+// outside the shard's map lock.
+type walShard struct {
+	mu       sync.Mutex
+	f        *os.File
+	appended int64
+	durable  int64
+	dirty    bool // bytes appended since the last fsync
+}
+
+// append frames and writes one record, honoring the sync policy. Called
+// with the owning shard's map lock held, so records within a shard are
+// totally ordered. Reports whether the shard's log has grown past the
+// snapshot threshold.
+func (w *walShard) append(key string, v Version, value []byte, sync bool, snapshotBytes int64) (needSnap bool, err error) {
+	buf := walBufPool.Get().(*walBuf)
+	buf.b = appendFrame(buf.b[:0], key, v, value)
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		walBufPool.Put(buf)
+		return false, errWALClosed
+	}
+	n, err := w.f.Write(buf.b)
+	if err != nil {
+		// A short write leaves a torn tail; recovery's CRC check will
+		// truncate it. Do not advance the watermark past known-good bytes.
+		w.mu.Unlock()
+		walBufPool.Put(buf)
+		walErrorsTotal.Add(1)
+		return false, fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	w.appended += int64(n)
+	w.dirty = true
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			w.mu.Unlock()
+			walBufPool.Put(buf)
+			walErrorsTotal.Add(1)
+			return false, fmt.Errorf("kvstore: wal sync: %w", err)
+		}
+		w.durable = w.appended
+		w.dirty = false
+		walSyncsTotal.Add(1)
+	}
+	needSnap = snapshotBytes > 0 && w.appended >= snapshotBytes
+	w.mu.Unlock()
+	walBufPool.Put(buf)
+	walAppendsTotal.Add(1)
+	walBytesTotal.Add(uint64(n))
+	return needSnap, nil
+}
+
+// groupSync fsyncs the log if it has unflushed appends — one round of the
+// group-commit policy. The fsync itself runs outside the lock so appends
+// keep flowing; everything written before the fsync started is then known
+// durable.
+func (w *walShard) groupSync() {
+	w.mu.Lock()
+	if !w.dirty || w.f == nil {
+		w.mu.Unlock()
+		return
+	}
+	target := w.appended
+	f := w.f
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		walErrorsTotal.Add(1)
+		return
+	}
+	walSyncsTotal.Add(1)
+	w.mu.Lock()
+	if target > w.durable {
+		w.durable = target
+	}
+	w.dirty = w.appended > w.durable
+	w.mu.Unlock()
+}
+
+// replayWAL scans the log from the start, applying every whole,
+// CRC-valid record, and returns the byte offset of the end of the last
+// good record. torn reports whether a trailing partial or corrupt record
+// was found (the caller truncates the file back to valid).
+func replayWAL(f io.ReadSeeker, apply func(key string, v Version, value []byte)) (valid int64, entries int, torn bool, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, false, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return valid, entries, false, nil // clean end
+			}
+			return valid, entries, true, nil // partial header: torn tail
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > maxFrame {
+			return valid, entries, true, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, entries, true, nil // partial payload: torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return valid, entries, true, nil // bit rot or torn rewrite
+		}
+		key, v, value, err := decodePayload(payload)
+		if err != nil {
+			return valid, entries, true, nil
+		}
+		apply(key, v, value)
+		valid += int64(frameHeader + int64(n))
+		entries++
+	}
+}

@@ -1,0 +1,62 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWALAppendSteadyStateAllocs pins the durable write path's allocation
+// behavior: once the pooled encode buffer has grown to the record size,
+// a steady-state ApplyDurable — frame encode, file write, memtable
+// update of an existing key — allocates nothing beyond the entry payload
+// the caller already owns. Same contract as the dispatch hot path, gated
+// in the CI alloc job. SyncNever isolates the append path (fsync cost is
+// a policy choice, not an allocation).
+func TestWALAppendSteadyStateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	value := make([]byte, 128) // reused: the payload is the caller's allocation
+	seq := uint64(0)
+	apply := func() {
+		seq++
+		if ok, err := s.ApplyDurable("steady-key", Version{Seq: seq, Writer: 42}, value); !ok || err != nil {
+			t.Fatalf("apply seq %d: ok=%v err=%v", seq, ok, err)
+		}
+	}
+	// Warm up: grow the pooled buffer and materialize the key.
+	for i := 0; i < 64; i++ {
+		apply()
+	}
+	if allocs := testing.AllocsPerRun(500, apply); allocs > 0 {
+		t.Fatalf("steady-state WAL append allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// The group-commit syncer must not allocate per round either — it runs
+// forever at the sync interval.
+func TestWALGroupSyncAllocs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncInterval, SyncEvery: time.Hour, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	value := make([]byte, 32)
+	round := func() {
+		if ok, err := s.ApplyDurable("gc-key", Version{Seq: uint64(time.Now().UnixNano()), Writer: 1}, value); !ok || err != nil {
+			t.Fatalf("apply: ok=%v err=%v", ok, err)
+		}
+		for i := range s.dur.shards {
+			s.dur.shards[i].groupSync()
+		}
+	}
+	round()
+	if allocs := testing.AllocsPerRun(200, round); allocs > 0 {
+		t.Fatalf("group-commit sync allocates %.1f objects/op, want 0", allocs)
+	}
+}

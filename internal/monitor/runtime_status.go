@@ -96,6 +96,13 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 	m["kv.reads"] = int64(k.Reads)
 	m["kv.applies"] = int64(k.Applies)
 	m["kv.rejected"] = int64(k.Rejected)
+	m["wal.appends"] = int64(k.WALAppends)
+	m["wal.bytes"] = int64(k.WALBytes)
+	m["wal.syncs"] = int64(k.WALSyncs)
+	m["wal.replays"] = int64(k.WALReplays)
+	m["wal.errors"] = int64(k.WALErrors)
+	m["wal.snapshots"] = int64(k.Snapshots)
+	m["wal.open_stores"] = int64(k.DurableStoresOpen)
 	b := abd.GlobalBatchMetrics()
 	m["abd.batches"] = int64(b.Batches)
 	m["abd.batched_ops"] = int64(b.BatchedOps)

@@ -96,6 +96,16 @@ func TestFlattenRuntimeMetrics(t *testing.T) {
 	}
 	net := network.Metrics{Sent: 9, CompressedMsgs: 3, CompressedIn: 1000, CompressedOut: 400}
 	m := FlattenRuntimeMetrics(snap, net)
+	// The WAL rollup reads process-global counters, so assert presence
+	// (values depend on what other tests in the process have appended).
+	for _, key := range []string{
+		"wal.appends", "wal.bytes", "wal.syncs", "wal.replays",
+		"wal.errors", "wal.snapshots", "wal.open_stores",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("flattened metrics missing %q", key)
+		}
+	}
 	for key, want := range map[string]int64{
 		"components.live":   4,
 		"faults":            2,
