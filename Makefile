@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHCPU ?= 4
 
-.PHONY: all help build vet test test-race bench bench-dispatch bench-gate determinism chaos recovery ci ci-local
+.PHONY: all help build vet test test-race bench bench-dispatch bench-gate determinism chaos gray recovery ci ci-local
 
 all: build
 
@@ -20,11 +20,15 @@ help:
 	@echo "  bench-dispatch  hot-path microbenchmarks only: dispatch, fan-out,"
 	@echo "                  ping-pong, deque. Pinned -benchtime $(BENCHTIME) -cpu $(BENCHCPU);"
 	@echo "                  override with BENCHTIME=... BENCHCPU=..."
-	@echo "  bench-gate      million-key + WAL durability catsbench profiles (reduced"
-	@echo "                  scale) gated against the bench/BENCH_baseline_*.json floors"
+	@echo "  bench-gate      million-key + WAL durability + hedge catsbench profiles"
+	@echo "                  (reduced scale) gated against the bench/BENCH_baseline_*"
+	@echo "                  floors"
 	@echo "  determinism     run the simulation twice per seed and diff trace digests"
 	@echo "  chaos           churn scenario under -race plus two-run chaos report diffs"
 	@echo "                  (memory, long-outage, and durable WAL-backed variants)"
+	@echo "  gray            gray-failure scenario (straggler pulses + overload burst):"
+	@echo "                  3 seeds, two runs each diffed byte-identically, hedges and"
+	@echo "                  sheds must fire, history linearizable with no lost writes"
 	@echo "  recovery        SIGKILL a durable cluster mid-churn, rebuild from WAL +"
 	@echo "                  snapshots, assert linearizable + no lost acked writes"
 	@echo "  ci              vet + build + test-race"
@@ -58,11 +62,13 @@ bench-dispatch:
 
 # Local mirror of the CI bench-gate job: the reduced-scale million-key
 # profile and the WAL durability A/B must complete cleanly within 10% of
-# their checked-in throughput baselines (see bench/README.md).
+# their checked-in throughput baselines, and the hedged-quorum A/B must
+# keep beating the gray straggler's tail (see bench/README.md).
 bench-gate:
 	$(GO) build -o /tmp/catsbench ./cmd/catsbench
 	/tmp/catsbench -exp million -quick -json-dir /tmp/bench -gate bench/BENCH_baseline_million.json
 	/tmp/catsbench -exp wal -quick -json-dir /tmp/bench -wal-gate bench/BENCH_baseline_wal.json
+	/tmp/catsbench -exp hedge -json-dir /tmp/bench -hedge-gate bench/BENCH_baseline_hedge.json
 
 # Local mirror of the CI determinism job: one seed, two runs, diff all
 # deterministic output lines (wall time filtered) including the -trace digest.
@@ -97,6 +103,25 @@ chaos:
 	done
 	diff -u /tmp/chaos-wal-a.txt /tmp/chaos-wal-b.txt && cat /tmp/chaos-wal-a.txt
 	@grep -q 'wal_appends=[1-9]' /tmp/chaos-wal-a.txt || { echo "durable chaos produced no WAL appends"; exit 1; }
+
+# Local mirror of the CI gray job: the gray-failure scenario (adaptive
+# deadlines + hedged quorum phases + replica-side load shedding) under
+# -race, then three seeds' reports each run twice and diffed — the
+# injected slowness must be deterministic, the resilience machinery must
+# demonstrably engage (hedges>0, sheds>0), and the client history must
+# stay linearizable with zero lost acked writes.
+gray:
+	$(GO) test -race -count=1 -run 'Gray|HedgeBench|Hedge|Shed' ./internal/experiments/ ./internal/abd/
+	$(GO) build -o /tmp/catssim ./cmd/catssim
+	for seed in 3 77 4242; do \
+		/tmp/catssim -mode gray -seed $$seed > /tmp/gray-$$seed-a.txt || exit 1; \
+		/tmp/catssim -mode gray -seed $$seed > /tmp/gray-$$seed-b.txt || exit 1; \
+		diff -u /tmp/gray-$$seed-a.txt /tmp/gray-$$seed-b.txt || exit 1; \
+		cat /tmp/gray-$$seed-a.txt; \
+		grep -q 'linearizable=true lost_acked_writes=0' /tmp/gray-$$seed-a.txt || { echo "seed $$seed: gray run lost acked writes"; exit 1; }; \
+		grep -Eq 'hedges=[1-9][0-9]* hedge_wins=[1-9][0-9]* sheds=[1-9]' /tmp/gray-$$seed-a.txt || { echo "seed $$seed: resilience machinery never engaged"; exit 1; }; \
+		grep -Eq 'slow_windows=[1-9]' /tmp/gray-$$seed-a.txt || { echo "seed $$seed: no gray faults injected"; exit 1; }; \
+	done
 
 # Local mirror of the CI recovery job, one seed: phase 1 SIGKILLs its own
 # process mid-churn (exit 137 is the expected outcome), phase 2 rebuilds
@@ -137,5 +162,6 @@ ci-local: vet build
 	$(GO) test -run 'PhaseMetricsExposition' -count=1 ./internal/abd/
 	$(MAKE) determinism
 	$(MAKE) chaos
+	$(MAKE) gray
 	$(MAKE) recovery
 	$(MAKE) bench-gate

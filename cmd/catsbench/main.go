@@ -8,6 +8,7 @@
 //	catsbench -exp quorum    # C4: coalesced vs uncoalesced quorum A/B
 //	catsbench -exp million   # C5: 1M-key sharded-store open-loop profile
 //	catsbench -exp wal       # C7: durability (WAL sync policy) A/B
+//	catsbench -exp hedge     # C8: hedged quorum phases vs a gray replica A/B
 //	catsbench -exp all
 //
 // -json-dir writes a machine-readable BENCH_<name>.json per experiment so
@@ -33,12 +34,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | trace | million | wal | all")
-		seed    = flag.Int64("seed", 2012, "random seed")
-		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
-		jsonDir = flag.String("json-dir", "", "directory to write BENCH_<name>.json results into")
-		gate    = flag.String("gate", "", "baseline BENCH_million.json to gate the million profile against (>10% ops/s regression fails)")
-		walGate = flag.String("wal-gate", "", "baseline BENCH_wal.json to gate the durability-on (sync=always) throughput against (>10% regression fails)")
+		exp       = flag.String("exp", "all", "experiment: table1 | latency | scaling | stealing | quorum | trace | million | wal | hedge | all")
+		seed      = flag.Int64("seed", 2012, "random seed")
+		quick     = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		jsonDir   = flag.String("json-dir", "", "directory to write BENCH_<name>.json results into")
+		gate      = flag.String("gate", "", "baseline BENCH_million.json to gate the million profile against (>10% ops/s regression fails)")
+		walGate   = flag.String("wal-gate", "", "baseline BENCH_wal.json to gate the durability-on (sync=always) throughput against (>10% regression fails)")
+		hedgeGate = flag.String("hedge-gate", "", "baseline BENCH_hedge.json to gate the hedging tail-latency improvement against (inert hedging or lost improvement fails)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,7 @@ func main() {
 	if *exp == "all" {
 		run["table1"], run["latency"], run["scaling"], run["stealing"] = true, true, true, true
 		run["quorum"], run["trace"], run["million"], run["wal"] = true, true, true, true
+		run["hedge"] = true
 	} else {
 		run[*exp] = true
 	}
@@ -80,6 +83,10 @@ func main() {
 	}
 	if run["wal"] {
 		wal(*quick, *jsonDir, *walGate)
+		any = true
+	}
+	if run["hedge"] {
+		hedge(*seed, *jsonDir, *hedgeGate)
 		any = true
 	}
 	if !any {
@@ -208,6 +215,10 @@ type benchJSON struct {
 	LegacyP99Mic float64 `json:"legacy_p99_us,omitempty"`
 	Batches      uint64  `json:"batches,omitempty"`
 	BatchedOps   uint64  `json:"batched_ops,omitempty"`
+
+	// Hedge A/B extras (virtual-time, deterministic per seed).
+	Hedges    uint64 `json:"hedges,omitempty"`
+	HedgeWins uint64 `json:"hedge_wins,omitempty"`
 
 	// Million-key extras.
 	Keys           int     `json:"keys,omitempty"`
@@ -399,6 +410,76 @@ func wal(quick bool, jsonDir, gate string) {
 	if gate != "" {
 		gateWAL(gate, alwaysPS, alwaysArm)
 	}
+}
+
+// hedge runs the gray-replica tail-latency A/B: the same pulsed-straggler
+// workload in virtual time with hedged quorum phases off vs on. Latencies
+// are virtual, so the profile is deterministic per seed and
+// machine-independent — the baseline comparison is exact, not a noisy
+// wall-clock gate.
+func hedge(seed int64, jsonDir, gate string) {
+	fmt.Println("== C8: hedged quorum phases vs a gray-failing replica (A/B) ==")
+	fmt.Println("   (2-node cluster, every replica group is both nodes: pulsing the")
+	fmt.Println("    non-coordinator slow stalls each phase at quorum-minus-one, which")
+	fmt.Println("    is the hedge trigger; virtual-time latencies, deterministic per seed)")
+	fmt.Println()
+	r := experiments.HedgeBench(seed, experiments.HedgeBenchConfig{})
+	fmt.Printf("%10s  %8s  %12s  %12s  %12s\n", "Hedging", "Ops", "P50", "P99", "Max")
+	fmt.Printf("%10s  %8d  %12v  %12v  %12v\n", "off", r.Off.Ops,
+		r.Off.P50.Round(time.Microsecond), r.Off.P99.Round(time.Microsecond), r.Off.Max.Round(time.Microsecond))
+	fmt.Printf("%10s  %8d  %12v  %12v  %12v\n", "on", r.On.Ops,
+		r.On.P50.Round(time.Microsecond), r.On.P99.Round(time.Microsecond), r.On.Max.Round(time.Microsecond))
+	fmt.Printf("\n   hedges=%d wins=%d  p99 improvement: %.1fx\n\n", r.Hedges, r.HedgeWins, r.P99Improvement)
+	writeJSON(jsonDir, benchJSON{
+		Name:         "hedge",
+		P50Micros:    float64(r.On.P50.Microseconds()),
+		P99Micros:    float64(r.On.P99.Microseconds()),
+		LegacyP50Mic: float64(r.Off.P50.Microseconds()),
+		LegacyP99Mic: float64(r.Off.P99.Microseconds()),
+		Improvement:  r.P99Improvement,
+		Hedges:       r.Hedges,
+		HedgeWins:    r.HedgeWins,
+	})
+	if gate != "" {
+		gateHedge(gate, r)
+	}
+}
+
+// gateHedge fails the run when hedging is inert (no hedges fired — the
+// benchmark would compare two identical arms and prove nothing), when the
+// hedged arm no longer beats the unhedged tail at all, or when the p99
+// improvement falls below 75% of the checked-in baseline's.
+func gateHedge(baselinePath string, r experiments.HedgeBenchResult) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: hedge gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base benchJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "catsbench: hedge gate baseline: %v\n", err)
+		os.Exit(1)
+	}
+	floor := 0.75 * base.Improvement
+	fmt.Printf("   hedge gate: measured %.1fx p99 improvement vs baseline %.1fx (floor %.1fx)\n",
+		r.P99Improvement, base.Improvement, floor)
+	if r.Hedges == 0 || r.HedgeWins == 0 {
+		fmt.Fprintln(os.Stderr, "catsbench: hedge gate FAIL: no hedges fired — the A/B is inert")
+		os.Exit(1)
+	}
+	if r.On.Failed > 0 || r.Off.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "catsbench: hedge gate FAIL: measured ops failed (off=%d on=%d)\n", r.Off.Failed, r.On.Failed)
+		os.Exit(1)
+	}
+	if r.On.P99 >= r.Off.P99 {
+		fmt.Fprintf(os.Stderr, "catsbench: hedge gate FAIL: hedging no longer improves p99 (off=%v on=%v)\n", r.Off.P99, r.On.P99)
+		os.Exit(1)
+	}
+	if r.P99Improvement < floor {
+		fmt.Fprintf(os.Stderr, "catsbench: hedge gate FAIL: p99 improvement %.1fx below floor %.1fx\n", r.P99Improvement, floor)
+		os.Exit(1)
+	}
+	fmt.Println("   hedge gate: PASS")
 }
 
 // gateWAL fails the run when durability-on (sync=always) throughput

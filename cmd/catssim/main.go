@@ -9,6 +9,10 @@
 //     crash-restart churn and link flaps in virtual time, asserting
 //     linearizability and zero lost acknowledged writes (exit 1 on
 //     violation). Byte-identical output per seed; CI diffs it.
+//   - -mode gray: the gray-failure gate — straggler pulses (slow, never
+//     dead, replicas) and a shed-inducing burst; asserts linearizability,
+//     zero lost acked writes, AND that the resilience machinery engaged
+//     (hedges fired, replicas shed). Byte-identical output per seed.
 //
 // The identical system code (the CATS node composite and the simulator
 // host component) runs in both modes; only the injected transport, timer,
@@ -36,7 +40,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "sim", "execution mode: sim | local | chaos | recovery")
+		mode    = flag.String("mode", "sim", "execution mode: sim | local | chaos | gray | recovery")
 		seed    = flag.Int64("seed", 42, "random seed (schedule and simulation)")
 		boot    = flag.Int("boot", 100, "nodes joined by the boot process")
 		churn   = flag.Int("churn", 50, "churn events (half joins, half failures)")
@@ -52,6 +56,10 @@ func main() {
 
 	if *mode == "chaos" {
 		runChaos(*seed, *trace, *long, *walDir)
+		return
+	}
+	if *mode == "gray" {
+		runGray(*seed)
 		return
 	}
 	if *mode == "recovery" {
@@ -153,6 +161,47 @@ func runChaos(seed int64, trace, long bool, walDir string) {
 	}
 	if walDir != "" && (r.WALAppends == 0 || r.WALSyncs == 0) {
 		fmt.Fprintln(os.Stderr, "catssim chaos: FAILED (durable run produced no WAL activity)")
+		os.Exit(1)
+	}
+}
+
+// runGray runs the gray-failure scenario (experiments.Gray) and exits
+// non-zero unless the history is linearizable with zero lost acked writes
+// AND the resilience machinery demonstrably engaged: hedged quorum phases
+// fired (and won races) against the straggler pulses, and replica
+// admission control shed the synchronized burst. An inert run — faults
+// injected but no hedges or sheds — is a failure: it would mean the gate
+// stopped exercising the code it exists to protect. Output is purely
+// virtual-time derived; two runs with one seed must print byte-identical
+// reports, which CI diffs.
+func runGray(seed int64) {
+	r := experiments.Gray(seed, experiments.GrayConfig{})
+	fmt.Printf("catssim gray: seed=%d nodes=%d simulated=%v events=%d execs=%d\n",
+		seed, r.Nodes, r.SimulatedDuration, r.DiscreteEvents, r.HandlerExecutions)
+	fmt.Printf("  acked_puts=%d ok_gets=%d failed_puts=%d failed_gets=%d unresolved=%d\n",
+		r.AckedPuts, r.OKGets, r.FailedPuts, r.FailedGets, r.UnresolvedOps)
+	fmt.Printf("  slow_windows=%d slow_delayed=%d\n", r.SlowWindows, r.SlowDelayed)
+	fmt.Printf("  hedges=%d hedge_wins=%d sheds=%d redeliveries=%d retries=%d slow_hints=%d\n",
+		r.Hedges, r.HedgeWins, r.Sheds, r.Redeliveries, r.Retries, r.SlowHints)
+	fmt.Printf("  linearizable=%t lost_acked_writes=%d\n", r.Linearizable, r.LostAckedWrites)
+	fmt.Printf("  spans=%d timelines=%d trace_digest=%016x\n",
+		r.TraceSpans, r.TraceTimelines, r.TraceDigest)
+	if !r.Linearizable || r.LostAckedWrites != 0 {
+		if r.NonLinearizableKey != "" {
+			fmt.Fprintf(os.Stderr, "catssim gray: non-linearizable key: %s\n", r.NonLinearizableKey)
+		}
+		for _, k := range r.LostKeys {
+			fmt.Fprintf(os.Stderr, "catssim gray: lost acked writes on key: %s\n", k)
+		}
+		fmt.Fprintln(os.Stderr, "catssim gray: FAILED")
+		os.Exit(1)
+	}
+	if r.SlowWindows == 0 || r.SlowDelayed == 0 {
+		fmt.Fprintln(os.Stderr, "catssim gray: FAILED (no gray faults injected — the gate proved nothing)")
+		os.Exit(1)
+	}
+	if r.Hedges == 0 || r.Sheds == 0 {
+		fmt.Fprintln(os.Stderr, "catssim gray: FAILED (resilience machinery never engaged: hedges or sheds are zero)")
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fd"
 	"repro/internal/handoff"
 	"repro/internal/ident"
 	"repro/internal/kvstore"
@@ -98,16 +99,20 @@ type writeAckMsg struct {
 	Epoch   uint64
 }
 
-// nackMsg refuses a quorum phase. Busy means the replica is mid-handoff
-// (state for the new view still in flight) — the coordinator just waits;
-// otherwise the coordinator's epoch was stale and Epoch is the hint to
-// restart the attempt against a fresh view.
+// nackMsg refuses a quorum phase. Busy means the replica cannot serve
+// right now; with RetryAfter zero it is mid-handoff (state for the new
+// view still in flight) and the coordinator just waits, with RetryAfter
+// set the replica shed the phase under load and the coordinator re-offers
+// it after the hint (plus jitter). A non-Busy nack means the
+// coordinator's epoch was stale and Epoch is the hint to restart the
+// attempt against a fresh view.
 type nackMsg struct {
 	network.Header
-	OpID    uint64
-	Attempt int
-	Epoch   uint64
-	Busy    bool
+	OpID       uint64
+	Attempt    int
+	Epoch      uint64
+	Busy       bool
+	RetryAfter time.Duration
 }
 
 func init() {
@@ -123,11 +128,14 @@ type opTimeout struct {
 	OpID uint64
 }
 
-// op phases.
+// op phases. phaseIdle is the between-attempts state: a timed-out
+// attempt sits idle through its backoff delay, ignoring stragglers from
+// the superseded wire attempt.
 type phase int
 
 const (
-	phaseRoute phase = iota + 1
+	phaseIdle  phase = 0
+	phaseRoute phase = iota
 	phaseRead
 	phaseWrite
 )
@@ -168,6 +176,26 @@ type op struct {
 	epochRestarts int
 	timerID       timer.ID
 
+	// Adaptive-deadline and hedge state. deadline is this attempt's full
+	// budget; the attempt timer first fires at deadline/hedgeStageDiv (the
+	// hedge checkpoint, hedgeChecked) and then re-arms for the remainder.
+	// ackedMask is the per-phase bitmap (by group index) of replicas whose
+	// ack already counted — the dedup that discards a hedge loser's late
+	// duplicate. attemptAt/phaseSentAt are always set (unlike the
+	// trace-gated clocks below): they feed rtt observation and budgets.
+	deadline     time.Duration
+	attemptAt    time.Time
+	phaseSentAt  time.Time
+	ackedMask    uint64
+	hedgeChecked bool
+	hedged       bool
+	hedgeTo      int       // group index the hedge went to; -1 after its ack won
+	hedgeAt      time.Time // when the hedged duplicate was sent
+	// imposeVer/imposeVal are the phase-2 payload, kept so hedges and shed
+	// redeliveries can re-send the impose without recomputing it.
+	imposeVer Version
+	imposeVal []byte
+
 	// Tracing state: zero traceID means the op is unsampled and every
 	// tracing hook is a no-op (see trace.go for the span model).
 	traceID      uint64
@@ -197,6 +225,29 @@ type Config struct {
 	// own single-op message immediately. Exists for A/B benchmarking and
 	// protocol-level tests of the uncoalesced flow.
 	NoCoalesce bool
+
+	// DeadlineFloor and DeadlineCeil clamp the adaptive per-peer deadline
+	// (defaults OpTimeout/20 and OpTimeout). The ceiling doubles as the
+	// attempt budget for groups with no latency history, so a fresh
+	// coordinator behaves exactly like the old fixed-timeout one.
+	DeadlineFloor time.Duration
+	DeadlineCeil  time.Duration
+	// NoHedge disables hedged quorum phases (A/B benchmarking).
+	NoHedge bool
+
+	// Replica-side admission control. ShedServeRate caps quorum phases
+	// served per ShedWindow (default 10ms); past the cap the replica sheds
+	// with Busy{RetryAfter: ShedRetryAfter} nacks (default OpTimeout/20).
+	// ShedBacklog sheds when the runtime scheduler reports more than this
+	// many components queued; ShedWALBacklog sheds when a durable store's
+	// un-fsynced WAL bytes exceed it. Zero disables each signal — the
+	// defaults are conservative because shedding healthy traffic is worse
+	// than queueing it.
+	ShedServeRate  int
+	ShedWindow     time.Duration
+	ShedRetryAfter time.Duration
+	ShedBacklog    int
+	ShedWALBacklog int64
 }
 
 func (c *Config) applyDefaults() {
@@ -208,6 +259,21 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 5
+	}
+	if c.DeadlineCeil <= 0 {
+		c.DeadlineCeil = c.OpTimeout
+	}
+	if c.DeadlineFloor <= 0 {
+		c.DeadlineFloor = c.OpTimeout / 20
+	}
+	if c.DeadlineFloor > c.DeadlineCeil {
+		c.DeadlineFloor = c.DeadlineCeil
+	}
+	if c.ShedWindow <= 0 {
+		c.ShedWindow = 10 * time.Millisecond
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = c.OpTimeout / 20
 	}
 }
 
@@ -224,6 +290,10 @@ type ABD struct {
 	hop  *core.Port
 	net  *core.Port
 	tmr  *core.Port
+	// fdp carries slow-peer hints to the failure detector. Triggering an
+	// unconnected required port delivers to nobody, so standalone ABD
+	// assemblies (tests) need no detector wired.
+	fdp *core.Port
 
 	store *Store
 	ops   map[uint64]*op
@@ -260,10 +330,20 @@ type ABD struct {
 	pendOrder  []network.Address
 	flushArmed bool
 
+	// peers holds the coordinator's per-replica latency estimators
+	// (adaptive deadlines, overrun evidence; see adaptive.go).
+	peers map[network.Address]*peerStat
+	// Replica-side admission control: serves counted in the current
+	// shed window.
+	shedWinStart time.Time
+	shedServed   int
+
 	statGets, statPuts, statRetries, statFailures  uint64
 	statNacksBusy, statNacksStale, statStaleServed uint64
 	statEpochRestarts                              uint64
 	statBatchesSent, statBatchedOps                uint64
+	statHedges, statHedgeWins, statSheds           uint64
+	statRedeliveries, statSlowHints                uint64
 }
 
 // New creates an ABD component definition.
@@ -278,6 +358,7 @@ func New(cfg Config) *ABD {
 		store: st,
 		ops:   make(map[uint64]*op),
 		pend:  make(map[network.Address]*peerBatch),
+		peers: make(map[network.Address]*peerStat),
 	}
 }
 
@@ -293,6 +374,7 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 	a.hop = ctx.Requires(handoff.PortType)
 	a.net = ctx.Requires(network.PortType)
 	a.tmr = ctx.Requires(timer.PortType)
+	a.fdp = ctx.Requires(fd.PortType)
 
 	st := ctx.Provides(status.PortType)
 	core.Subscribe(ctx, st, func(q status.Request) {
@@ -314,6 +396,11 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 			"syncing":        syncing,
 			"batches_sent":   int64(a.statBatchesSent),
 			"batched_ops":    int64(a.statBatchedOps),
+			"hedges":         int64(a.statHedges),
+			"hedge_wins":     int64(a.statHedgeWins),
+			"sheds":          int64(a.statSheds),
+			"redeliveries":   int64(a.statRedeliveries),
+			"slow_hints":     int64(a.statSlowHints),
 		}}, st)
 	})
 
@@ -330,6 +417,8 @@ func (a *ABD) Setup(ctx *core.Ctx) {
 	core.Subscribe(ctx, a.net, a.handleOpBatch)
 	core.Subscribe(ctx, a.net, a.handleOpBatchAck)
 	core.Subscribe(ctx, a.tmr, a.handleTimeout)
+	core.Subscribe(ctx, a.tmr, a.handleBackoff)
+	core.Subscribe(ctx, a.tmr, a.handleRedeliver)
 	core.Subscribe(ctx, a.tmr, a.handleFlush)
 }
 
@@ -404,16 +493,27 @@ func (a *ABD) startOp(o *op) {
 	a.beginAttempt(o)
 }
 
-// beginAttempt (re)runs an operation attempt from group resolution.
+// beginAttempt (re)runs an operation attempt from group resolution. The
+// attempt budget is adaptive — derived from the group's per-peer latency
+// estimators (the previous attempt's group on retries; the ceiling when
+// no history exists) — and the attempt timer fires in two stages: the
+// hedge checkpoint at budget/hedgeStageDiv, then the retry deadline.
 func (a *ABD) beginAttempt(o *op) {
 	o.phase = phaseRoute
 	o.attempt++
 	a.beginAttemptTrace(o)
 	o.readAcks, o.writeAcks, o.bestCount = 0, 0, 0
 	o.bestVer, o.bestVal, o.bestFound = Version{}, nil, false
+	o.ackedMask = 0
+	o.hedgeChecked, o.hedged, o.hedgeTo = false, false, -1
+	o.imposeVer, o.imposeVal = Version{}, nil
+	now := a.ctx.Now()
+	o.attemptAt, o.phaseSentAt = now, now
+	o.deadline = a.attemptBudget(o)
+	deadlineGauge.Store(uint64(o.deadline))
 	o.timerID = timer.NextID()
 	a.ctx.Trigger(timer.ScheduleTimeout{
-		Delay:   a.cfg.OpTimeout,
+		Delay:   o.deadline / hedgeStageDiv,
 		Timeout: opTimeout{Timeout: timer.Timeout{ID: o.timerID}, OpID: o.id},
 	}, a.tmr)
 	a.ctx.Trigger(router.FindSuccessor{
@@ -444,7 +544,24 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 	}
 	o.quorum = len(f.Group)/2 + 1
 	a.endPhase(o, outcomeOK)
+	// The budget computed at beginAttempt used the previous attempt's group
+	// (the ceiling for a fresh op). Now that the group is resolved, re-arm
+	// the attempt timer against its actual latency estimates — this is what
+	// makes attempt budgets adaptive on FIRST attempts, not just retries.
+	// Cold groups keep the ceiling budget and skip the re-arm entirely.
+	if b := a.attemptBudget(o); b < o.deadline {
+		o.deadline = b
+		deadlineGauge.Store(uint64(b))
+		a.ctx.Trigger(timer.CancelTimeout{ID: o.timerID}, a.tmr)
+		o.timerID = timer.NextID()
+		o.attemptAt = a.ctx.Now()
+		a.ctx.Trigger(timer.ScheduleTimeout{
+			Delay:   b / hedgeStageDiv,
+			Timeout: opTimeout{Timeout: timer.Timeout{ID: o.timerID}, OpID: o.id},
+		}, a.tmr)
+	}
 	o.phase = phaseRead
+	o.phaseSentAt = a.ctx.Now()
 	for _, n := range o.group {
 		a.sendRead(n.Addr, readPhase{
 			Context: o.wireCtx(),
@@ -459,15 +576,18 @@ func (a *ABD) handleFound(f router.FoundSuccessor) {
 // handleReadAck feeds a legacy single-op read ack into the quorum state
 // machine; batch acks arrive through handleOpBatchAck and share ingest.
 func (a *ABD) handleReadAck(m readAckMsg) {
-	a.ingestReadAck(m.OpID, m.Attempt, m.Version, m.Value, m.Found)
+	a.ingestReadAck(m.Source(), m.OpID, m.Attempt, m.Version, m.Value, m.Found)
 }
 
 // ingestReadAck collects the read quorum, then imposes the chosen
 // version+value in phase 2.
-func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []byte, found bool) {
+func (a *ABD) ingestReadAck(src network.Address, opID uint64, attempt int, version Version, value []byte, found bool) {
 	o, ok := a.ops[opID]
 	if !ok || o.phase != phaseRead || attempt != o.attempt {
 		return // stale ack from a previous attempt: its group may differ
+	}
+	if !a.countAck(o, src) {
+		return // duplicate: a hedge loser's late ack, discarded
 	}
 	o.readAcks++
 	if o.bestVer.Less(version) {
@@ -499,6 +619,9 @@ func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []b
 	// Phase 2: impose. Reads write back the freshest (version, value);
 	// writes install a new version dominating everything seen.
 	o.phase = phaseWrite
+	o.ackedMask = 0
+	o.hedged, o.hedgeTo = false, -1
+	o.phaseSentAt = a.ctx.Now()
 	ver, val := o.bestVer, o.bestVal
 	if o.kind == opPut {
 		if o.bestVer.Seq > a.lamport {
@@ -508,6 +631,7 @@ func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []b
 		ver = Version{Seq: a.lamport, Writer: uint64(a.cfg.Self.Key)}
 		val = o.value
 	}
+	o.imposeVer, o.imposeVal = ver, val
 	for _, n := range o.group {
 		a.sendWrite(n.Addr, writePhase{
 			Context: o.wireCtx(),
@@ -524,14 +648,17 @@ func (a *ABD) ingestReadAck(opID uint64, attempt int, version Version, value []b
 // handleWriteAck feeds a legacy single-op write ack into the quorum state
 // machine; batch acks arrive through handleOpBatchAck and share ingest.
 func (a *ABD) handleWriteAck(m writeAckMsg) {
-	a.ingestWriteAck(m.OpID, m.Attempt)
+	a.ingestWriteAck(m.Source(), m.OpID, m.Attempt)
 }
 
 // ingestWriteAck collects the write quorum and completes the operation.
-func (a *ABD) ingestWriteAck(opID uint64, attempt int) {
+func (a *ABD) ingestWriteAck(src network.Address, opID uint64, attempt int) {
 	o, ok := a.ops[opID]
 	if !ok || o.phase != phaseWrite || attempt != o.attempt {
 		return
+	}
+	if !a.countAck(o, src) {
+		return // duplicate: a hedge loser's late ack, discarded
 	}
 	o.writeAcks++
 	if o.writeAcks < o.quorum {
@@ -553,8 +680,17 @@ func (a *ABD) handleNack(m nackMsg) {
 	if m.Epoch > a.epochFloor {
 		a.epochFloor = m.Epoch
 	}
+	if o.phase == phaseIdle {
+		return // between attempts (backoff): the wire attempt is superseded
+	}
 	if m.Busy {
 		a.statNacksBusy++
+		// A RetryAfter hint means the replica shed under load (vs the bare
+		// mid-handoff Busy, where the coordinator just waits): re-offer the
+		// phase to that replica after the hint plus jitter.
+		if m.RetryAfter > 0 {
+			a.scheduleRedeliver(o, m)
+		}
 		return
 	}
 	a.statNacksStale++
@@ -606,12 +742,30 @@ func (a *ABD) finish(o *op, errMsg string) {
 	}
 }
 
-// handleTimeout retries the whole attempt (fresh group resolution) or
+// handleTimeout is the attempt timer's two-stage handler. The first fire
+// (at deadline/hedgeStageDiv) is the hedge checkpoint: if the phase is one
+// ack short of quorum and the straggler has overrun its adaptive deadline,
+// the phase is resent to another group member, and either way the timer
+// re-arms for the remainder of the budget. The second fire retries the
+// whole attempt (fresh group resolution, after a jittered backoff) or
 // fails the operation after MaxRetries.
 func (a *ABD) handleTimeout(t opTimeout) {
 	o, ok := a.ops[t.OpID]
 	if !ok || o.timerID != t.TimeoutID() {
 		return
+	}
+	if !o.hedgeChecked {
+		o.hedgeChecked = true
+		a.maybeHedge(o)
+		rem := o.deadline - a.ctx.Now().Sub(o.attemptAt)
+		if rem > 0 {
+			o.timerID = timer.NextID()
+			a.ctx.Trigger(timer.ScheduleTimeout{
+				Delay:   rem,
+				Timeout: opTimeout{Timeout: timer.Timeout{ID: o.timerID}, OpID: o.id},
+			}, a.tmr)
+			return
+		}
 	}
 	if o.retries >= a.cfg.MaxRetries {
 		a.ctx.Log().Warn("abd: operation failed after retries",
@@ -623,9 +777,18 @@ func (a *ABD) handleTimeout(t opTimeout) {
 	}
 	o.retries++
 	a.statRetries++
+	retriesTotal.Add(1)
 	a.endPhase(o, outcomeTimeout)
 	a.endAttempt(o, "timeout")
-	a.beginAttempt(o)
+	// Jittered backoff desynchronizes co-timed retries so they don't
+	// stampede a recovering replica; the op idles through the delay,
+	// ignoring stragglers from the superseded wire attempt.
+	o.phase = phaseIdle
+	o.timerID = timer.NextID()
+	a.ctx.Trigger(timer.ScheduleTimeout{
+		Delay:   a.retryBackoff(o.retries),
+		Timeout: backoffTimeout{Timeout: timer.Timeout{ID: o.timerID}, OpID: o.id},
+	}, a.tmr)
 }
 
 // --- replica: register storage --------------------------------------------------
@@ -654,6 +817,21 @@ func (a *ABD) serveEpoch(m network.Message, tc tracing.Context, kind string, opI
 		}, a.net)
 		return false
 	}
+	// Admission control: a replica under pressure sheds the phase with a
+	// retry-after hint instead of queueing it unboundedly. Shedding comes
+	// after the epoch checks — a stale coordinator learns its epoch is
+	// stale even when the replica is overloaded.
+	if a.shouldShed() {
+		a.statSheds++
+		shedsTotal.Add(1)
+		a.recordServe(tc, kind, opID, attempt, "shed")
+		a.ctx.Trigger(nackMsg{
+			Header: network.Reply(m), OpID: opID, Attempt: attempt,
+			Epoch: a.localEpoch, Busy: true, RetryAfter: a.cfg.ShedRetryAfter,
+		}, a.net)
+		return false
+	}
+	a.shedServed++
 	if epoch > a.localEpoch {
 		a.localEpoch = epoch
 	}

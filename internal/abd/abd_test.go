@@ -44,7 +44,8 @@ type abdNode struct {
 	group []ident.NodeRef
 	sim   *simulation.Simulation
 	emu   *simulation.NetworkEmulator
-	store *Store // optional pre-built (e.g. recovered) store
+	store *Store        // optional pre-built (e.g. recovered) store
+	tweak func(*Config) // optional config override (shed/hedge knobs)
 
 	ctx     *core.Ctx
 	ABD     *ABD
@@ -60,13 +61,17 @@ func (n *abdNode) Setup(ctx *core.Ctx) {
 	tr := ctx.Create("net", n.emu.Transport(n.self.Addr))
 	tm := ctx.Create("timer", simulation.NewTimer(n.sim))
 	rt := ctx.Create("router", &stubRouter{group: n.group})
-	n.ABD = New(Config{
+	cfg := Config{
 		Self:              n.self,
 		ReplicationDegree: len(n.group),
 		OpTimeout:         300 * time.Millisecond,
 		MaxRetries:        3,
 		Store:             n.store,
-	})
+	}
+	if n.tweak != nil {
+		n.tweak(&cfg)
+	}
+	n.ABD = New(cfg)
 	abdC := ctx.Create("abd", n.ABD)
 	ctx.Connect(abdC.Required(network.PortType), tr.Provided(network.PortType))
 	ctx.Connect(abdC.Required(timer.PortType), tm.Provided(timer.PortType))
@@ -96,6 +101,11 @@ func (n *abdNode) get(id uint64, key string) {
 
 // newABDWorld builds n replica nodes all sharing a static full group.
 func newABDWorld(t *testing.T, n int, seed int64) (*simulation.Simulation, *simulation.NetworkEmulator, []*abdNode) {
+	return newABDWorldCfg(t, n, seed, nil)
+}
+
+// newABDWorldCfg is newABDWorld with a per-node config override.
+func newABDWorldCfg(t *testing.T, n int, seed int64, tweak func(*Config)) (*simulation.Simulation, *simulation.NetworkEmulator, []*abdNode) {
 	t.Helper()
 	sim := simulation.New(seed)
 	emu := simulation.NewNetworkEmulator(sim,
@@ -106,7 +116,7 @@ func newABDWorld(t *testing.T, n int, seed int64) (*simulation.Simulation, *simu
 	}
 	nodes := make([]*abdNode, n)
 	for i := range nodes {
-		nodes[i] = &abdNode{self: group[i], group: group, sim: sim, emu: emu}
+		nodes[i] = &abdNode{self: group[i], group: group, sim: sim, emu: emu, tweak: tweak}
 	}
 	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
 		for i, nd := range nodes {

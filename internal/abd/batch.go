@@ -280,10 +280,11 @@ func (a *ABD) handleOpBatch(m opBatchMsg) {
 // machines. Phase-2 imposes generated while ingesting read acks are queued
 // into the pending batches, so they coalesce into the next flush.
 func (a *ABD) handleOpBatchAck(m opBatchAckMsg) {
+	src := m.Source()
 	for _, r := range m.ReadAcks {
-		a.ingestReadAck(r.OpID, r.Attempt, r.Version, r.Value, r.Found)
+		a.ingestReadAck(src, r.OpID, r.Attempt, r.Version, r.Value, r.Found)
 	}
 	for _, w := range m.WriteAcks {
-		a.ingestWriteAck(w.OpID, w.Attempt)
+		a.ingestWriteAck(src, w.OpID, w.Attempt)
 	}
 }

@@ -32,6 +32,7 @@ type epochNode struct {
 	group []ident.NodeRef
 	sim   *simulation.Simulation
 	emu   *simulation.NetworkEmulator
+	tweak func(*Config) // optional config override (shed/hedge knobs)
 
 	ctx     *core.Ctx
 	ABD     *ABD
@@ -47,12 +48,16 @@ func (n *epochNode) Setup(ctx *core.Ctx) {
 	tm := ctx.Create("timer", simulation.NewTimer(n.sim))
 	rt := ctx.Create("router", &stubRouter{group: n.group})
 	ho := ctx.Create("handoff-feeder", &hoFeeder{inner: &n.hoInner})
-	n.ABD = New(Config{
+	cfg := Config{
 		Self:              n.self,
 		ReplicationDegree: len(n.group),
 		OpTimeout:         300 * time.Millisecond,
 		MaxRetries:        3,
-	})
+	}
+	if n.tweak != nil {
+		n.tweak(&cfg)
+	}
+	n.ABD = New(cfg)
 	abdC := ctx.Create("abd", n.ABD)
 	ctx.Connect(abdC.Required(network.PortType), tr.Provided(network.PortType))
 	ctx.Connect(abdC.Required(timer.PortType), tm.Provided(timer.PortType))
@@ -83,10 +88,11 @@ func (n *epochNode) syncWindow(epoch, round uint64, close bool) {
 
 // ackRecord is one replica answer observed on the wire, in arrival order.
 type ackRecord struct {
-	kind  string // "readAck" | "writeAck" | "nack"
-	epoch uint64
-	opID  uint64
-	busy  bool
+	kind       string // "readAck" | "writeAck" | "nack"
+	epoch      uint64
+	opID       uint64
+	busy       bool
+	retryAfter time.Duration // shed hint carried by busy nacks
 }
 
 // wireProbe is a bare network endpoint that speaks the replica wire
@@ -111,7 +117,7 @@ func (p *wireProbe) Setup(ctx *core.Ctx) {
 		p.acks = append(p.acks, ackRecord{kind: "writeAck", epoch: m.Epoch, opID: m.OpID})
 	})
 	core.Subscribe(ctx, p.net, func(m nackMsg) {
-		p.acks = append(p.acks, ackRecord{kind: "nack", epoch: m.Epoch, opID: m.OpID, busy: m.Busy})
+		p.acks = append(p.acks, ackRecord{kind: "nack", epoch: m.Epoch, opID: m.OpID, busy: m.Busy, retryAfter: m.RetryAfter})
 	})
 }
 
@@ -132,6 +138,11 @@ func (p *wireProbe) read(to network.Address, opID, epoch uint64, key string) {
 
 // newEpochWorld builds n replicas (static full group) plus a wire probe.
 func newEpochWorld(t *testing.T, n int, seed int64) (*simulation.Simulation, *simulation.NetworkEmulator, []*epochNode, *wireProbe) {
+	return newEpochWorldCfg(t, n, seed, nil)
+}
+
+// newEpochWorldCfg is newEpochWorld with a per-node config override.
+func newEpochWorldCfg(t *testing.T, n int, seed int64, tweak func(*Config)) (*simulation.Simulation, *simulation.NetworkEmulator, []*epochNode, *wireProbe) {
 	t.Helper()
 	sim := simulation.New(seed)
 	emu := simulation.NewNetworkEmulator(sim,
@@ -142,7 +153,7 @@ func newEpochWorld(t *testing.T, n int, seed int64) (*simulation.Simulation, *si
 	}
 	nodes := make([]*epochNode, n)
 	for i := range nodes {
-		nodes[i] = &epochNode{self: group[i], group: group, sim: sim, emu: emu}
+		nodes[i] = &epochNode{self: group[i], group: group, sim: sim, emu: emu, tweak: tweak}
 	}
 	probe := &wireProbe{self: network.Address{Host: "probe", Port: 1}, emu: emu}
 	sim.Runtime().MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {

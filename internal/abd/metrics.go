@@ -28,6 +28,47 @@ var (
 	batchBuckets    [len(batchSizeBuckets) + 1]atomic.Uint64
 )
 
+// Gray-failure resilience counters (see adaptive.go): attempt retries,
+// hedged phase resends and the hedges whose duplicate ack arrived first,
+// replica-side load sheds, and shed-triggered phase redeliveries.
+// deadlineGauge holds the most recently computed adaptive attempt budget
+// in nanoseconds — a coarse, last-writer-wins view of what the estimators
+// currently produce.
+var (
+	retriesTotal      atomic.Uint64
+	hedgesTotal       atomic.Uint64
+	hedgeWinsTotal    atomic.Uint64
+	shedsTotal        atomic.Uint64
+	redeliveriesTotal atomic.Uint64
+	deadlineGauge     atomic.Uint64
+)
+
+// ResilienceMetrics is a snapshot of the process-wide gray-failure
+// resilience counters.
+type ResilienceMetrics struct {
+	// Retries counts attempt timeouts that led to a retry.
+	Retries uint64
+	// Hedges counts hedged phase resends; HedgeWins the subset where the
+	// hedge target's ack was the first counted from that replica slot.
+	Hedges    uint64
+	HedgeWins uint64
+	// Sheds counts quorum phases refused by replica admission control;
+	// Redeliveries the coordinator-side re-offers they triggered.
+	Sheds        uint64
+	Redeliveries uint64
+}
+
+// GlobalResilienceMetrics snapshots the process-wide resilience counters.
+func GlobalResilienceMetrics() ResilienceMetrics {
+	return ResilienceMetrics{
+		Retries:      retriesTotal.Load(),
+		Hedges:       hedgesTotal.Load(),
+		HedgeWins:    hedgeWinsTotal.Load(),
+		Sheds:        shedsTotal.Load(),
+		Redeliveries: redeliveriesTotal.Load(),
+	}
+}
+
 // observeBatch records one flushed multi-op frame of n ops.
 func observeBatch(n int) {
 	batchesTotal.Add(1)
@@ -155,6 +196,19 @@ func init() {
 		m.Counter("cats_abd_batch_size_bucket", cum, "le", "+Inf")
 		m.Counter("cats_abd_batch_size_sum", s.BatchedOps)
 		m.Counter("cats_abd_batch_size_count", s.Batches)
+		r := GlobalResilienceMetrics()
+		m.Header("cats_abd_retries_total", "counter", "ABD attempt timeouts that led to a retry.")
+		m.Counter("cats_abd_retries_total", r.Retries)
+		m.Header("cats_abd_hedges_total", "counter", "Hedged quorum-phase resends to a spare group member.")
+		m.Counter("cats_abd_hedges_total", r.Hedges)
+		m.Header("cats_abd_hedge_wins_total", "counter", "Hedged resends whose ack arrived before the straggler's.")
+		m.Counter("cats_abd_hedge_wins_total", r.HedgeWins)
+		m.Header("cats_abd_sheds_total", "counter", "Quorum phases shed by replica admission control.")
+		m.Counter("cats_abd_sheds_total", r.Sheds)
+		m.Header("cats_abd_redeliveries_total", "counter", "Shed quorum phases re-offered after the retry-after hint.")
+		m.Counter("cats_abd_redeliveries_total", r.Redeliveries)
+		m.Header("cats_abd_adaptive_deadline_seconds", "gauge", "Most recently computed adaptive attempt budget.")
+		m.Gauge("cats_abd_adaptive_deadline_seconds", float64(deadlineGauge.Load())/1e9)
 		writePhaseMetrics(m)
 	})
 }

@@ -70,7 +70,7 @@ func (a *ABD) beginAttemptTrace(o *op) {
 // histogram (with this trace as the exemplar), and restarts the phase
 // clock.
 func (a *ABD) endPhase(o *op, outcome int) {
-	if o.traceID == 0 {
+	if o.traceID == 0 || o.phase == phaseIdle {
 		return
 	}
 	now := a.ctx.Now()

@@ -91,6 +91,20 @@ type NodeConfig struct {
 	// phase as its own message (A/B benchmarking).
 	NoCoalesce bool
 
+	// Gray-failure resilience knobs, passed through to the ABD component
+	// (see abd.Config for semantics and defaults). DeadlineFloor and
+	// DeadlineCeil clamp the adaptive per-peer deadline; NoHedge disables
+	// hedged quorum phases; the Shed* knobs arm replica-side admission
+	// control (all disabled by default).
+	DeadlineFloor  time.Duration
+	DeadlineCeil   time.Duration
+	NoHedge        bool
+	ShedServeRate  int
+	ShedWindow     time.Duration
+	ShedRetryAfter time.Duration
+	ShedBacklog    int
+	ShedWALBacklog int64
+
 	// DataDir, when set, makes the register store durable: per-shard
 	// write-ahead logs + snapshots live under this directory and are
 	// replayed — synchronously, before any component starts — when the
@@ -268,6 +282,14 @@ func (n *Node) Setup(ctx *core.Ctx) {
 		OpTimeout:         n.cfg.OpTimeout,
 		Store:             store,
 		NoCoalesce:        n.cfg.NoCoalesce,
+		DeadlineFloor:     n.cfg.DeadlineFloor,
+		DeadlineCeil:      n.cfg.DeadlineCeil,
+		NoHedge:           n.cfg.NoHedge,
+		ShedServeRate:     n.cfg.ShedServeRate,
+		ShedWindow:        n.cfg.ShedWindow,
+		ShedRetryAfter:    n.cfg.ShedRetryAfter,
+		ShedBacklog:       n.cfg.ShedBacklog,
+		ShedWALBacklog:    n.cfg.ShedWALBacklog,
 	})
 	abdC := ctx.Create("abd", n.ABD)
 	n.Handoff = handoff.New(handoff.Config{
@@ -298,6 +320,9 @@ func (n *Node) Setup(ctx *core.Ctx) {
 	ctx.Connect(ringC.Provided(ring.PortType), hoC.Required(ring.PortType))
 	ctx.Connect(routC.Provided(router.PortType), abdC.Required(router.PortType))
 	ctx.Connect(hoC.Provided(handoff.PortType), abdC.Required(handoff.PortType))
+	// Slow-peer hints: sustained adaptive-deadline overruns observed by the
+	// ABD coordinator feed the failure detector as Suspect-grade evidence.
+	ctx.Connect(fdC.Provided(fd.PortType), abdC.Required(fd.PortType))
 
 	// Service pass-through: the node's provided PutGet and Router delegate
 	// to ABD and the router.

@@ -35,10 +35,20 @@ type Restore struct {
 	Node network.Address
 }
 
+// SlowHint reports sustained slowness evidence for a node: the ABD
+// coordinator raises it after consecutive adaptive-deadline overruns. It
+// is Suspect-grade evidence distinct from the transport's binary
+// PeerStatus down/up hints — a gray-failing peer answers pings and keeps
+// its connection up, so without it the detector never sees the problem.
+type SlowHint struct {
+	Node network.Address
+}
+
 // PortType is the FailureDetector service abstraction.
 var PortType = core.NewPortType("FailureDetector",
 	core.Request[Monitor](),
 	core.Request[StopMonitor](),
+	core.Request[SlowHint](),
 	core.Indication[Suspect](),
 	core.Indication[Restore](),
 )
@@ -107,7 +117,7 @@ type Ping struct {
 	mon  map[network.Address]*monitorState
 	stat struct {
 		pingsSent, pongsSent, suspects, restores uint64
-		downHints, upHints                       uint64
+		downHints, upHints, slowHints            uint64
 	}
 }
 
@@ -136,11 +146,13 @@ func (p *Ping) Setup(ctx *core.Ctx) {
 			"restores":   int64(p.stat.restores),
 			"down_hints": int64(p.stat.downHints),
 			"up_hints":   int64(p.stat.upHints),
+			"slow_hints": int64(p.stat.slowHints),
 		}}, st)
 	})
 
 	core.Subscribe(ctx, p.fd, p.handleMonitor)
 	core.Subscribe(ctx, p.fd, p.handleStopMonitor)
+	core.Subscribe(ctx, p.fd, p.handleSlowHint)
 	core.Subscribe(ctx, p.net, p.handlePing)
 	core.Subscribe(ctx, p.net, p.handlePong)
 	core.Subscribe(ctx, p.net, p.handlePeerStatus)
@@ -252,6 +264,30 @@ func (p *Ping) handlePeerStatus(s network.PeerStatus) {
 		p.ctx.Trigger(Suspect{Node: s.Peer}, p.fd)
 	}
 }
+
+// handleSlowHint folds sustained-slowness evidence into the miss
+// counters, like a transport Down hint: one hint is one missed round, and
+// suspicion still needs SuspectAfterMisses worth of evidence. Unlike a
+// Down hint it does NOT mark the round outstanding — the peer is alive
+// and its pong will arrive; consuming that pong must reset misses as
+// usual rather than be discarded as stale.
+func (p *Ping) handleSlowHint(h SlowHint) {
+	st, ok := p.mon[h.Node]
+	if !ok {
+		return
+	}
+	p.stat.slowHints++
+	st.misses++
+	if !st.suspected && st.misses >= p.cfg.SuspectAfterMisses {
+		st.suspected = true
+		p.stat.suspects++
+		p.ctx.Trigger(Suspect{Node: h.Node}, p.fd)
+	}
+}
+
+// SlowHints returns how many slow-peer hints the detector has folded in
+// (tests, status reporting).
+func (p *Ping) SlowHints() uint64 { return p.stat.slowHints }
 
 // Monitored returns the number of nodes currently monitored (tests,
 // status reporting).

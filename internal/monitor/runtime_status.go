@@ -106,6 +106,12 @@ func FlattenRuntimeMetrics(s core.MetricsSnapshot, n network.Metrics) map[string
 	b := abd.GlobalBatchMetrics()
 	m["abd.batches"] = int64(b.Batches)
 	m["abd.batched_ops"] = int64(b.BatchedOps)
+	res := abd.GlobalResilienceMetrics()
+	m["abd.retries"] = int64(res.Retries)
+	m["abd.hedges"] = int64(res.Hedges)
+	m["abd.hedge_wins"] = int64(res.HedgeWins)
+	m["abd.sheds"] = int64(res.Sheds)
+	m["abd.redeliveries"] = int64(res.Redeliveries)
 	recorded, dropped := tracing.Stats()
 	m["spans.recorded"] = int64(recorded)
 	m["spans.dropped"] = int64(dropped)

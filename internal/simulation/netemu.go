@@ -56,8 +56,22 @@ type NetworkEmulator struct {
 	down     map[network.Address]bool
 	linkDown map[[2]network.Address]time.Time // directed link → down-until (virtual)
 
+	// Gray-failure state: slowed nodes and links DELAY traffic (delivered,
+	// not dropped) by an extra latency until a virtual-time deadline
+	// passes. Windows expire lazily at send time, like link flaps.
+	slowNodes map[network.Address]slowWindow
+	slowLinks map[[2]network.Address]slowWindow
+
 	delivered, dropped, blocked, unroutable uint64
 	crashes, restarts, flaps, churnDropped  uint64
+	slows, slowDelayed                      uint64
+}
+
+// slowWindow is one gray-failure injection: extra one-way latency applied
+// until the virtual-time deadline.
+type slowWindow struct {
+	extra time.Duration
+	until time.Time
 }
 
 // EmulatorOption configures a NetworkEmulator.
@@ -84,6 +98,8 @@ func NewNetworkEmulator(sim *Simulation, opts ...EmulatorOption) *NetworkEmulato
 		partitions: make(map[network.Address]int),
 		down:       make(map[network.Address]bool),
 		linkDown:   make(map[[2]network.Address]time.Time),
+		slowNodes:  make(map[network.Address]slowWindow),
+		slowLinks:  make(map[[2]network.Address]slowWindow),
 	}
 	for _, o := range opts {
 		o(e)
@@ -158,6 +174,64 @@ func (e *NetworkEmulator) linkFlapped(src, dst network.Address) bool {
 	return false
 }
 
+// SlowNode makes addr a gray-failing straggler for the given window of
+// virtual time: every message it sends or receives is delayed by extra on
+// top of the latency model — delivered late, never dropped, so the node
+// stays "alive" to binary failure detection while stalling every quorum
+// it serves. Deterministic under the seeded sim clock.
+func (e *NetworkEmulator) SlowNode(addr network.Address, extra, slowFor time.Duration) {
+	e.slowNodes[addr] = slowWindow{extra: extra, until: e.sim.Now().Add(slowFor)}
+	e.slows++
+}
+
+// SlowLink slows only the directed src→dst link (call twice for a
+// symmetric gray link) for the given window of virtual time.
+func (e *NetworkEmulator) SlowLink(src, dst network.Address, extra, slowFor time.Duration) {
+	e.slowLinks[[2]network.Address{src, dst}] = slowWindow{extra: extra, until: e.sim.Now().Add(slowFor)}
+	e.slows++
+}
+
+// nodeSlow returns addr's active extra latency, expiring stale windows as
+// a side effect.
+func (e *NetworkEmulator) nodeSlow(addr network.Address) time.Duration {
+	w, ok := e.slowNodes[addr]
+	if !ok {
+		return 0
+	}
+	if e.sim.Now().Before(w.until) {
+		return w.extra
+	}
+	delete(e.slowNodes, addr)
+	return 0
+}
+
+// slowExtra returns the extra one-way latency gray-failure injection adds
+// to a src→dst message: the largest applicable window among the source
+// node, the destination node, and the directed link.
+func (e *NetworkEmulator) slowExtra(src, dst network.Address) time.Duration {
+	extra := e.nodeSlow(src)
+	if d := e.nodeSlow(dst); d > extra {
+		extra = d
+	}
+	key := [2]network.Address{src, dst}
+	if w, ok := e.slowLinks[key]; ok {
+		if e.sim.Now().Before(w.until) {
+			if w.extra > extra {
+				extra = w.extra
+			}
+		} else {
+			delete(e.slowLinks, key)
+		}
+	}
+	return extra
+}
+
+// GrayStats returns gray-failure counters: slow windows injected and
+// messages delayed by one.
+func (e *NetworkEmulator) GrayStats() (slows, slowDelayed uint64) {
+	return e.slows, e.slowDelayed
+}
+
 // Stats returns delivery counters: delivered, dropped by loss, blocked by
 // partitions, and unroutable.
 func (e *NetworkEmulator) Stats() (delivered, dropped, blocked, unroutable uint64) {
@@ -187,6 +261,10 @@ func (e *NetworkEmulator) send(m network.Message) {
 		return
 	}
 	d := e.latency(e.rng, src, dst)
+	if extra := e.slowExtra(src, dst); extra > 0 {
+		d += extra
+		e.slowDelayed++
+	}
 	e.sim.ScheduleAt(d, fmt.Sprintf("net:%s->%s", src, dst), func() {
 		if e.down[dst] {
 			e.churnDropped++ // crashed while the message was in flight
