@@ -1,0 +1,309 @@
+package abd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/network"
+	"repro/internal/tracing"
+)
+
+// Binary wire-set implementations for the ABD quorum messages: the
+// hot-path frame types the zero-allocation codec handles natively
+// (everything else falls back to gob). Each AppendWire is the exact
+// inverse of its registered decoder; the layouts are fixed-width
+// big-endian integers with u32-length-prefixed keys and values, built
+// from the shared network.Append*/WireReader primitives so bounds
+// handling (and its fuzz coverage) is common. The embedded trace context
+// is encoded like any other field — both codecs stamp frames with the
+// same span identity.
+
+// Wire tags 0x01–0x07 are the ABD quorum set (handoff owns 0x10–0x11).
+const (
+	wireTagRead       byte = 0x01
+	wireTagReadAck    byte = 0x02
+	wireTagWrite      byte = 0x03
+	wireTagWriteAck   byte = 0x04
+	wireTagNack       byte = 0x05
+	wireTagOpBatch    byte = 0x06
+	wireTagOpBatchAck byte = 0x07
+)
+
+func init() {
+	network.RegisterWire(wireTagRead, "abd.read", decodeReadMsg)
+	network.RegisterWire(wireTagReadAck, "abd.readAck", decodeReadAckMsg)
+	network.RegisterWire(wireTagWrite, "abd.write", decodeWriteMsg)
+	network.RegisterWire(wireTagWriteAck, "abd.writeAck", decodeWriteAckMsg)
+	network.RegisterWire(wireTagNack, "abd.nack", decodeNackMsg)
+	network.RegisterWire(wireTagOpBatch, "abd.opBatch", decodeOpBatchMsg)
+	network.RegisterWire(wireTagOpBatchAck, "abd.opBatchAck", decodeOpBatchAckMsg)
+}
+
+// appendVersion / readVersion handle the kvstore register version pair.
+func appendVersion(dst []byte, v kvstore.Version) []byte {
+	dst = network.AppendU64(dst, v.Seq)
+	return network.AppendU64(dst, v.Writer)
+}
+
+func readVersion(r *network.WireReader) kvstore.Version {
+	return kvstore.Version{Seq: r.U64(), Writer: r.U64()}
+}
+
+func appendTrace(dst []byte, c tracing.Context) []byte {
+	dst = network.AppendU64(dst, c.TraceID)
+	return network.AppendU64(dst, c.SpanID)
+}
+
+func readTrace(r *network.WireReader) tracing.Context {
+	return tracing.Context{TraceID: r.U64(), SpanID: r.U64()}
+}
+
+// guardCount rejects a corrupt element count that promises more entries
+// than the remaining body could possibly hold (minSize bytes each),
+// before any slice is allocated for it.
+func guardCount(r *network.WireReader, n uint32, minSize int) error {
+	if int64(n)*int64(minSize) > int64(r.Len()) {
+		return fmt.Errorf("abd: wire count %d exceeds body", n)
+	}
+	return nil
+}
+
+func (m readMsg) WireTag() byte { return wireTagRead }
+
+func (m readMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = appendTrace(dst, m.Context)
+	dst = network.AppendU64(dst, m.OpID)
+	dst = network.AppendI64(dst, int64(m.Attempt))
+	dst = network.AppendU64(dst, m.Epoch)
+	return network.AppendString(dst, m.Key)
+}
+
+func decodeReadMsg(r *network.WireReader) (network.Message, error) {
+	var m readMsg
+	m.Header = r.Header()
+	m.Context = readTrace(r)
+	m.OpID = r.U64()
+	m.Attempt = int(r.I64())
+	m.Epoch = r.U64()
+	m.Key = r.String()
+	return m, nil
+}
+
+func (m readAckMsg) WireTag() byte { return wireTagReadAck }
+
+func (m readAckMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = network.AppendU64(dst, m.OpID)
+	dst = network.AppendI64(dst, int64(m.Attempt))
+	dst = network.AppendU64(dst, m.Epoch)
+	dst = appendVersion(dst, m.Version)
+	dst = network.AppendBytes(dst, m.Value)
+	return network.AppendBool(dst, m.Found)
+}
+
+func decodeReadAckMsg(r *network.WireReader) (network.Message, error) {
+	var m readAckMsg
+	m.Header = r.Header()
+	m.OpID = r.U64()
+	m.Attempt = int(r.I64())
+	m.Epoch = r.U64()
+	m.Version = readVersion(r)
+	m.Value = r.Bytes()
+	m.Found = r.Bool()
+	return m, nil
+}
+
+func (m writeMsg) WireTag() byte { return wireTagWrite }
+
+func (m writeMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = appendTrace(dst, m.Context)
+	dst = network.AppendU64(dst, m.OpID)
+	dst = network.AppendI64(dst, int64(m.Attempt))
+	dst = network.AppendU64(dst, m.Epoch)
+	dst = network.AppendString(dst, m.Key)
+	dst = appendVersion(dst, m.Version)
+	return network.AppendBytes(dst, m.Value)
+}
+
+func decodeWriteMsg(r *network.WireReader) (network.Message, error) {
+	var m writeMsg
+	m.Header = r.Header()
+	m.Context = readTrace(r)
+	m.OpID = r.U64()
+	m.Attempt = int(r.I64())
+	m.Epoch = r.U64()
+	m.Key = r.String()
+	m.Version = readVersion(r)
+	m.Value = r.Bytes()
+	return m, nil
+}
+
+func (m writeAckMsg) WireTag() byte { return wireTagWriteAck }
+
+func (m writeAckMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = network.AppendU64(dst, m.OpID)
+	dst = network.AppendI64(dst, int64(m.Attempt))
+	return network.AppendU64(dst, m.Epoch)
+}
+
+func decodeWriteAckMsg(r *network.WireReader) (network.Message, error) {
+	var m writeAckMsg
+	m.Header = r.Header()
+	m.OpID = r.U64()
+	m.Attempt = int(r.I64())
+	m.Epoch = r.U64()
+	return m, nil
+}
+
+func (m nackMsg) WireTag() byte { return wireTagNack }
+
+func (m nackMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = network.AppendU64(dst, m.OpID)
+	dst = network.AppendI64(dst, int64(m.Attempt))
+	dst = network.AppendU64(dst, m.Epoch)
+	dst = network.AppendBool(dst, m.Busy)
+	return network.AppendI64(dst, int64(m.RetryAfter))
+}
+
+func decodeNackMsg(r *network.WireReader) (network.Message, error) {
+	var m nackMsg
+	m.Header = r.Header()
+	m.OpID = r.U64()
+	m.Attempt = int(r.I64())
+	m.Epoch = r.U64()
+	m.Busy = r.Bool()
+	m.RetryAfter = time.Duration(r.I64())
+	return m, nil
+}
+
+func (m opBatchMsg) WireTag() byte { return wireTagOpBatch }
+
+func (m opBatchMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = appendTrace(dst, m.Context)
+	dst = network.AppendU32(dst, uint32(len(m.Reads)))
+	for i := range m.Reads {
+		p := &m.Reads[i]
+		dst = appendTrace(dst, p.Context)
+		dst = network.AppendU64(dst, p.OpID)
+		dst = network.AppendI64(dst, int64(p.Attempt))
+		dst = network.AppendU64(dst, p.Epoch)
+		dst = network.AppendString(dst, p.Key)
+	}
+	dst = network.AppendU32(dst, uint32(len(m.Writes)))
+	for i := range m.Writes {
+		p := &m.Writes[i]
+		dst = appendTrace(dst, p.Context)
+		dst = network.AppendU64(dst, p.OpID)
+		dst = network.AppendI64(dst, int64(p.Attempt))
+		dst = network.AppendU64(dst, p.Epoch)
+		dst = network.AppendString(dst, p.Key)
+		dst = appendVersion(dst, p.Version)
+		dst = network.AppendBytes(dst, p.Value)
+	}
+	return dst
+}
+
+func decodeOpBatchMsg(r *network.WireReader) (network.Message, error) {
+	var m opBatchMsg
+	m.Header = r.Header()
+	m.Context = readTrace(r)
+	nr := r.U32()
+	// A readPhase is at least trace(16)+op(8)+attempt(8)+epoch(8)+len(4).
+	if err := guardCount(r, nr, 44); err != nil {
+		return nil, err
+	}
+	if nr > 0 {
+		m.Reads = make([]readPhase, nr)
+		for i := range m.Reads {
+			p := &m.Reads[i]
+			p.Context = readTrace(r)
+			p.OpID = r.U64()
+			p.Attempt = int(r.I64())
+			p.Epoch = r.U64()
+			p.Key = r.String()
+		}
+	}
+	nw := r.U32()
+	// A writePhase adds version(16)+value len(4) to the readPhase minimum.
+	if err := guardCount(r, nw, 64); err != nil {
+		return nil, err
+	}
+	if nw > 0 {
+		m.Writes = make([]writePhase, nw)
+		for i := range m.Writes {
+			p := &m.Writes[i]
+			p.Context = readTrace(r)
+			p.OpID = r.U64()
+			p.Attempt = int(r.I64())
+			p.Epoch = r.U64()
+			p.Key = r.String()
+			p.Version = readVersion(r)
+			p.Value = r.Bytes()
+		}
+	}
+	return m, nil
+}
+
+func (m opBatchAckMsg) WireTag() byte { return wireTagOpBatchAck }
+
+func (m opBatchAckMsg) AppendWire(dst []byte) []byte {
+	dst = network.AppendHeader(dst, m.Header)
+	dst = network.AppendU64(dst, m.Epoch)
+	dst = network.AppendU32(dst, uint32(len(m.ReadAcks)))
+	for i := range m.ReadAcks {
+		a := &m.ReadAcks[i]
+		dst = network.AppendU64(dst, a.OpID)
+		dst = network.AppendI64(dst, int64(a.Attempt))
+		dst = appendVersion(dst, a.Version)
+		dst = network.AppendBytes(dst, a.Value)
+		dst = network.AppendBool(dst, a.Found)
+	}
+	dst = network.AppendU32(dst, uint32(len(m.WriteAcks)))
+	for i := range m.WriteAcks {
+		a := &m.WriteAcks[i]
+		dst = network.AppendU64(dst, a.OpID)
+		dst = network.AppendI64(dst, int64(a.Attempt))
+	}
+	return dst
+}
+
+func decodeOpBatchAckMsg(r *network.WireReader) (network.Message, error) {
+	var m opBatchAckMsg
+	m.Header = r.Header()
+	m.Epoch = r.U64()
+	nr := r.U32()
+	// A readAckEntry is at least op(8)+attempt(8)+version(16)+len(4)+found(1).
+	if err := guardCount(r, nr, 37); err != nil {
+		return nil, err
+	}
+	if nr > 0 {
+		m.ReadAcks = make([]readAckEntry, nr)
+		for i := range m.ReadAcks {
+			a := &m.ReadAcks[i]
+			a.OpID = r.U64()
+			a.Attempt = int(r.I64())
+			a.Version = readVersion(r)
+			a.Value = r.Bytes()
+			a.Found = r.Bool()
+		}
+	}
+	nw := r.U32()
+	if err := guardCount(r, nw, 16); err != nil {
+		return nil, err
+	}
+	if nw > 0 {
+		m.WriteAcks = make([]writeAckEntry, nw)
+		for i := range m.WriteAcks {
+			a := &m.WriteAcks[i]
+			a.OpID = r.U64()
+			a.Attempt = int(r.I64())
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package abd
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/network"
+	"repro/internal/tracing"
+)
+
+func wireHeader() network.Header {
+	return network.NewHeader(
+		network.Address{Host: "10.0.0.1", Port: 7000},
+		network.Address{Host: "10.0.0.2", Port: 7001},
+	)
+}
+
+// TestABDWireRoundTrip drives every ABD quorum message through the binary
+// codec and back, checking field-exact equality: AppendWire and the
+// registered decoder must be exact inverses.
+func TestABDWireRoundTrip(t *testing.T) {
+	tc := tracing.Context{TraceID: 0xfeed, SpanID: 0xbeef}
+	ver := kvstore.Version{Seq: 42, Writer: 7}
+	msgs := []network.Message{
+		readMsg{Header: wireHeader(), Context: tc, OpID: 1, Attempt: 3, Epoch: 9, Key: "alpha"},
+		readAckMsg{Header: wireHeader(), OpID: 2, Attempt: 1, Epoch: 9, Version: ver, Value: []byte("v"), Found: true},
+		readAckMsg{Header: wireHeader(), OpID: 3, Epoch: 9, Found: false}, // empty value stays nil
+		writeMsg{Header: wireHeader(), Context: tc, OpID: 4, Attempt: 2, Epoch: 9, Key: "beta", Version: ver, Value: []byte("payload")},
+		writeAckMsg{Header: wireHeader(), OpID: 5, Attempt: 1, Epoch: 9},
+		nackMsg{Header: wireHeader(), OpID: 6, Attempt: 4, Epoch: 9, Busy: true, RetryAfter: 250 * time.Millisecond},
+		opBatchMsg{
+			Header: wireHeader(), Context: tc,
+			Reads: []readPhase{
+				{Context: tc, OpID: 7, Attempt: 1, Epoch: 9, Key: "g1"},
+				{OpID: 8, Epoch: 9, Key: ""},
+			},
+			Writes: []writePhase{
+				{Context: tc, OpID: 9, Attempt: 2, Epoch: 9, Key: "p1", Version: ver, Value: []byte("vv")},
+			},
+		},
+		opBatchMsg{Header: wireHeader(), Context: tc}, // empty batch
+		opBatchAckMsg{
+			Header: wireHeader(), Epoch: 9,
+			ReadAcks: []readAckEntry{
+				{OpID: 7, Attempt: 1, Version: ver, Value: []byte("x"), Found: true},
+				{OpID: 8, Found: false},
+			},
+			WriteAcks: []writeAckEntry{{OpID: 9, Attempt: 2}},
+		},
+	}
+	for _, m := range msgs {
+		payload, err := (network.BinaryCodec{}).Encode(m)
+		if err != nil {
+			t.Fatalf("%T encode: %v", m, err)
+		}
+		if !network.IsBinaryPayload(payload) {
+			t.Fatalf("%T did not use the binary wire format", m)
+		}
+		got, err := network.DecodePayload(payload)
+		if err != nil {
+			t.Fatalf("%T decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%T round trip mismatch:\n got  %+v\n want %+v", m, got, m)
+		}
+	}
+}
+
+// TestABDWireCorruptCounts pins the count guards: a batch frame whose
+// element count promises more entries than the body holds must error out
+// before any allocation sized by that count.
+func TestABDWireCorruptCounts(t *testing.T) {
+	payload, err := (network.BinaryCodec{}).Encode(opBatchMsg{Header: wireHeader()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reads count is the u32 right after flag+tag+header+trace. Corrupt
+	// it to a huge value and decoding must fail cleanly.
+	corrupt := append([]byte(nil), payload...)
+	n := len(corrupt)
+	// Empty batch tail: reads count u32 + writes count u32 are the last 8.
+	corrupt[n-8], corrupt[n-7], corrupt[n-6], corrupt[n-5] = 0xff, 0xff, 0xff, 0xff
+	if _, err := network.DecodePayload(corrupt); err == nil {
+		t.Fatal("corrupt batch count decoded")
+	}
+	corrupt2 := append([]byte(nil), payload...)
+	corrupt2[n-4], corrupt2[n-3], corrupt2[n-2], corrupt2[n-1] = 0xff, 0xff, 0xff, 0xff
+	if _, err := network.DecodePayload(corrupt2); err == nil {
+		t.Fatal("corrupt write count decoded")
+	}
+}
+
+// TestABDWireEncodeZeroAlloc gates the quorum hot path: encoding a read
+// phase and its ack into a recycled buffer must not allocate.
+func TestABDWireEncodeZeroAlloc(t *testing.T) {
+	msgs := []network.Message{
+		readMsg{Header: wireHeader(), OpID: 1, Attempt: 1, Epoch: 2, Key: "k"},
+		readAckMsg{Header: wireHeader(), OpID: 1, Version: kvstore.Version{Seq: 1}, Value: make([]byte, 256), Found: true},
+		writeMsg{Header: wireHeader(), OpID: 2, Key: "k", Value: make([]byte, 256)},
+		writeAckMsg{Header: wireHeader(), OpID: 2},
+	}
+	buf := make([]byte, 0, 4096)
+	var c network.BinaryCodec
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, m := range msgs {
+			out, err := c.EncodeAppend(buf[:0], m)
+			if err != nil || len(out) == 0 {
+				t.Fatal("encode failed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ABD wire encode allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -58,14 +58,21 @@ var _ Env = LoopbackEnv{}
 type TCPEnv struct {
 	// Compress enables zlib message compression.
 	Compress bool
+	// WireCodec names the wire codec backend ("gob", "gob+zlib", "binary");
+	// empty keeps the transport default. Takes precedence over Compress.
+	WireCodec string
 }
 
 // NewTransport implements Env.
 func (e TCPEnv) NewTransport(addr network.Address) core.Definition {
+	var opts []network.TCPOption
 	if e.Compress {
-		return network.NewTCP(addr, network.WithCompression())
+		opts = append(opts, network.WithCompression())
 	}
-	return network.NewTCP(addr)
+	if e.WireCodec != "" {
+		opts = append(opts, network.WithWireCodecName(e.WireCodec))
+	}
+	return network.NewTCP(addr, opts...)
 }
 
 // NewTimer implements Env.

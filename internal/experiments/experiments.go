@@ -53,9 +53,17 @@ func spreadKeys(n int) []ident.Key {
 // to convergence. It returns the simulation, the network emulator (for
 // fault injection), and the simulator host.
 func buildSimCluster(seed int64, n int, cfg cats.NodeConfig, opts ...simulation.SimOption) (*simulation.Simulation, *simulation.NetworkEmulator, *cats.Simulator, *core.Port) {
+	return buildSimClusterEmu(seed, n, cfg, nil, opts...)
+}
+
+// buildSimClusterEmu is buildSimCluster with extra emulator options (e.g.
+// a wire-codec round-trip model).
+func buildSimClusterEmu(seed int64, n int, cfg cats.NodeConfig, emuOpts []simulation.EmulatorOption, opts ...simulation.SimOption) (*simulation.Simulation, *simulation.NetworkEmulator, *cats.Simulator, *core.Port) {
 	sim := simulation.New(seed, opts...)
 	emu := simulation.NewNetworkEmulator(sim,
-		simulation.WithLatency(simulation.UniformLatency(500*time.Microsecond, 2*time.Millisecond)))
+		append([]simulation.EmulatorOption{
+			simulation.WithLatency(simulation.UniformLatency(500*time.Microsecond, 2*time.Millisecond)),
+		}, emuOpts...)...)
 	host := cats.NewSimulator(cats.SimEnv{Sim: sim, Emu: emu}, cfg)
 	var exp *core.Port
 	sim.Runtime().MustBootstrap("CatsSimulationMain", core.SetupFunc(func(ctx *core.Ctx) {

@@ -1,14 +1,10 @@
 package network
 
 import (
-	"bytes"
-	"compress/zlib"
 	"encoding/gob"
 	"fmt"
-	"io"
+	"sort"
 	"sync"
-
-	"repro/internal/tracing"
 )
 
 // Register makes a concrete message type known to the codec. Every concrete
@@ -25,188 +21,124 @@ type envelope struct {
 	M Message
 }
 
-// Codec serializes messages to self-contained byte payloads, optionally
-// zlib-compressed (the paper's transports apply Zlib compression).
-// The zero value is a plain gob codec without compression.
-type Codec struct {
-	// Compress enables zlib compression of each payload.
-	Compress bool
-}
-
-// compressFlag prefixes every payload so a receiver handles both compressed
-// and uncompressed peers.
+// Payload format flags. Byte 0 of every encoded payload names the format
+// of the rest, so a payload is self-describing: any receiver can decode
+// any frame regardless of which codec its peer currently has installed.
+// That property is what makes a live codec swap frame-safe — mixed-codec
+// queues, pre-swap frames surviving a redial, and mid-swap reconnects all
+// decode correctly with no negotiation on the read path.
 const (
-	flagPlain byte = 0x00
-	flagZlib  byte = 0x01
+	flagPlain  byte = 0x00 // gob body
+	flagZlib   byte = 0x01 // zlib-compressed gob body
+	flagBinary byte = 0x02 // tag byte + hand-rolled binary body
 )
 
-// zlib writers and readers hold large window buffers; pool them so
-// per-message compression does not pay their allocation every time.
-var zlibWriterPool = sync.Pool{
-	New: func() any {
-		w, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
-		if err != nil {
-			panic(err) // BestSpeed is always a valid level
-		}
-		return w
-	},
+// IsBinaryPayload reports whether an encoded payload is in the binary wire
+// format (as opposed to a gob-family body, including the binary codec's
+// gob fallback for types outside its wire set).
+func IsBinaryPayload(p []byte) bool {
+	return len(p) > 0 && p[0] == flagBinary
 }
 
-var zlibReaderPool = sync.Pool{}
-
-// encBufPool recycles the per-message scratch buffer gob encodes into, so
-// Encode pays only the one unavoidable allocation: the returned payload,
-// sized exactly, written once. The gob encoder itself cannot be pooled: a
-// reused encoder omits type descriptors it already sent, which would make
-// payloads non-self-contained and undecodable by a fresh decoder.
-var encBufPool = sync.Pool{
-	New: func() any { return new(bytes.Buffer) },
+// WireCodec is a swappable wire-format backend behind the Network port.
+// Implementations turn Messages into self-describing payloads (byte 0 is
+// one of the format flags above) and back. The codec ID doubles as the
+// capability byte exchanged in the transport handshake.
+//
+// EncodeAppend appends the payload to dst and returns the extended slice,
+// so a steady-state caller encoding into a recycled buffer allocates
+// nothing. Decode may alias the payload (zero-copy keys and values), so
+// callers must not reuse a payload buffer after decoding from it.
+type WireCodec interface {
+	// Name is the stable human name used by -wire-codec flags and SwapCodec.
+	Name() string
+	// ID is the codec's wire capability byte (also its payload format flag).
+	ID() byte
+	// EncodeAppend appends m's payload to dst.
+	EncodeAppend(dst []byte, m Message) ([]byte, error)
+	// Encode serializes m into a fresh payload.
+	Encode(m Message) ([]byte, error)
+	// Decode deserializes a payload produced by any registered codec.
+	Decode(payload []byte) (Message, error)
 }
 
-// Encode serializes a message into a self-contained payload.
-func (c Codec) Encode(m Message) ([]byte, error) {
-	// Trace-annotated frames (messages carrying a sampled trace context)
-	// are counted at the wire boundary: the ratio against encoded_msgs is
-	// the observed sampling rate actually crossing the network.
-	if tm, ok := m.(tracing.Traced); ok && tm.TraceContext().TraceID != 0 {
-		gTracedFrames.Add(1)
-	}
-	buf := encBufPool.Get().(*bytes.Buffer)
-	defer encBufPool.Put(buf)
-	buf.Reset()
-
-	if !c.Compress {
-		// Write the flag into the scratch buffer ahead of the gob body so
-		// the payload is produced in one sized allocation and one copy
-		// (previously: make + flag append + body append, copying twice).
-		buf.WriteByte(flagPlain)
-		if err := gob.NewEncoder(buf).Encode(envelope{M: m}); err != nil {
-			return nil, fmt.Errorf("network: encode %T: %w", m, err)
-		}
-		out := make([]byte, buf.Len())
-		copy(out, buf.Bytes())
-		gEncodedMsgs.Add(1)
-		gEncodedBytes.Add(uint64(len(out)))
-		return out, nil
-	}
-
-	if err := gob.NewEncoder(buf).Encode(envelope{M: m}); err != nil {
-		return nil, fmt.Errorf("network: encode %T: %w", m, err)
-	}
-	var out bytes.Buffer
-	out.Grow(buf.Len()/2 + 16)
-	out.WriteByte(flagZlib)
-	zw := zlibWriterPool.Get().(*zlib.Writer)
-	zw.Reset(&out)
-	_, werr := zw.Write(buf.Bytes())
-	cerr := zw.Close()
-	zlibWriterPool.Put(zw)
-	if werr != nil {
-		return nil, fmt.Errorf("network: compress %T: %w", m, werr)
-	}
-	if cerr != nil {
-		return nil, fmt.Errorf("network: compress %T: %w", m, cerr)
-	}
-	gEncodedMsgs.Add(1)
-	gEncodedBytes.Add(uint64(out.Len()))
-	gCompressedMsgs.Add(1)
-	gCompressedIn.Add(uint64(buf.Len()))
-	gCompressedOut.Add(uint64(out.Len() - 1)) // exclude the flag byte
-	return out.Bytes(), nil
+// codecRegistry maps codec names and capability bytes to backends. Entries
+// are installed from package inits (the two built-ins below) and read on
+// every handshake, so registration after init is guarded but discouraged.
+var codecRegistry struct {
+	mu     sync.RWMutex
+	byName map[string]WireCodec
+	byID   map[byte]WireCodec
 }
 
-// Decode deserializes a payload produced by Encode (of any compression
-// setting).
-func (c Codec) Decode(payload []byte) (Message, error) {
+// RegisterWireCodec installs a codec backend under its Name and ID.
+// Registering a duplicate name or ID panics: codec identity is part of the
+// wire protocol and must be unambiguous.
+func RegisterWireCodec(c WireCodec) {
+	codecRegistry.mu.Lock()
+	defer codecRegistry.mu.Unlock()
+	if codecRegistry.byName == nil {
+		codecRegistry.byName = make(map[string]WireCodec)
+		codecRegistry.byID = make(map[byte]WireCodec)
+	}
+	if _, dup := codecRegistry.byName[c.Name()]; dup {
+		panic(fmt.Sprintf("network: duplicate codec name %q", c.Name()))
+	}
+	if _, dup := codecRegistry.byID[c.ID()]; dup {
+		panic(fmt.Sprintf("network: duplicate codec id 0x%02x", c.ID()))
+	}
+	codecRegistry.byName[c.Name()] = c
+	codecRegistry.byID[c.ID()] = c
+}
+
+// CodecByName resolves a codec backend by its stable name.
+func CodecByName(name string) (WireCodec, bool) {
+	codecRegistry.mu.RLock()
+	defer codecRegistry.mu.RUnlock()
+	c, ok := codecRegistry.byName[name]
+	return c, ok
+}
+
+// CodecByID resolves a codec backend by its wire capability byte.
+func CodecByID(id byte) (WireCodec, bool) {
+	codecRegistry.mu.RLock()
+	defer codecRegistry.mu.RUnlock()
+	c, ok := codecRegistry.byID[id]
+	return c, ok
+}
+
+// CodecNames lists the registered codec names, sorted.
+func CodecNames() []string {
+	codecRegistry.mu.RLock()
+	defer codecRegistry.mu.RUnlock()
+	names := make([]string, 0, len(codecRegistry.byName))
+	for n := range codecRegistry.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterWireCodec(Codec{})
+	RegisterWireCodec(Codec{Compress: true})
+	RegisterWireCodec(BinaryCodec{})
+}
+
+// DecodePayload decodes a self-describing payload produced by any codec,
+// dispatching on the format flag in byte 0. The returned message may alias
+// payload (zero-copy strings and byte slices), so the caller must not
+// reuse the buffer afterwards.
+func DecodePayload(payload []byte) (Message, error) {
 	if len(payload) == 0 {
 		return nil, fmt.Errorf("network: decode: empty payload")
 	}
-	body := payload[1:]
-	var r io.Reader = bytes.NewReader(body)
 	switch payload[0] {
-	case flagPlain:
-	case flagZlib:
-		if pooled := zlibReaderPool.Get(); pooled != nil {
-			zr := pooled.(io.ReadCloser)
-			if err := zr.(zlib.Resetter).Reset(r, nil); err != nil {
-				return nil, fmt.Errorf("network: decompress: %w", err)
-			}
-			defer func() {
-				_ = zr.Close()
-				zlibReaderPool.Put(zr)
-			}()
-			r = zr
-		} else {
-			zr, err := zlib.NewReader(r)
-			if err != nil {
-				return nil, fmt.Errorf("network: decompress: %w", err)
-			}
-			defer func() {
-				_ = zr.Close()
-				zlibReaderPool.Put(zr)
-			}()
-			r = zr
-		}
+	case flagPlain, flagZlib:
+		return decodeGob(payload)
+	case flagBinary:
+		return decodeBinary(payload)
 	default:
-		return nil, fmt.Errorf("network: decode: unknown compression flag 0x%02x", payload[0])
+		return nil, fmt.Errorf("network: decode: unknown format flag 0x%02x", payload[0])
 	}
-	var env envelope
-	if err := gob.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("network: decode: %w", err)
-	}
-	if env.M == nil {
-		return nil, fmt.Errorf("network: decode: nil message")
-	}
-	gDecodedMsgs.Add(1)
-	if payload[0] == flagZlib {
-		gDecompressedMsgs.Add(1)
-	}
-	return env.M, nil
-}
-
-// RoundTrip encodes and immediately decodes a message, returning the
-// deserialized copy. The Loopback transport uses it to exercise the full
-// serialization path in-process.
-func (c Codec) RoundTrip(m Message) (Message, error) {
-	b, err := c.Encode(m)
-	if err != nil {
-		return nil, err
-	}
-	return c.Decode(b)
-}
-
-// StreamCodec serializes messages over a persistent gob stream, amortizing
-// type descriptors across messages the way a per-connection stream codec
-// (the paper's Kryo setup) does. Safe for concurrent use.
-type StreamCodec struct {
-	mu  sync.Mutex
-	buf bytes.Buffer
-	enc *gob.Encoder
-	dec *gob.Decoder
-}
-
-// NewStreamCodec creates a connected encoder/decoder pair.
-func NewStreamCodec() *StreamCodec {
-	s := &StreamCodec{}
-	s.enc = gob.NewEncoder(&s.buf)
-	s.dec = gob.NewDecoder(&s.buf)
-	return s
-}
-
-// RoundTrip serializes and immediately deserializes one message through
-// the stream.
-func (s *StreamCodec) RoundTrip(m Message) (Message, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.enc.Encode(envelope{M: m}); err != nil {
-		return nil, fmt.Errorf("network: stream encode %T: %w", m, err)
-	}
-	var env envelope
-	if err := s.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("network: stream decode: %w", err)
-	}
-	if env.M == nil {
-		return nil, fmt.Errorf("network: stream decode: nil message")
-	}
-	return env.M, nil
 }

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"runtime"
+	"testing"
+)
+
+// bytesPerOp measures average heap bytes allocated per call of fn on a
+// single goroutine. AllocsPerRun counts allocations, not sizes — a zlib
+// window regression (~32–45KB per message) shows up here even when the
+// allocation *count* stays small.
+func bytesPerOp(n int, fn func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / uint64(n)
+}
+
+// TestZlibWriterPooled is the compression-side pooling regression gate: a
+// fresh zlib writer allocates ~800KB of window state, so pooled encoding
+// must stay well under that per message.
+func TestZlibWriterPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates TotalAlloc")
+	}
+	m := data{Header: NewHeader(addr(1), addr(2)), Seq: 1, Payload: make([]byte, 1024)}
+	c := Codec{Compress: true}
+	// Warm the pool so the measurement is steady-state.
+	if _, err := c.Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	per := bytesPerOp(100, func() {
+		if _, err := c.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state: payload + gob scratch, no deflate window (~800KB).
+	if per > 64<<10 {
+		t.Fatalf("compressed encode allocates %d B/op; zlib writer pool regressed", per)
+	}
+}
+
+// TestZlibReaderPooled mirrors TestZlibWriterPooled for the decode side:
+// the inflater must be Reset onto each payload from the pool, not built
+// fresh (~45KB of window per frame).
+func TestZlibReaderPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates TotalAlloc")
+	}
+	m := data{Header: NewHeader(addr(1), addr(2)), Seq: 1, Payload: make([]byte, 1024)}
+	payload, err := Codec{Compress: true}.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(payload); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	per := bytesPerOp(100, func() {
+		if _, err := DecodePayload(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state: decoded message + gob decoder state, no inflate window.
+	if per > 32<<10 {
+		t.Fatalf("compressed decode allocates %d B/op; zlib reader pool regressed", per)
+	}
+}

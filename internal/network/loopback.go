@@ -21,6 +21,7 @@ type LoopbackRegistry struct {
 	delay    func(src, dst Address) time.Duration
 	dropRate float64
 	codec    *Codec
+	wire     WireCodec
 	stream   *StreamCodec
 	rng      *rand.Rand
 	rngMu    sync.Mutex
@@ -57,6 +58,14 @@ func WithDropRate(p float64, seed int64) LoopbackOption {
 // (and catching unregistered message types) in-process.
 func WithCodec(c Codec) LoopbackOption {
 	return func(r *LoopbackRegistry) { r.codec = &c }
+}
+
+// WithWireCodec is WithCodec generalized over codec backends: every
+// message round-trips through the given WireCodec (binary payloads for
+// its wire set, gob fallback otherwise), exercising exactly the bytes a
+// TCP deployment with that backend would put on the wire.
+func WithWireCodec(c WireCodec) LoopbackOption {
+	return func(r *LoopbackRegistry) { r.wire = c }
 }
 
 // WithStreamCodec is WithCodec but over a persistent gob stream, which
@@ -96,6 +105,20 @@ func (r *LoopbackRegistry) route(m Message) {
 	}
 	if r.codec != nil {
 		decoded, err := r.codec.RoundTrip(m)
+		if err != nil {
+			r.dropped.add(1)
+			return
+		}
+		m = decoded
+	}
+	if r.wire != nil {
+		// Fresh buffer per message: the decoded message may alias it.
+		payload, err := r.wire.Encode(m)
+		if err != nil {
+			r.dropped.add(1)
+			return
+		}
+		decoded, err := DecodePayload(payload)
 		if err != nil {
 			r.dropped.add(1)
 			return

@@ -25,6 +25,13 @@ var (
 	gAbandoned  atomic.Uint64 // queued frames dropped when a peer's retry budget ran out
 
 	gTracedFrames atomic.Uint64 // encoded messages carrying a sampled trace context
+
+	// Wire-codec backend counters (cats_network_codec_* in /metrics).
+	gBinaryEncoded     atomic.Uint64 // messages encoded by the binary backend's wire set
+	gBinaryDecoded     atomic.Uint64 // binary-format payloads decoded
+	gCodecFallbacks    atomic.Uint64 // binary-backend encodes that fell back to gob
+	gCodecSwaps        atomic.Uint64 // live SwapCodec operations applied (per peer)
+	gCodecSwitchFrames atomic.Uint64 // codec-switch control frames received
 )
 
 // gPeerStates counts live outbound peer connections per PeerState
@@ -55,6 +62,11 @@ type Metrics struct {
 	Requeued         uint64 `json:"requeued"`
 	Abandoned        uint64 `json:"abandoned"`
 	TracedFrames     uint64 `json:"traced_frames"`
+	BinaryEncoded    uint64 `json:"codec_binary_encoded"`
+	BinaryDecoded    uint64 `json:"codec_binary_decoded"`
+	CodecFallbacks   uint64 `json:"codec_fallbacks"`
+	CodecSwaps       uint64 `json:"codec_swaps"`
+	CodecSwitches    uint64 `json:"codec_switch_frames"`
 	PeersConnecting  int64  `json:"peers_connecting"`
 	PeersUp          int64  `json:"peers_up"`
 	PeersBackoff     int64  `json:"peers_backoff"`
@@ -79,6 +91,11 @@ func GlobalMetrics() Metrics {
 		Requeued:         gRequeued.Load(),
 		Abandoned:        gAbandoned.Load(),
 		TracedFrames:     gTracedFrames.Load(),
+		BinaryEncoded:    gBinaryEncoded.Load(),
+		BinaryDecoded:    gBinaryDecoded.Load(),
+		CodecFallbacks:   gCodecFallbacks.Load(),
+		CodecSwaps:       gCodecSwaps.Load(),
+		CodecSwitches:    gCodecSwitchFrames.Load(),
 		PeersConnecting:  gPeerStates[PeerConnecting].Load(),
 		PeersUp:          gPeerStates[PeerUp].Load(),
 		PeersBackoff:     gPeerStates[PeerBackoff].Load(),

@@ -1,0 +1,5 @@
+//go:build race
+
+package network
+
+const raceEnabled = true

@@ -16,18 +16,6 @@ import (
 	"repro/internal/tracing"
 )
 
-// maxFrame bounds a single message frame (16 MiB), protecting receivers
-// from malformed or hostile length prefixes.
-const maxFrame = 16 << 20
-
-// keepaliveMagic is the length prefix of a keepalive frame: a 4-byte probe
-// with no payload, written on idle connections so both sides learn the
-// link is alive (the writer exercises the socket, the reader refreshes its
-// idle deadline). The value is far above maxFrame so it can never collide
-// with a real frame length, and deliberately not zero — a zero length
-// prefix remains a protocol violation that closes the connection.
-const keepaliveMagic = 0xFFFF_FFFF
-
 // sendQueueLen bounds the per-peer outbound queue. Handlers must never
 // block, so an overflowing queue drops the newest message (the Network
 // abstraction is fair-lossy; protocols above it retransmit).
@@ -49,12 +37,17 @@ const (
 // TCP is the production Network provider: a from-scratch equivalent of the
 // paper's pluggable NIO frameworks (Grizzly/Netty/MINA) built on net. It
 // performs automatic connection management (dial on demand, reuse,
-// reconnect with capped exponential backoff, teardown on error), message
-// serialization via the gob codec, and optional zlib compression.
+// reconnect with capped exponential backoff, teardown on error) and
+// message serialization through a swappable WireCodec backend — gob
+// (optionally zlib-compressed) by default, the zero-allocation binary
+// codec by option, switchable per peer at runtime via SwapCodec.
 //
-// Wire format: 4-byte big-endian length prefix, then the codec payload.
-// Outbound connections are used for sending only; peers dial back for
-// their own sends, so each direction has a dedicated connection.
+// Wire format: an 8-byte handshake (magic, version, codec capability
+// byte), then frames — 4-byte big-endian length prefix + self-describing
+// codec payload — interleaved with control frames from the reserved
+// prefix range (keepalives, codec switches; see framing.go). Outbound
+// connections are used for sending only; peers dial back for their own
+// sends, so each direction has a dedicated connection.
 //
 // Each outbound peer is managed by a small circuit-breaker state machine
 // (connecting → up → backoff → … → down). The pending send queue belongs
@@ -65,9 +58,17 @@ const (
 // unreachable peers are re-probed on demand forever. Up/Down transitions
 // are published as PeerStatus indications on the Network port.
 type TCP struct {
-	self  Address
-	codec Codec
-	log   *slog.Logger
+	self Address
+	log  *slog.Logger
+
+	// codec is the default wire-codec backend for peers without an
+	// override; codecName defers resolution of a WithWireCodecName option
+	// to Setup (so unknown names can be logged, not panicked). peerCodecs
+	// holds per-peer overrides installed by SwapCodec; both are guarded by
+	// mu and survive peer retirement and redials.
+	codec      WireCodec
+	codecName  string
+	peerCodecs map[Address]WireCodec
 
 	keepalive    time.Duration
 	idleTimeout  time.Duration
@@ -90,6 +91,31 @@ type TCP struct {
 
 	sent, received, droppedFull, sendErrors atomic.Uint64
 	reconnects, requeued, abandoned         atomic.Uint64
+	codecSwaps                              atomic.Uint64
+}
+
+// frameBuf is a pooled encode buffer: handleSend encodes each outbound
+// frame into one, and the frame's final resolution (written, dropped, or
+// abandoned) releases it. Steady state, the encode path allocates nothing.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// maxPooledFrame bounds the capacity a released buffer may keep; one huge
+// handoff chunk must not pin megabytes in the pool forever.
+const maxPooledFrame = 64 << 10
+
+func releaseFrame(f *outFrame) {
+	fb := f.buf
+	if fb == nil {
+		return
+	}
+	f.buf = nil
+	f.payload = nil
+	if cap(fb.b) > maxPooledFrame {
+		return
+	}
+	frameBufPool.Put(fb)
 }
 
 // outFrame is one queued outbound frame: the encoded payload plus the
@@ -102,7 +128,9 @@ type TCP struct {
 // outFrames and so can never carry or inherit span annotations.
 type outFrame struct {
 	payload  []byte
+	buf      *frameBuf // pooled backing buffer; released at final resolution
 	trace    tracing.Context
+	codecID  byte // capability byte of the codec that encoded payload
 	attempts int  // write attempts so far; >1 means the frame crossed a redial
 	spanned  bool // the frame's single transport span has been recorded
 }
@@ -122,9 +150,17 @@ func (p *peerConn) shutdown() { p.once.Do(func() { close(p.close) }) }
 // TCPOption configures a TCP transport.
 type TCPOption func(*TCP)
 
-// WithCompression enables zlib compression of message payloads.
+// WithCompression enables zlib compression of message payloads (selects
+// the gob+zlib codec backend as the default).
 func WithCompression() TCPOption {
-	return func(t *TCP) { t.codec.Compress = true }
+	return func(t *TCP) { t.codec = Codec{Compress: true} }
+}
+
+// WithWireCodecName selects the default wire-codec backend by registry
+// name ("gob", "gob+zlib", "binary"). Unknown names are logged at Setup
+// and the transport keeps its previous default.
+func WithWireCodecName(name string) TCPOption {
+	return func(t *TCP) { t.codecName = name }
 }
 
 // WithKeepalive sets the idle keepalive probe period (0 disables probes).
@@ -167,7 +203,9 @@ func WithSendQueueLen(n int) TCPOption {
 func NewTCP(self Address, opts ...TCPOption) *TCP {
 	t := &TCP{
 		self:         self,
+		codec:        Codec{},
 		conns:        make(map[Address]*peerConn),
+		peerCodecs:   make(map[Address]WireCodec),
 		inbound:      make(map[net.Conn]struct{}),
 		keepalive:    defaultKeepalive,
 		idleTimeout:  defaultIdleTimeout,
@@ -191,6 +229,14 @@ func (t *TCP) Setup(ctx *core.Ctx) {
 	t.ctx = ctx
 	t.log = ctx.Log()
 	t.port = ctx.Provides(PortType)
+	if t.codecName != "" {
+		if c, ok := CodecByName(t.codecName); ok {
+			t.codec = c
+		} else {
+			t.log.Warn("tcp: unknown wire codec, keeping default",
+				"codec", t.codecName, "default", t.codec.Name())
+		}
+	}
 	core.Subscribe(ctx, t.port, t.handleSend)
 	core.Subscribe(ctx, ctx.Control(), func(core.Start) {
 		if err := t.listen(); err != nil {
@@ -214,6 +260,79 @@ func (t *TCP) Stats() (sent, received, droppedFull, sendErrors uint64) {
 // when a peer's retry budget ran out.
 func (t *TCP) ResilienceStats() (reconnects, requeued, abandoned uint64) {
 	return t.reconnects.Load(), t.requeued.Load(), t.abandoned.Load()
+}
+
+// CodecStats returns how many live codec swaps this transport has applied.
+func (t *TCP) CodecStats() (swaps uint64) { return t.codecSwaps.Load() }
+
+// PeerCodec reports the codec currently used for frames to peer.
+func (t *TCP) PeerCodec(peer Address) WireCodec { return t.codecFor(peer) }
+
+// SwapCodec live-swaps the wire codec used for frames to peer, the paper's
+// §2.6 hot-swap applied to the wire format. Every channel attached to the
+// Network port is held first, so no send or indication can interleave with
+// the swap; the peer's owned send queue keeps draining through the old
+// codec (its frames were encoded at enqueue time and each carries its
+// codec ID, so the writer announces the change with a codec-switch control
+// frame exactly where the boundary falls — even if a redial lands in the
+// middle); then the new codec is installed and the channels resume,
+// flushing anything queued during the hold in FIFO order. Zero frames are
+// lost or reordered. The override survives peer retirement and redials;
+// it applies to the next frame encoded after the swap.
+func (t *TCP) SwapCodec(peer Address, name string) error {
+	c, ok := CodecByName(name)
+	if !ok {
+		return fmt.Errorf("network: swap codec: unknown codec %q (have %v)", name, CodecNames())
+	}
+	if t.port != nil {
+		chans := t.port.AttachedChannels()
+		for _, ch := range chans {
+			ch.Hold()
+		}
+		defer func() {
+			for _, ch := range chans {
+				ch.Resume()
+			}
+		}()
+	}
+	t.mu.Lock()
+	t.peerCodecs[peer] = c
+	t.mu.Unlock()
+	t.codecSwaps.Add(1)
+	gCodecSwaps.Add(1)
+	if t.log != nil {
+		t.log.Info("tcp: wire codec swapped", "peer", peer.String(), "codec", name)
+	}
+	return nil
+}
+
+// SwapAllCodecs swaps the default codec and every per-peer override to
+// name, under one hold of the Network port.
+func (t *TCP) SwapAllCodecs(name string) error {
+	c, ok := CodecByName(name)
+	if !ok {
+		return fmt.Errorf("network: swap codec: unknown codec %q (have %v)", name, CodecNames())
+	}
+	if t.port != nil {
+		chans := t.port.AttachedChannels()
+		for _, ch := range chans {
+			ch.Hold()
+		}
+		defer func() {
+			for _, ch := range chans {
+				ch.Resume()
+			}
+		}()
+	}
+	t.mu.Lock()
+	t.codec = c
+	for peer := range t.peerCodecs {
+		t.peerCodecs[peer] = c
+	}
+	t.mu.Unlock()
+	t.codecSwaps.Add(1)
+	gCodecSwaps.Add(1)
+	return nil
 }
 
 // PeerStates snapshots the circuit-breaker state of every live outbound
@@ -281,8 +400,22 @@ func (t *TCP) shutdown() {
 	t.wg.Wait()
 }
 
+// codecFor resolves the wire codec for one peer: its SwapCodec override
+// if present, else the transport default.
+func (t *TCP) codecFor(dst Address) WireCodec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.peerCodecs[dst]; ok {
+		return c
+	}
+	return t.codec
+}
+
 // handleSend routes an outbound message onto the peer's connection queue,
-// dialing on demand. Messages to self are delivered directly.
+// dialing on demand. Messages to self are delivered directly. The frame is
+// encoded here — through the peer's current codec, into a pooled buffer —
+// so the bytes on the queue are immutable from this point on: a codec
+// swapped later never re-encodes frames already queued under the old one.
 func (t *TCP) handleSend(m Message) {
 	if m.Destination() == t.self {
 		t.received.Add(1)
@@ -290,8 +423,12 @@ func (t *TCP) handleSend(m Message) {
 		core.TriggerOn(t.port, m) //nolint:errcheck // port type validated at Setup
 		return
 	}
-	payload, err := t.codec.Encode(m)
+	codec := t.codecFor(m.Destination())
+	fb := frameBufPool.Get().(*frameBuf)
+	payload, err := codec.EncodeAppend(fb.b[:0], m)
+	fb.b = payload[:0]
 	if err != nil {
+		frameBufPool.Put(fb)
 		t.sendErrors.Add(1)
 		gSendErrors.Add(1)
 		t.log.Warn("tcp: encode failed", "type", fmt.Sprintf("%T", m), "err", err)
@@ -301,7 +438,12 @@ func (t *TCP) handleSend(m Message) {
 	if tm, ok := m.(tracing.Traced); ok {
 		tc = tm.TraceContext()
 	}
-	t.enqueue(m.Destination(), payload, tc)
+	t.enqueue(m.Destination(), outFrame{
+		payload: payload,
+		buf:     fb,
+		trace:   tc,
+		codecID: codec.ID(),
+	})
 }
 
 // enqueue places one encoded frame on dst's queue, creating the peer's
@@ -309,10 +451,11 @@ func (t *TCP) handleSend(m Message) {
 // transport lock so a frame can never slip onto a queue after its manager
 // has drained it: retirement also removes the peer under the lock, and a
 // later send simply starts a fresh manager.
-func (t *TCP) enqueue(dst Address, payload []byte, tc tracing.Context) {
+func (t *TCP) enqueue(dst Address, f outFrame) {
 	t.mu.Lock()
 	if t.stopped {
 		t.mu.Unlock()
+		releaseFrame(&f)
 		return
 	}
 	pc, ok := t.conns[dst]
@@ -329,12 +472,13 @@ func (t *TCP) enqueue(dst Address, payload []byte, tc tracing.Context) {
 		go t.writeLoop(pc)
 	}
 	select {
-	case pc.ch <- outFrame{payload: payload, trace: tc}:
+	case pc.ch <- f:
 		t.mu.Unlock()
 		t.sent.Add(1)
 		gSent.Add(1)
 	default:
 		t.mu.Unlock()
+		releaseFrame(&f)
 		t.droppedFull.Add(1)
 		gDroppedFull.Add(1)
 	}
@@ -372,12 +516,14 @@ func (t *TCP) abandonQueue(pc *peerConn, pending *outFrame) {
 	if pending.payload != nil {
 		n++
 		t.recordSendSpan(pending, "abandoned")
+		releaseFrame(pending)
 	}
 	for {
 		select {
 		case f := <-pc.ch:
 			n++
 			t.recordSendSpan(&f, "abandoned")
+			releaseFrame(&f)
 		default:
 			if n > 0 {
 				t.abandoned.Add(n)
@@ -455,6 +601,21 @@ func (t *TCP) writeLoop(pc *peerConn) {
 			}
 			return
 		}
+		// Announce ourselves before the first frame: magic, version, and
+		// the capability byte naming this peer's current codec. Frames
+		// queued under an older codec (including pending, preserved across
+		// the redial) still flow — writeFrame emits a codec-switch control
+		// frame whenever the next frame's codec differs from the one last
+		// announced on this connection.
+		connCodec := t.codecFor(pc.addr).ID()
+		if err := t.writeHandshake(conn, connCodec); err != nil {
+			_ = conn.Close()
+			t.sendErrors.Add(1)
+			gSendErrors.Add(1)
+			t.log.Debug("tcp: handshake failed", "peer", pc.addr.String(), "err", err)
+			t.setState(pc, PeerBackoff)
+			continue
+		}
 		if everUp || retried {
 			t.reconnects.Add(1)
 			gReconnects.Add(1)
@@ -463,7 +624,7 @@ func (t *TCP) writeLoop(pc *peerConn) {
 		everUp = true
 		t.setState(pc, PeerUp)
 		t.emitStatus(pc.addr, true)
-		err := t.serveConn(pc, conn, &pending)
+		err := t.serveConn(pc, conn, &pending, connCodec)
 		_ = conn.Close()
 		if errors.Is(err, errPeerClosed) {
 			t.retirePeer(pc)
@@ -523,19 +684,45 @@ func (t *TCP) backoff(attempt int) time.Duration {
 	return time.Duration(half + rand.Int63n(half*2)) //nolint:gosec // jitter, not crypto
 }
 
+// writeHandshake sends the connection preamble declaring the wire
+// protocol version and the codec capability byte for subsequent frames.
+func (t *TCP) writeHandshake(conn net.Conn, codecID byte) error {
+	if t.writeTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+	}
+	var hs [handshakeLen]byte
+	copy(hs[:4], handshakeMagic[:])
+	hs[4] = wireVersion
+	hs[5] = codecID
+	_, err := conn.Write(hs[:])
+	return err
+}
+
 // serveConn writes framed payloads (and idle keepalives) until the
 // connection breaks or the peer is closed. A frame whose write fails is
 // stored in *pending — counted as requeued — so the reconnected peer
 // transmits it first, ahead of anything queued behind it. The frame's
 // span bookkeeping rides in the outFrame across the redial: the
 // retransmission finishes the original frame's story, it does not start a
-// new one.
-func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *outFrame) error {
+// new one. connCodec is the codec ID the handshake announced; frames
+// encoded under a different codec are preceded by a codec-switch control
+// frame, which is how a live SwapCodec (or a mixed-codec queue surviving
+// a redial) stays frame-exact on the wire.
+func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *outFrame, connCodec byte) error {
 	var lenBuf [4]byte
 	writeFrame := func(f *outFrame) error {
 		f.attempts++
 		if t.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		}
+		if f.codecID != connCodec {
+			var sw [5]byte
+			binary.BigEndian.PutUint32(sw[:4], codecSwitchMagic)
+			sw[4] = f.codecID
+			if _, err := conn.Write(sw[:]); err != nil {
+				return err
+			}
+			connCodec = f.codecID
 		}
 		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.payload)))
 		if _, err := conn.Write(lenBuf[:]); err != nil {
@@ -545,6 +732,7 @@ func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *outFrame) error {
 			return err
 		}
 		t.recordSendSpan(f, "ok")
+		releaseFrame(f)
 		return nil
 	}
 	fail := func(f outFrame, err error) error {
@@ -575,6 +763,7 @@ func (t *TCP) serveConn(pc *peerConn, conn net.Conn, pending *outFrame) error {
 			if len(f.payload) > maxFrame {
 				t.sendErrors.Add(1)
 				gSendErrors.Add(1)
+				releaseFrame(&f)
 				continue
 			}
 			if err := writeFrame(&f); err != nil {
@@ -623,8 +812,13 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 }
 
 // readLoop decodes frames from one inbound connection and delivers them on
-// the Network port. Keepalive frames only refresh the idle deadline; a
-// connection silent past the idle timeout is reaped.
+// the Network port. The connection must open with a valid handshake naming
+// a registered codec; decode itself dispatches on each payload's format
+// flag, so frames from any codec (or a mid-stream swap) decode without
+// renegotiation. Keepalive control frames only refresh the idle deadline;
+// codec-switch control frames update the peer's announced codec (and are
+// validated against the registry); a connection silent past the idle
+// timeout is reaped.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -633,6 +827,22 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
+	if t.idleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(t.idleTimeout))
+	}
+	var hs [handshakeLen]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		t.log.Debug("tcp: handshake read", "err", err)
+		return
+	}
+	if [4]byte(hs[:4]) != handshakeMagic || hs[4] != wireVersion {
+		t.log.Warn("tcp: bad handshake", "magic", fmt.Sprintf("%x", hs[:4]), "version", hs[4])
+		return
+	}
+	if _, ok := CodecByID(hs[5]); !ok {
+		t.log.Warn("tcp: handshake names unknown codec", "id", fmt.Sprintf("0x%02x", hs[5]))
+		return
+	}
 	var lenBuf [4]byte
 	for {
 		if t.idleTimeout > 0 {
@@ -645,18 +855,37 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == keepaliveMagic {
-			continue
+		if isControlPrefix(n) {
+			switch n {
+			case keepaliveMagic:
+				continue
+			case codecSwitchMagic:
+				var id [1]byte
+				if _, err := io.ReadFull(conn, id[:]); err != nil {
+					return
+				}
+				if _, ok := CodecByID(id[0]); !ok {
+					t.log.Warn("tcp: switch to unknown codec", "id", fmt.Sprintf("0x%02x", id[0]))
+					return
+				}
+				gCodecSwitchFrames.Add(1)
+				continue
+			default:
+				t.log.Warn("tcp: unknown control prefix", "prefix", fmt.Sprintf("0x%08x", n))
+				return
+			}
 		}
 		if n == 0 || n > maxFrame {
 			t.log.Warn("tcp: bad frame length", "len", n)
 			return
 		}
+		// A fresh buffer per frame: binary-codec decode aliases it
+		// (zero-copy keys and values), so it must not be pooled or reused.
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		m, err := t.codec.Decode(payload)
+		m, err := DecodePayload(payload)
 		if err != nil {
 			t.log.Warn("tcp: decode failed", "err", err)
 			continue

@@ -9,8 +9,24 @@ import (
 	"repro/internal/core"
 )
 
-// dialRaw connects a raw socket to a transport's listener.
+// dialRaw connects a raw socket to a transport's listener and performs
+// the client side of the connection handshake (gob capability byte).
 func dialRaw(t *testing.T, addr Address) net.Conn {
+	t.Helper()
+	conn := dialRawNoHandshake(t, addr)
+	var hs [handshakeLen]byte
+	copy(hs[:4], handshakeMagic[:])
+	hs[4] = wireVersion
+	hs[5] = flagPlain
+	if _, err := conn.Write(hs[:]); err != nil {
+		t.Fatalf("handshake write: %v", err)
+	}
+	return conn
+}
+
+// dialRawNoHandshake connects a raw socket without the preamble, for
+// tests probing the handshake validation itself.
+func dialRawNoHandshake(t *testing.T, addr Address) net.Conn {
 	t.Helper()
 	var conn net.Conn
 	var err error

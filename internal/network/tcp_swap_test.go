@@ -1,0 +1,131 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestTCPSwapCodecLiveStream is the swap-correctness acceptance test: a
+// continuous message stream crosses two live codec swaps and a peer
+// restart that lands mid-swap, and every frame arrives exactly once, in
+// order. Frames enqueued before a swap drain through the codec that
+// encoded them (mixed-codec queues are legal — payloads are
+// self-describing), and a redial re-handshakes with the new capability
+// byte.
+func TestTCPSwapCodecLiveStream(t *testing.T) {
+	_, n1, n2 := newTCPPair(t,
+		WithKeepalive(25*time.Millisecond),
+		WithBackoff(20*time.Millisecond, 100*time.Millisecond),
+		WithDialAttempts(500),
+	)
+
+	send := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n1.ctx.Trigger(wireBlob{Header: NewHeader(n1.self, n2.self), Seq: i}, n1.port)
+		}
+	}
+
+	// Phase 1: default gob codec.
+	send(0, 30)
+	waitCount(t, &n2.got, 30, 10*time.Second)
+
+	// Phase 2: live swap to binary under traffic.
+	binBefore := gBinaryEncoded.Load()
+	if err := n1.tcp.SwapCodec(n2.self, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.tcp.PeerCodec(n2.self).Name(); got != "binary" {
+		t.Fatalf("peer codec after swap: %q", got)
+	}
+	send(30, 60)
+	waitCount(t, &n2.got, 60, 10*time.Second)
+	if gBinaryEncoded.Load() == binBefore {
+		t.Fatal("no binary frames encoded after swap to binary")
+	}
+
+	// Phase 3: kill the peer, and while it is down queue frames AND swap
+	// again — the mid-swap redial must re-handshake and deliver the queued
+	// mixed-codec frames in order.
+	n2.tcp.shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := n1.tcp.PeerStates()[n2.self]; ok && st != PeerUp {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	send(60, 70) // encoded binary, queued
+	if err := n1.tcp.SwapCodec(n2.self, "gob+zlib"); err != nil {
+		t.Fatal(err)
+	}
+	send(70, 80) // encoded gob+zlib, queued behind the binary frames
+
+	n3 := &tcpNode{self: n2.self}
+	rt2 := core.New(core.WithScheduler(core.NewWorkStealingScheduler(2)),
+		core.WithFaultPolicy(core.LogAndContinue))
+	defer rt2.Shutdown()
+	rt2.MustBootstrap("Main", core.SetupFunc(func(ctx *core.Ctx) {
+		ctx.Create("n3", n3)
+	}))
+	if !rt2.WaitQuiescence(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	t.Cleanup(n3.tcp.shutdown)
+
+	waitCount(t, &n3.got, 20, 15*time.Second)
+
+	// Zero lost, zero reordered: n2 saw exactly 0..59 in order, n3 exactly
+	// 60..79 in order.
+	n2.mu.Lock()
+	for i, m := range n2.msgs {
+		if d, ok := m.(wireBlob); !ok || d.Seq != i {
+			t.Errorf("pre-restart stream broken at %d: %+v", i, m)
+		}
+	}
+	n2count := len(n2.msgs)
+	n2.mu.Unlock()
+	if n2count != 60 {
+		t.Fatalf("pre-restart peer saw %d frames, want 60", n2count)
+	}
+	n3.mu.Lock()
+	for i, m := range n3.msgs {
+		if d, ok := m.(wireBlob); !ok || d.Seq != 60+i {
+			t.Errorf("post-restart stream broken at %d: %+v", i, m)
+		}
+	}
+	n3count := len(n3.msgs)
+	n3.mu.Unlock()
+	if n3count != 20 {
+		t.Fatalf("post-restart peer saw %d frames, want 20", n3count)
+	}
+
+	if swaps := n1.tcp.CodecStats(); swaps < 2 {
+		t.Fatalf("codec swap counter = %d, want >= 2", swaps)
+	}
+	if got := n1.tcp.PeerCodec(n2.self).Name(); got != "gob+zlib" {
+		t.Fatalf("peer codec after second swap: %q", got)
+	}
+}
+
+// TestTCPSwapAllCodecs covers the swap-every-peer control path used by the
+// operator-facing surface.
+func TestTCPSwapAllCodecs(t *testing.T) {
+	_, n1, n2 := newTCPPair(t)
+	n1.ctx.Trigger(hello{Header: NewHeader(n1.self, n2.self), Greeting: "pre"}, n1.port)
+	waitCount(t, &n2.got, 1, 5*time.Second)
+
+	if err := n1.tcp.SwapAllCodecs("binary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.tcp.SwapAllCodecs("no-such-codec"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	before := gBinaryEncoded.Load()
+	n1.ctx.Trigger(wireBlob{Header: NewHeader(n1.self, n2.self), Seq: 0}, n1.port)
+	waitCount(t, &n2.got, 2, 5*time.Second)
+	if gBinaryEncoded.Load() == before {
+		t.Fatal("swap-all did not switch encoding to binary")
+	}
+}

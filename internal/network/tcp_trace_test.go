@@ -105,7 +105,7 @@ func TestTCPRetransmitFirstSingleSpan(t *testing.T) {
 	go reader1.run()
 	var pending outFrame
 	errCh := make(chan error, 1)
-	go func() { errCh <- tr.serveConn(pc, c1, &pending) }()
+	go func() { errCh <- tr.serveConn(pc, c1, &pending, flagPlain) }()
 	pc.ch <- frameU
 	pc.ch <- frameA
 	for i := 0; i < 2; i++ {
@@ -151,7 +151,7 @@ func TestTCPRetransmitFirstSingleSpan(t *testing.T) {
 	reader2 := &frameReader{conn: c4, payloads: make(chan []byte, 16)}
 	go reader2.run()
 	tr.keepalive = 10 * time.Millisecond
-	go func() { errCh <- tr.serveConn(pc, c3, &pending) }()
+	go func() { errCh <- tr.serveConn(pc, c3, &pending, flagPlain) }()
 	var order []string
 	for i := 0; i < 2; i++ {
 		select {

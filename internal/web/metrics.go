@@ -284,6 +284,16 @@ func WriteNetworkMetrics(w io.Writer, n network.Metrics) error {
 	m.Counter("cats_network_abandoned_total", n.Abandoned)
 	m.Header("cats_network_traced_frames_total", "counter", "Encoded messages carrying a sampled trace context.")
 	m.Counter("cats_network_traced_frames_total", n.TracedFrames)
+	m.Header("cats_network_codec_binary_encoded_total", "counter", "Frames encoded in the binary wire format.")
+	m.Counter("cats_network_codec_binary_encoded_total", n.BinaryEncoded)
+	m.Header("cats_network_codec_binary_decoded_total", "counter", "Frames decoded from the binary wire format.")
+	m.Counter("cats_network_codec_binary_decoded_total", n.BinaryDecoded)
+	m.Header("cats_network_codec_fallbacks_total", "counter", "Messages outside the binary wire set encoded via gob fallback.")
+	m.Counter("cats_network_codec_fallbacks_total", n.CodecFallbacks)
+	m.Header("cats_network_codec_swaps_total", "counter", "Live wire-codec swaps applied to peers.")
+	m.Counter("cats_network_codec_swaps_total", n.CodecSwaps)
+	m.Header("cats_network_codec_switch_frames_total", "counter", "Codec-switch control frames observed on inbound connections.")
+	m.Counter("cats_network_codec_switch_frames_total", n.CodecSwitches)
 	m.Header("cats_network_peers", "gauge", "Outbound peer connections by circuit-breaker state.")
 	m.Gauge("cats_network_peers", float64(n.PeersConnecting), "state", "connecting")
 	m.Gauge("cats_network_peers", float64(n.PeersUp), "state", "up")
